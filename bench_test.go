@@ -1,0 +1,218 @@
+// Benchmarks, one per paper artifact (testing.B drives the same harness
+// functions that cmd/espbench uses, at reduced size so `go test -bench=.`
+// completes in minutes), plus microbenchmarks for the hot substrate paths.
+package espftl
+
+import (
+	"fmt"
+	"testing"
+
+	"espftl/internal/buffer"
+	"espftl/internal/experiment"
+	"espftl/internal/mapping"
+	"espftl/internal/nand"
+	"espftl/internal/sim"
+	"espftl/internal/workload"
+)
+
+// benchOpts shrinks the experiments so a full -bench=. pass stays fast.
+func benchOpts() experiment.Options {
+	return experiment.Options{
+		Geometry: nand.Geometry{
+			Channels:        8,
+			ChipsPerChannel: 4,
+			BlocksPerChip:   8,
+			PagesPerBlock:   16,
+			SubpagesPerPage: 4,
+			SubpageBytes:    4096,
+		},
+		Requests: 4000,
+		Seed:     1,
+	}
+}
+
+func benchFigure(b *testing.B, fn func(experiment.Options) (*experiment.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2aIOPSSweep regenerates Fig. 2(a): CGM & FGM IOPS vs r_small.
+func BenchmarkFig2aIOPSSweep(b *testing.B) { benchFigure(b, experiment.Fig2a) }
+
+// BenchmarkFig2bGCSweep regenerates Fig. 2(b): FGM GC invocations sweep.
+func BenchmarkFig2bGCSweep(b *testing.B) { benchFigure(b, experiment.Fig2b) }
+
+// BenchmarkFig5RetentionModel regenerates Fig. 5: the retention model.
+func BenchmarkFig5RetentionModel(b *testing.B) { benchFigure(b, experiment.Fig5) }
+
+// BenchmarkFig8aIOPS regenerates Fig. 8(a): three FTLs on five benchmarks.
+func BenchmarkFig8aIOPS(b *testing.B) { benchFigure(b, experiment.Fig8a) }
+
+// BenchmarkFig8bGC regenerates Fig. 8(b): GC invocations, fgm vs sub.
+func BenchmarkFig8bGC(b *testing.B) { benchFigure(b, experiment.Fig8b) }
+
+// BenchmarkTable1RequestWAF regenerates Table 1: subFTL request WAF.
+func BenchmarkTable1RequestWAF(b *testing.B) { benchFigure(b, experiment.Table1) }
+
+// BenchmarkAblationRegionRatio sweeps the subpage-region size.
+func BenchmarkAblationRegionRatio(b *testing.B) { benchFigure(b, experiment.AblationRegionRatio) }
+
+// BenchmarkAblationHotCold toggles the hot/cold GC split.
+func BenchmarkAblationHotCold(b *testing.B) { benchFigure(b, experiment.AblationHotCold) }
+
+// BenchmarkAblationRetention exercises the retention-management ablation.
+func BenchmarkAblationRetention(b *testing.B) { benchFigure(b, experiment.AblationRetention) }
+
+// BenchmarkExtSubpageRead measures the §7 subpage-read extension.
+func BenchmarkExtSubpageRead(b *testing.B) { benchFigure(b, experiment.ExtSubpageRead) }
+
+// BenchmarkExtLifetime regenerates the erase-rate lifetime projection.
+func BenchmarkExtLifetime(b *testing.B) { benchFigure(b, experiment.ExtLifetime) }
+
+// BenchmarkExtLatency regenerates the service-demand percentile table.
+func BenchmarkExtLatency(b *testing.B) { benchFigure(b, experiment.ExtLatency) }
+
+// BenchmarkFTLWrite measures per-request write cost (simulator wall time,
+// not virtual time) for each FTL under a sync-small-heavy stream.
+func BenchmarkFTLWrite(b *testing.B) {
+	for _, kind := range []FTLKind{CGMFTL, FGMFTL, SubFTL} {
+		b.Run(string(kind), func(b *testing.B) {
+			mk := func() *SSD {
+				ssd, err := New(Config{
+					FTL: kind,
+					Geometry: Geometry{
+						Channels: 8, ChipsPerChannel: 4, BlocksPerChip: 16,
+						PagesPerBlock: 32, SubpagesPerPage: 4, SubpageBytes: 4096,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return ssd
+			}
+			ssd := mk()
+			space := ssd.LogicalSectors()
+			rng := sim.NewRNG(7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A large b.N would write this small drive past its rated
+				// endurance (a genuine wear-out, not a bug); swap in a
+				// fresh drive periodically.
+				if i > 0 && i%100000 == 0 {
+					b.StopTimer()
+					ssd = mk()
+					b.StartTimer()
+				}
+				// Hot/cold locality as in the paper's workloads; fully
+				// uniform sync writes would grind any 20%-region layout.
+				lsn := rng.Int63n(space / 64)
+				if rng.Bool(0.1) {
+					lsn = rng.Int63n(space)
+				}
+				if err := ssd.Write(lsn, 1, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDeviceProgramSubpage measures the raw device model's subpage
+// program path.
+func BenchmarkDeviceProgramSubpage(b *testing.B) {
+	cfg := nand.DefaultConfig()
+	dev, err := nand.NewDevice(cfg, sim.NewClock(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := dev.Geometry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := nand.BlockID(i % g.TotalBlocks())
+		page := g.PageOf(blk, (i/g.TotalBlocks())%g.PagesPerBlock)
+		sub := (i / int(g.TotalPages())) % g.SubpagesPerPage
+		if _, err := dev.ProgramSubpage(page, sub, nand.Stamp{LSN: int64(i)}); err != nil {
+			// Reuse exhausted: erase and continue.
+			if _, e := dev.Erase(blk); e != nil {
+				b.Fatal(e)
+			}
+		}
+	}
+}
+
+// BenchmarkHashTable measures the subpage-mapping hash table.
+func BenchmarkHashTable(b *testing.B) {
+	h := mapping.NewHashTable(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i % (1 << 15))
+		if err := h.Put(k, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := h.Get(k); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+// BenchmarkWriteBuffer measures the FGM write buffer's staging path.
+func BenchmarkWriteBuffer(b *testing.B) {
+	buf := buffer.New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Write([]int64{int64(i % 4096)}, i%8 == 0)
+	}
+}
+
+// BenchmarkWorkloadGenerator measures synthetic request generation.
+func BenchmarkWorkloadGenerator(b *testing.B) {
+	for _, prof := range workload.Benchmarks() {
+		b.Run(prof.Name, func(b *testing.B) {
+			gen, err := workload.NewSynthetic(prof, 1<<20, 4, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := gen.Next()
+				if r.Sectors <= 0 && r.Op != workload.OpAdvance {
+					b.Fatal("bad request")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRetentionModel measures the per-read reliability decision.
+func BenchmarkRetentionModel(b *testing.B) {
+	m := nand.DefaultRetention
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := nand.NppType(i % 4)
+		if !m.Correctable(k, nand.Month/2, m.RatedPE) {
+			b.Fatal("half-month data must be correctable")
+		}
+	}
+}
+
+// Example-style smoke check so `go test` exercises the bench harness too.
+func TestBenchOptionsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	table, err := experiment.Fig5(benchOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("fig5 rows = %d", len(table.Rows))
+	}
+	out := table.String()
+	if out == "" || fmt.Sprintf("%s", table.Markdown()) == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -1,0 +1,78 @@
+// Command espbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	espbench [-run id[,id...]] [-full] [-requests N] [-seed S] [-markdown]
+//
+// With no -run flag every experiment runs in presentation order. -full
+// switches from the quick device (0.5 GiB) to the full experiment device
+// (2 GiB, 8 channels x 4 chips) and a larger request count; expect a few
+// minutes of wall time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"espftl/internal/experiment"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment ids (default: all); see -list")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	full := flag.Bool("full", false, "use the full-size device and request counts")
+	requests := flag.Int("requests", 0, "override the measured request count per run")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	flag.Parse()
+
+	all := experiment.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-13s %s\n", e.ID, e.Doc)
+		}
+		return
+	}
+
+	opts := experiment.Options{Seed: *seed}
+	if *full {
+		opts.Geometry = experiment.ExperimentGeometry
+		opts.Requests = 120000
+	}
+	if *requests > 0 {
+		opts.Requests = *requests
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		table, err := e.Fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Println(table.Markdown())
+		} else {
+			fmt.Println(table.String())
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "espbench: no experiment matches %q (try -list)\n", *run)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,136 @@
+// Command espsim runs one simulation: a chosen FTL, a chosen workload
+// profile (or a trace file), a preconditioned device, and a stats report.
+//
+// Examples:
+//
+//	espsim -ftl subFTL -profile varmail -requests 50000
+//	espsim -ftl fgmFTL -rsmall 0.8 -rsynch 1.0
+//	espsim -ftl subFTL -trace workload.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"espftl/internal/experiment"
+	"espftl/internal/trace"
+	"espftl/internal/workload"
+)
+
+func profileByName(name string) (workload.Profile, bool) {
+	for _, p := range workload.Benchmarks() {
+		if strings.EqualFold(p.Name, name) {
+			return p, true
+		}
+	}
+	return workload.Profile{}, false
+}
+
+func main() {
+	ftlName := flag.String("ftl", "subFTL", "FTL under test: cgmFTL, fgmFTL or subFTL")
+	profile := flag.String("profile", "varmail", "workload profile: sysbench, varmail, postmark, ycsb, tpc-c")
+	rsmall := flag.Float64("rsmall", -1, "use the synthetic sweep profile with this r_small (overrides -profile)")
+	rsynch := flag.Float64("rsynch", 1.0, "r_synch for the sweep profile")
+	tracePath := flag.String("trace", "", "replay this trace file (binary or text) instead of a profile")
+	requests := flag.Int("requests", 50000, "measured request count (profiles only)")
+	full := flag.Bool("full", false, "use the full-size device")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	subFrac := flag.Float64("subregion", 0.20, "subFTL subpage-region fraction")
+	subread := flag.Bool("subread", false, "enable the subpage-read device extension")
+	flag.Parse()
+
+	cfg := experiment.RunConfig{
+		Kind:              experiment.Kind(*ftlName),
+		Requests:          *requests,
+		Seed:              *seed,
+		SubRegionFrac:     *subFrac,
+		EnableSubpageRead: *subread,
+	}
+	if *full {
+		cfg.Geometry = experiment.ExperimentGeometry
+	}
+	switch {
+	case *tracePath != "":
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		reqs, err := trace.ReadBinary(f)
+		if err != nil {
+			// Retry as text.
+			if _, serr := f.Seek(0, 0); serr != nil {
+				fatal(serr)
+			}
+			reqs, err = trace.ReadText(f)
+			if err != nil {
+				fatal(fmt.Errorf("trace %s: %w", *tracePath, err))
+			}
+		}
+		f.Close()
+		// Fail early with guidance when the trace addresses more space
+		// than the simulated drive exports.
+		var maxEnd int64
+		for _, r := range reqs {
+			if r.Op != workload.OpAdvance && r.LSN+int64(r.Sectors) > maxEnd {
+				maxEnd = r.LSN + int64(r.Sectors)
+			}
+		}
+		cfg.Trace = reqs
+		probe := cfg
+		probe.Trace = nil
+		probe.Profile = workload.Varmail() // placeholder; only sizing matters
+		if space := logicalSpace(probe); maxEnd > space {
+			fatal(fmt.Errorf("trace addresses %d sectors but the drive exports %d; rerun tracegen with -sectors <= %d or use -full", maxEnd, space, space))
+		}
+	case *rsmall >= 0:
+		cfg.Profile = workload.SweepProfile(*rsmall, *rsynch)
+	default:
+		p, ok := profileByName(*profile)
+		if !ok {
+			fatal(fmt.Errorf("unknown profile %q", *profile))
+		}
+		cfg.Profile = p
+	}
+
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	s := res.Stats
+	fmt.Printf("%s on %s\n", res.Kind, res.Profile)
+	fmt.Printf("  requests          %d in %v virtual -> %.0f IOPS\n", res.Requests, res.Elapsed, res.IOPS())
+	fmt.Printf("  host writes/reads %d / %d (small writes %d)\n", s.HostWriteReqs, s.HostReadReqs, s.SmallWriteReqs)
+	fmt.Printf("  request WAF       %.3f   overall WAF %.3f\n", s.AvgRequestWAF(), s.OverallWAF())
+	fmt.Printf("  GC invocations    %d (moved %d sectors)   erases %d\n", s.GCInvocations, s.GCMovedSectors, s.Device.Erases)
+	fmt.Printf("  RMW ops           %d\n", s.RMWOps)
+	if res.Kind == experiment.KindSub {
+		fmt.Printf("  subFTL: shifts %d  advances %d  evictions %d  retention moves %d  reclaims %d\n",
+			s.SubShifts, s.RoundAdvances, s.Evictions, s.RetentionMoves, s.RegionReclaims)
+		fmt.Printf("  subFTL region:    %d blocks, %d live subpages\n", res.SubRegionBlocks, res.SubRegionValid)
+	}
+	fmt.Printf("  mapping memory    %.1f KiB\n", float64(s.MappingBytes)/1024)
+	fmt.Printf("  flash programs    %d full / %d subpage passes, %d page reads\n",
+		s.Device.PagePrograms, s.Device.SubPrograms, s.Device.PageReads)
+}
+
+// logicalSpace mirrors the harness's sizing rule for the drive a config
+// would build, for trace validation.
+func logicalSpace(cfg experiment.RunConfig) int64 {
+	geo := cfg.Geometry
+	if geo.Channels == 0 {
+		geo = experiment.QuickGeometry
+	}
+	frac := cfg.LogicalFrac
+	if frac == 0 {
+		frac = 0.70
+	}
+	ps := int64(geo.SubpagesPerPage)
+	return int64(float64(geo.TotalSubpages())*frac) / ps * ps
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "espsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+package espftl_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"espftl"
+)
+
+// The canonical flow: build an SSD, write synchronously at 4-KB
+// granularity, and observe that subFTL serviced the writes with erase-free
+// subpage programs and no write amplification.
+func Example() {
+	ssd, err := espftl.New(espftl.Config{
+		FTL: espftl.SubFTL,
+		Geometry: espftl.Geometry{
+			Channels: 2, ChipsPerChannel: 2, BlocksPerChip: 8,
+			PagesPerBlock: 8, SubpagesPerPage: 4, SubpageBytes: 4096,
+		},
+		LogicalSectors: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := int64(0); i < 16; i++ {
+		if err := ssd.Write(i*4, 1, true); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ssd.Read(0, 1); err != nil {
+		log.Fatal(err)
+	}
+	s := ssd.Stats()
+	fmt.Printf("subpage passes: %d, full-page programs: %d, request WAF: %.1f\n",
+		s.Device.SubPrograms, s.Device.PagePrograms, s.AvgRequestWAF())
+	// Output:
+	// subpage passes: 16, full-page programs: 0, request WAF: 1.0
+}
+
+// Comparing FTLs on identical traffic is a two-line change: construct a
+// drive per kind and replay the same writes.
+func ExampleNew_comparingFTLs() {
+	geo := espftl.Geometry{
+		Channels: 2, ChipsPerChannel: 2, BlocksPerChip: 8,
+		PagesPerBlock: 8, SubpagesPerPage: 4, SubpageBytes: 4096,
+	}
+	for _, kind := range []espftl.FTLKind{espftl.CGMFTL, espftl.FGMFTL, espftl.SubFTL} {
+		ssd, err := espftl.New(espftl.Config{FTL: kind, Geometry: geo, LogicalSectors: 512})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// One synchronous 4-KB write to a page that already holds data.
+		if err := ssd.Write(0, 4, false); err != nil {
+			log.Fatal(err)
+		}
+		if err := ssd.Write(1, 1, true); err != nil {
+			log.Fatal(err)
+		}
+		s := ssd.Stats()
+		fmt.Printf("%s: RMW=%d subpage-passes=%d\n", ssd.FTLName(), s.RMWOps, s.Device.SubPrograms)
+	}
+	// Output:
+	// cgmFTL: RMW=1 subpage-passes=0
+	// fgmFTL: RMW=0 subpage-passes=0
+	// subFTL: RMW=0 subpage-passes=1
+}
+
+// Idle advances virtual time and runs background maintenance — here the
+// retention scrub that keeps ESP data alive past its 1-month capability.
+func ExampleSSD_Idle() {
+	ssd, err := espftl.New(espftl.Config{
+		FTL: espftl.SubFTL,
+		Geometry: espftl.Geometry{
+			Channels: 2, ChipsPerChannel: 2, BlocksPerChip: 8,
+			PagesPerBlock: 8, SubpagesPerPage: 4, SubpageBytes: 4096,
+		},
+		LogicalSectors: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ssd.Write(0, 1, true); err != nil {
+		log.Fatal(err)
+	}
+	for day := 0; day < 30; day++ {
+		if err := ssd.Idle(24 * time.Hour); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("retention moves after a month idle: %d\n", ssd.Stats().RetentionMoves)
+	if err := ssd.Read(0, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("data intact")
+	// Output:
+	// retention moves after a month idle: 1
+	// data intact
+}

@@ -1,0 +1,3 @@
+module espftl
+
+go 1.22

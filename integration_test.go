@@ -1,0 +1,188 @@
+package espftl
+
+import (
+	"testing"
+	"time"
+
+	"espftl/internal/experiment"
+	"espftl/internal/nand"
+	"espftl/internal/sim"
+	"espftl/internal/trace"
+	"espftl/internal/workload"
+)
+
+// integrationGeometry is large enough for steady-state GC on every FTL
+// but small enough to keep the test quick.
+func integrationGeometry() Geometry {
+	return Geometry{
+		Channels:        4,
+		ChipsPerChannel: 2,
+		BlocksPerChip:   32,
+		PagesPerBlock:   16,
+		SubpagesPerPage: 4,
+		SubpageBytes:    4096,
+	}
+}
+
+// TestCrossFTLTraceEquivalence replays one generated benchmark trace
+// through all three FTLs; every FTL must service every request and pass
+// its invariant checker, and the final state must read back completely.
+func TestCrossFTLTraceEquivalence(t *testing.T) {
+	gen, err := workload.NewSynthetic(workload.Postmark(), 4096, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := trace.Generate(gen, 6000)
+
+	for _, kind := range []FTLKind{CGMFTL, FGMFTL, SubFTL} {
+		t.Run(string(kind), func(t *testing.T) {
+			ssd, err := New(Config{FTL: kind, Geometry: integrationGeometry(), LogicalSectors: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			written := make(map[int64]bool)
+			for i, r := range reqs {
+				switch r.Op {
+				case workload.OpWrite:
+					if err := ssd.Write(r.LSN, r.Sectors, r.Sync); err != nil {
+						t.Fatalf("%s req %d: %v", kind, i, err)
+					}
+					for j := 0; j < r.Sectors; j++ {
+						written[r.LSN+int64(j)] = true
+					}
+				case workload.OpRead:
+					if err := ssd.Read(r.LSN, r.Sectors); err != nil {
+						t.Fatalf("%s req %d read: %v", kind, i, err)
+					}
+				case workload.OpTrim:
+					if err := ssd.Trim(r.LSN, r.Sectors); err != nil {
+						t.Fatalf("%s req %d trim: %v", kind, i, err)
+					}
+					for j := 0; j < r.Sectors; j++ {
+						delete(written, r.LSN+int64(j))
+					}
+				}
+			}
+			if err := ssd.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ssd.Check(); err != nil {
+				t.Fatalf("%s invariants: %v", kind, err)
+			}
+			// Full read-back: every sector ever written (and not trimmed)
+			// must return its newest version.
+			for lsn := range written {
+				if err := ssd.Read(lsn, 1); err != nil {
+					t.Fatalf("%s lost lsn %d: %v", kind, lsn, err)
+				}
+			}
+		})
+	}
+}
+
+// TestWearLevelingBounded checks the dynamic wear leveling: after heavy
+// churn the erase-count spread across blocks stays small relative to the
+// mean, for every FTL.
+func TestWearLevelingBounded(t *testing.T) {
+	for _, kind := range []FTLKind{CGMFTL, FGMFTL, SubFTL} {
+		t.Run(string(kind), func(t *testing.T) {
+			ssd, err := New(Config{FTL: kind, Geometry: integrationGeometry(), LogicalSectors: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := sim.NewRNG(5)
+			for i := 0; i < 30000; i++ {
+				lsn := rng.Int63n(2048)
+				n := 1
+				if i%5 == 0 {
+					n = 4
+					lsn -= lsn % 4
+				}
+				if err := ssd.Write(lsn, n, i%2 == 0); err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+			}
+			dev := ssd.Device()
+			g := dev.Geometry()
+			var min, max, sum int
+			min = 1 << 30
+			for b := 0; b < g.TotalBlocks(); b++ {
+				e := dev.EraseCount(nand.BlockID(b))
+				if e < min {
+					min = e
+				}
+				if e > max {
+					max = e
+				}
+				sum += e
+			}
+			mean := float64(sum) / float64(g.TotalBlocks())
+			if mean < 1 {
+				t.Skipf("churn too light to assess wear (mean %.2f)", mean)
+			}
+			if float64(max) > mean*4+8 {
+				t.Fatalf("%s wear imbalance: min=%d max=%d mean=%.1f", kind, min, max, mean)
+			}
+		})
+	}
+}
+
+// TestLifetimeOrdering is the paper's lifetime claim as an invariant: on a
+// sync-small-heavy workload subFTL must erase fewer blocks than fgmFTL,
+// which must erase no more than cgmFTL.
+func TestLifetimeOrdering(t *testing.T) {
+	erases := make(map[FTLKind]int64)
+	for _, kind := range []FTLKind{CGMFTL, FGMFTL, SubFTL} {
+		res, err := experiment.Run(experiment.RunConfig{
+			Kind:     experiment.Kind(kind),
+			Geometry: experiment.QuickGeometry,
+			Requests: 20000,
+			Profile:  workload.Sysbench(),
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		erases[kind] = res.Stats.Device.Erases
+	}
+	if !(erases[SubFTL] < erases[FGMFTL]) {
+		t.Fatalf("subFTL erases %d not below fgmFTL %d", erases[SubFTL], erases[FGMFTL])
+	}
+	if !(erases[SubFTL] < erases[CGMFTL]) {
+		t.Fatalf("subFTL erases %d not below cgmFTL %d", erases[SubFTL], erases[CGMFTL])
+	}
+	// The factor should be substantial (paper: fgm GCs ~2-4x more).
+	if float64(erases[FGMFTL]) < 1.5*float64(erases[SubFTL]) {
+		t.Fatalf("erase gap too small: fgm=%d sub=%d", erases[FGMFTL], erases[SubFTL])
+	}
+}
+
+// TestRetentionEndToEnd drives the retention story through the public
+// API: park data, idle through the scrub, come back a year later.
+func TestRetentionEndToEnd(t *testing.T) {
+	ssd, err := New(Config{FTL: SubFTL, Geometry: integrationGeometry(), LogicalSectors: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push the subpage region into later ESP rounds so parked data is
+	// N1pp or worse.
+	for i := 0; i < 3000; i++ {
+		if err := ssd.Write(int64(i%8), 1, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for day := 0; day < 365; day++ {
+		if err := ssd.Idle(24 * time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ssd.Stats().RetentionMoves == 0 {
+		t.Fatal("no retention moves over a year")
+	}
+	if err := ssd.Read(0, 8); err != nil {
+		t.Fatalf("data lost after a year: %v", err)
+	}
+	if err := ssd.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

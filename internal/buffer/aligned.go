@@ -1,0 +1,158 @@
+package buffer
+
+import "fmt"
+
+// Aligned is subFTL's write buffer (paper §4.1): it merges small
+// asynchronous writes "with consecutive logical block addresses into one
+// sequential write". Unlike the FGM buffer, which may pack arbitrary
+// sectors into one physical page (fine-grained mapping permits that), the
+// subFTL buffer can only complete *aligned logical pages*, because its
+// full-page region is coarse-grained: a merged flush must be exactly the
+// N_sub sectors of one logical page.
+//
+// Sectors that fail to merge leave the buffer either with their
+// synchronous write or by capacity eviction, and subFTL routes them to
+// the subpage region.
+type Aligned struct {
+	pageSecs   int
+	maxSectors int
+	masks      map[int64]uint64 // LPN -> staged-sector bitmask
+	order      []int64          // LPN FIFO for capacity eviction
+	sectors    int
+	merged     int64
+	evictions  int64
+}
+
+// NewAligned returns a buffer holding at most maxSectors staged sectors.
+func NewAligned(pageSecs, maxSectors int) *Aligned {
+	if pageSecs <= 0 || pageSecs > 64 {
+		panic(fmt.Sprintf("buffer: pageSecs = %d", pageSecs))
+	}
+	if maxSectors < pageSecs {
+		panic(fmt.Sprintf("buffer: maxSectors = %d below one page", maxSectors))
+	}
+	return &Aligned{
+		pageSecs:   pageSecs,
+		maxSectors: maxSectors,
+		masks:      make(map[int64]uint64),
+	}
+}
+
+// Len returns the number of staged sectors.
+func (b *Aligned) Len() int { return b.sectors }
+
+// Merged counts logical pages completed and emitted as full-page flushes.
+func (b *Aligned) Merged() int64 { return b.merged }
+
+// Evicted counts sectors pushed out by capacity pressure.
+func (b *Aligned) Evicted() int64 { return b.evictions }
+
+// Contains reports whether lsn is staged (a read hit).
+func (b *Aligned) Contains(lsn int64) bool {
+	mask := b.masks[lsn/int64(b.pageSecs)]
+	return mask&(1<<uint(lsn%int64(b.pageSecs))) != 0
+}
+
+func (b *Aligned) fullMask() uint64 { return (uint64(1) << b.pageSecs) - 1 }
+
+func (b *Aligned) dropLPN(lpn int64) {
+	for i, v := range b.order {
+		if v == lpn {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			return
+		}
+	}
+}
+
+func (b *Aligned) countBits(mask uint64) int {
+	n := 0
+	for ; mask != 0; mask &= mask - 1 {
+		n++
+	}
+	return n
+}
+
+// sectorsOf expands an LPN's staged mask into LSNs.
+func (b *Aligned) sectorsOf(lpn int64, mask uint64) []int64 {
+	out := make([]int64, 0, b.countBits(mask))
+	for slot := 0; slot < b.pageSecs; slot++ {
+		if mask&(1<<slot) != 0 {
+			out = append(out, lpn*int64(b.pageSecs)+int64(slot))
+		}
+	}
+	return out
+}
+
+// Stage adds asynchronous small-write sectors. It returns the logical
+// pages that became complete (each to be flushed as one full-page write)
+// and any partial sector groups evicted by capacity pressure (each to be
+// routed to the subpage region).
+func (b *Aligned) Stage(lsns []int64) (fullPages []int64, evicted [][]int64) {
+	for _, lsn := range lsns {
+		lpn := lsn / int64(b.pageSecs)
+		bit := uint64(1) << uint(lsn%int64(b.pageSecs))
+		mask, ok := b.masks[lpn]
+		if mask&bit != 0 {
+			continue // duplicate absorbed in place
+		}
+		if !ok {
+			b.order = append(b.order, lpn)
+		}
+		mask |= bit
+		b.masks[lpn] = mask
+		b.sectors++
+		if mask == b.fullMask() {
+			fullPages = append(fullPages, lpn)
+			delete(b.masks, lpn)
+			b.dropLPN(lpn)
+			b.sectors -= b.pageSecs
+			b.merged++
+		}
+	}
+	for b.sectors > b.maxSectors && len(b.order) > 0 {
+		lpn := b.order[0]
+		b.order = b.order[1:]
+		mask := b.masks[lpn]
+		delete(b.masks, lpn)
+		group := b.sectorsOf(lpn, mask)
+		b.sectors -= len(group)
+		b.evictions += int64(len(group))
+		evicted = append(evicted, group)
+	}
+	return fullPages, evicted
+}
+
+// Remove drops any staged copies of the given sectors (they are being
+// superseded by a sync write, a large write, or a trim).
+func (b *Aligned) Remove(lsns []int64) {
+	for _, lsn := range lsns {
+		lpn := lsn / int64(b.pageSecs)
+		bit := uint64(1) << uint(lsn%int64(b.pageSecs))
+		mask, ok := b.masks[lpn]
+		if !ok || mask&bit == 0 {
+			continue
+		}
+		mask &^= bit
+		b.sectors--
+		if mask == 0 {
+			delete(b.masks, lpn)
+			b.dropLPN(lpn)
+		} else {
+			b.masks[lpn] = mask
+		}
+	}
+}
+
+// Drain removes and returns every staged partial group, oldest first.
+func (b *Aligned) Drain() [][]int64 {
+	var out [][]int64
+	for _, lpn := range b.order {
+		mask := b.masks[lpn]
+		delete(b.masks, lpn)
+		group := b.sectorsOf(lpn, mask)
+		b.sectors -= len(group)
+		out = append(out, group)
+	}
+	b.order = nil
+	return out
+}

@@ -1,0 +1,175 @@
+package buffer
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlignedCompletesPage(t *testing.T) {
+	b := NewAligned(4, 64)
+	full, ev := b.Stage([]int64{8, 9, 10})
+	if full != nil || ev != nil {
+		t.Fatalf("partial stage emitted: %v %v", full, ev)
+	}
+	if b.Len() != 3 || !b.Contains(9) || b.Contains(11) {
+		t.Fatalf("staging state wrong: len=%d", b.Len())
+	}
+	full, ev = b.Stage([]int64{11})
+	if !reflect.DeepEqual(full, []int64{2}) || ev != nil {
+		t.Fatalf("completion = %v %v, want page 2", full, ev)
+	}
+	if b.Len() != 0 || b.Merged() != 1 {
+		t.Fatalf("post-merge: len=%d merged=%d", b.Len(), b.Merged())
+	}
+}
+
+func TestAlignedScatteredNeverMerges(t *testing.T) {
+	b := NewAligned(4, 64)
+	// Sectors from different pages, none completing.
+	full, _ := b.Stage([]int64{0, 5, 10, 15, 20, 25})
+	if full != nil {
+		t.Fatalf("scattered sectors merged: %v", full)
+	}
+	if b.Len() != 6 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestAlignedDuplicateAbsorbed(t *testing.T) {
+	b := NewAligned(4, 64)
+	b.Stage([]int64{7})
+	b.Stage([]int64{7})
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+}
+
+func TestAlignedCapacityEviction(t *testing.T) {
+	b := NewAligned(4, 8)
+	// Nine scattered sectors: oldest page's group must be evicted.
+	var full []int64
+	var ev [][]int64
+	for i := int64(0); i < 9; i++ {
+		f, e := b.Stage([]int64{i * 4}) // each in its own page
+		full = append(full, f...)
+		ev = append(ev, e...)
+	}
+	if full != nil {
+		t.Fatalf("unexpected merges: %v", full)
+	}
+	if len(ev) != 1 || !reflect.DeepEqual(ev[0], []int64{0}) {
+		t.Fatalf("evicted = %v, want [[0]]", ev)
+	}
+	if b.Evicted() != 1 || b.Len() != 8 {
+		t.Fatalf("evicted=%d len=%d", b.Evicted(), b.Len())
+	}
+}
+
+func TestAlignedRemove(t *testing.T) {
+	b := NewAligned(4, 64)
+	b.Stage([]int64{0, 1, 2})
+	b.Remove([]int64{1, 99})
+	if b.Contains(1) || !b.Contains(0) || b.Len() != 2 {
+		t.Fatal("Remove misbehaved")
+	}
+	// Removing the last sector of a page drops its tracking entirely.
+	b.Remove([]int64{0, 2})
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	// Completing the page later still works from scratch.
+	full, _ := b.Stage([]int64{0, 1, 2, 3})
+	if !reflect.DeepEqual(full, []int64{0}) {
+		t.Fatalf("full = %v", full)
+	}
+}
+
+func TestAlignedDrain(t *testing.T) {
+	b := NewAligned(4, 64)
+	b.Stage([]int64{0, 1, 8})
+	groups := b.Drain()
+	if len(groups) != 2 {
+		t.Fatalf("drain groups = %v", groups)
+	}
+	if !reflect.DeepEqual(groups[0], []int64{0, 1}) || !reflect.DeepEqual(groups[1], []int64{8}) {
+		t.Fatalf("drain = %v", groups)
+	}
+	if b.Len() != 0 {
+		t.Fatal("drain left residue")
+	}
+	if b.Drain() != nil {
+		t.Fatal("second drain non-empty")
+	}
+}
+
+func TestAlignedPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewAligned(0, 8) },
+		func() { NewAligned(65, 650) },
+		func() { NewAligned(4, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad config did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: sector conservation — every staged sector leaves exactly once
+// (merge, eviction, removal, or drain), and Len always matches.
+func TestAlignedConservationProperty(t *testing.T) {
+	f := func(ops []struct {
+		LSN    uint8
+		Remove bool
+	}) bool {
+		b := NewAligned(4, 16)
+		inBuf := make(map[int64]bool)
+		for _, op := range ops {
+			lsn := int64(op.LSN % 64)
+			if op.Remove {
+				b.Remove([]int64{lsn})
+				delete(inBuf, lsn)
+			} else {
+				full, ev := b.Stage([]int64{lsn})
+				inBuf[lsn] = true
+				for _, lpn := range full {
+					for s := int64(0); s < 4; s++ {
+						if !inBuf[lpn*4+s] {
+							return false // merged a sector never staged
+						}
+						delete(inBuf, lpn*4+s)
+					}
+				}
+				for _, grp := range ev {
+					for _, l := range grp {
+						if !inBuf[l] {
+							return false
+						}
+						delete(inBuf, l)
+					}
+				}
+			}
+			if b.Len() != len(inBuf) {
+				return false
+			}
+			for l := range inBuf {
+				if !b.Contains(l) {
+					return false
+				}
+			}
+		}
+		rest := 0
+		for _, grp := range b.Drain() {
+			rest += len(grp)
+		}
+		return rest == len(inBuf) && b.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package buffer implements the controller write buffer that the FGM
+// scheme and subFTL place in front of flash (paper §1, §4.1). Its job is
+// to merge small asynchronous writes into full-page flushes; synchronous
+// writes "must be stored right away and miss an opportunity to be merged
+// in the write buffer", which is exactly how r_synch hurts the FGM scheme.
+package buffer
+
+import "fmt"
+
+// Group is one flush unit handed to the FTL: a set of logical sectors to
+// be written together. Len < pageSectors means a partial flush (a sync
+// write or a drain) that an FGM FTL must pad to a full physical page and
+// subFTL can service with subpage programs.
+type Group struct {
+	// LSNs are the logical sectors in the group, in buffer (FIFO) order.
+	LSNs []int64
+	// Sync marks groups produced by a synchronous write.
+	Sync bool
+}
+
+// Buffer is a FIFO write buffer with duplicate absorption. It is a pure
+// staging structure: it stores logical sector numbers, not data (the
+// simulator's payloads are stamps generated at flush time).
+type Buffer struct {
+	pageSectors int
+	order       []int64
+	resident    map[int64]struct{}
+	absorbed    int64
+	flushedFull int64
+	flushedPart int64
+}
+
+// New returns a buffer that emits full groups of pageSectors sectors.
+func New(pageSectors int) *Buffer {
+	if pageSectors <= 0 {
+		panic(fmt.Sprintf("buffer: pageSectors = %d", pageSectors))
+	}
+	return &Buffer{
+		pageSectors: pageSectors,
+		resident:    make(map[int64]struct{}),
+	}
+}
+
+// Len returns the number of buffered sectors.
+func (b *Buffer) Len() int { return len(b.order) }
+
+// Contains reports whether lsn is buffered (a read hit).
+func (b *Buffer) Contains(lsn int64) bool {
+	_, ok := b.resident[lsn]
+	return ok
+}
+
+// Absorbed returns how many incoming sectors were duplicate hits on
+// already-buffered sectors (writes the buffer absorbed entirely).
+func (b *Buffer) Absorbed() int64 { return b.absorbed }
+
+// FlushedFull and FlushedPartial count emitted groups by kind.
+func (b *Buffer) FlushedFull() int64    { return b.flushedFull }
+func (b *Buffer) FlushedPartial() int64 { return b.flushedPart }
+
+// remove drops lsn from the buffer if present.
+func (b *Buffer) remove(lsn int64) {
+	if _, ok := b.resident[lsn]; !ok {
+		return
+	}
+	delete(b.resident, lsn)
+	for i, v := range b.order {
+		if v == lsn {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// Write stages a host write of the given sectors and returns the flush
+// groups it triggers, in the order they must reach flash.
+//
+// Synchronous writes bypass staging: any buffered copies of their sectors
+// are superseded and the write is emitted immediately as one (possibly
+// partial) group. Asynchronous writes are staged; whenever a full page's
+// worth of sectors has accumulated, a full group is emitted.
+func (b *Buffer) Write(lsns []int64, sync bool) []Group {
+	if sync {
+		g := Group{LSNs: make([]int64, len(lsns)), Sync: true}
+		copy(g.LSNs, lsns)
+		for _, lsn := range lsns {
+			b.remove(lsn)
+		}
+		if len(g.LSNs) >= b.pageSectors {
+			b.flushedFull += int64(len(g.LSNs) / b.pageSectors)
+			if len(g.LSNs)%b.pageSectors != 0 {
+				b.flushedPart++
+			}
+		} else {
+			b.flushedPart++
+		}
+		return []Group{g}
+	}
+	for _, lsn := range lsns {
+		if _, ok := b.resident[lsn]; ok {
+			b.absorbed++ // newer version replaces the staged one in place
+			continue
+		}
+		b.resident[lsn] = struct{}{}
+		b.order = append(b.order, lsn)
+	}
+	var out []Group
+	for len(b.order) >= b.pageSectors {
+		g := Group{LSNs: make([]int64, b.pageSectors)}
+		copy(g.LSNs, b.order[:b.pageSectors])
+		b.order = b.order[b.pageSectors:]
+		for _, lsn := range g.LSNs {
+			delete(b.resident, lsn)
+		}
+		b.flushedFull++
+		out = append(out, g)
+	}
+	return out
+}
+
+// PopUpTo removes and returns up to n of the oldest buffered sectors.
+// FGM-style FTLs with opportunistic fill use it to top up a partial sync
+// flush with staged asynchronous sectors instead of padding.
+func (b *Buffer) PopUpTo(n int) []int64 {
+	if n > len(b.order) {
+		n = len(b.order)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	copy(out, b.order[:n])
+	b.order = b.order[n:]
+	for _, lsn := range out {
+		delete(b.resident, lsn)
+	}
+	return out
+}
+
+// Trim drops any buffered copies of the given sectors (host discard).
+func (b *Buffer) Trim(lsns []int64) {
+	for _, lsn := range lsns {
+		b.remove(lsn)
+	}
+}
+
+// Drain flushes everything left in the buffer as one final (possibly
+// partial) group. It returns nil when the buffer is empty.
+func (b *Buffer) Drain() []Group {
+	if len(b.order) == 0 {
+		return nil
+	}
+	var out []Group
+	for len(b.order) > 0 {
+		n := b.pageSectors
+		if n > len(b.order) {
+			n = len(b.order)
+		}
+		g := Group{LSNs: make([]int64, n)}
+		copy(g.LSNs, b.order[:n])
+		b.order = b.order[n:]
+		for _, lsn := range g.LSNs {
+			delete(b.resident, lsn)
+		}
+		if n == b.pageSectors {
+			b.flushedFull++
+		} else {
+			b.flushedPart++
+		}
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package buffer
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAsyncMergesToFullGroups(t *testing.T) {
+	b := New(4)
+	if got := b.Write([]int64{1}, false); got != nil {
+		t.Fatalf("first sector flushed early: %v", got)
+	}
+	if got := b.Write([]int64{2, 3}, false); got != nil {
+		t.Fatalf("three sectors flushed early: %v", got)
+	}
+	got := b.Write([]int64{4}, false)
+	if len(got) != 1 || got[0].Sync || !reflect.DeepEqual(got[0].LSNs, []int64{1, 2, 3, 4}) {
+		t.Fatalf("full flush = %+v", got)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("buffer not empty after full flush: %d", b.Len())
+	}
+	if b.FlushedFull() != 1 || b.FlushedPartial() != 0 {
+		t.Fatalf("counters: full=%d part=%d", b.FlushedFull(), b.FlushedPartial())
+	}
+}
+
+func TestSyncBypassesMerging(t *testing.T) {
+	b := New(4)
+	b.Write([]int64{1, 2}, false)
+	got := b.Write([]int64{100}, true)
+	if len(got) != 1 || !got[0].Sync || !reflect.DeepEqual(got[0].LSNs, []int64{100}) {
+		t.Fatalf("sync flush = %+v", got)
+	}
+	// Async residents stay put.
+	if b.Len() != 2 || !b.Contains(1) || !b.Contains(2) {
+		t.Fatalf("async residents disturbed: len=%d", b.Len())
+	}
+	if b.FlushedPartial() != 1 {
+		t.Fatalf("partial count = %d", b.FlushedPartial())
+	}
+}
+
+func TestSyncSupersedesBufferedCopy(t *testing.T) {
+	b := New(4)
+	b.Write([]int64{7, 8}, false)
+	got := b.Write([]int64{7}, true)
+	if len(got) != 1 || !reflect.DeepEqual(got[0].LSNs, []int64{7}) {
+		t.Fatalf("sync flush = %+v", got)
+	}
+	if b.Contains(7) {
+		t.Fatal("stale async copy of 7 still buffered")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+}
+
+func TestDuplicateAsyncAbsorbed(t *testing.T) {
+	b := New(4)
+	b.Write([]int64{5}, false)
+	b.Write([]int64{5}, false)
+	b.Write([]int64{5}, false)
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (duplicates absorbed)", b.Len())
+	}
+	if b.Absorbed() != 2 {
+		t.Fatalf("Absorbed = %d, want 2", b.Absorbed())
+	}
+}
+
+func TestLargeAsyncWriteMultipleGroups(t *testing.T) {
+	b := New(4)
+	lsns := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	got := b.Write(lsns, false)
+	if len(got) != 2 {
+		t.Fatalf("groups = %d, want 2", len(got))
+	}
+	if !reflect.DeepEqual(got[0].LSNs, []int64{0, 1, 2, 3}) || !reflect.DeepEqual(got[1].LSNs, []int64{4, 5, 6, 7}) {
+		t.Fatalf("groups = %+v", got)
+	}
+	if b.Len() != 1 || !b.Contains(8) {
+		t.Fatal("tail sector not retained")
+	}
+}
+
+func TestSyncLargeWriteSingleGroup(t *testing.T) {
+	b := New(4)
+	got := b.Write([]int64{0, 1, 2, 3, 4}, true)
+	if len(got) != 1 || len(got[0].LSNs) != 5 || !got[0].Sync {
+		t.Fatalf("sync large flush = %+v", got)
+	}
+	// 5 sectors = 1 full page + partial remainder.
+	if b.FlushedFull() != 1 || b.FlushedPartial() != 1 {
+		t.Fatalf("counters: full=%d part=%d", b.FlushedFull(), b.FlushedPartial())
+	}
+}
+
+func TestTrimRemovesResidents(t *testing.T) {
+	b := New(4)
+	b.Write([]int64{1, 2, 3}, false)
+	b.Trim([]int64{2, 99})
+	if b.Contains(2) {
+		t.Fatal("trimmed sector still resident")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	b := New(4)
+	if got := b.Drain(); got != nil {
+		t.Fatalf("empty drain = %v", got)
+	}
+	b.Write([]int64{1, 2, 3, 4, 5, 6}, false) // flushes {1..4}, retains {5,6}
+	got := b.Drain()
+	if len(got) != 1 || !reflect.DeepEqual(got[0].LSNs, []int64{5, 6}) {
+		t.Fatalf("drain = %+v", got)
+	}
+	if b.Len() != 0 {
+		t.Fatal("buffer not empty after drain")
+	}
+}
+
+func TestNewPanicsOnBadPageSectors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: no sector is ever lost or duplicated — every written LSN is,
+// at any point, either exactly once in the buffer or has appeared in
+// exactly as many flush groups as droppable versions demand; and drain
+// leaves the buffer empty with every resident flushed once.
+func TestBufferConservationProperty(t *testing.T) {
+	f := func(ops []struct {
+		LSN  uint8
+		Sync bool
+	}) bool {
+		b := New(4)
+		flushed := make(map[int64]int)
+		record := func(gs []Group) {
+			for _, g := range gs {
+				for _, lsn := range g.LSNs {
+					flushed[lsn]++
+				}
+			}
+		}
+		written := make(map[int64]int)
+		for _, op := range ops {
+			lsn := int64(op.LSN % 32)
+			written[lsn]++
+			record(b.Write([]int64{lsn}, op.Sync))
+		}
+		record(b.Drain())
+		if b.Len() != 0 {
+			return false
+		}
+		for lsn, w := range written {
+			fl := flushed[lsn]
+			// Every write either reached flash or was absorbed by a newer
+			// buffered version; at least one copy must have flushed, and
+			// never more copies than writes.
+			if fl < 1 || fl > w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

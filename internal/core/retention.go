@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"espftl/internal/ftl"
+	"espftl/internal/nand"
+	"espftl/internal/sim"
+)
+
+// scrubRetention evicts subpages whose data has stayed in the subpage
+// region longer than the configured threshold (paper §4.3): ESP-written
+// subpages hold data reliably for one month only, so subFTL moves anything
+// older than 15 days to the full-page region, whose N⁰pp pages meet the
+// commercial retention requirement.
+func (f *FTL) scrubRetention(now sim.Time) error {
+	type entry struct{ lsn, spn int64 }
+	var old []entry
+	threshold := f.cfg.RetentionThreshold
+	f.hash.Range(func(lsn, spn int64) bool {
+		if nand.AgeOf(f.writtenAt[spn], now) > threshold {
+			old = append(old, entry{lsn, spn})
+		}
+		return true
+	})
+	for _, e := range old {
+		// The entry may have moved since Range snapshotted it; re-check.
+		spn, ok := f.hash.Get(e.lsn)
+		if !ok || spn != e.spn {
+			continue
+		}
+		if nand.AgeOf(f.writtenAt[spn], now) <= threshold {
+			continue
+		}
+		if f.stale(e.lsn, spn) {
+			f.dropSubCopy(e.lsn)
+			continue
+		}
+		if err := f.evictToFull(e.lsn, spn); err != nil {
+			return err
+		}
+		f.stats.RetentionMoves++
+	}
+	return nil
+}
+
+// OldestSubpageAge reports the age of the oldest live subpage-region data,
+// an observability hook for the retention experiments.
+func (f *FTL) OldestSubpageAge(now sim.Time) (age sim.Duration, ok bool) {
+	f.hash.Range(func(lsn, spn int64) bool {
+		if a := nand.AgeOf(f.writtenAt[spn], now); a > age {
+			age = a
+		}
+		ok = true
+		return true
+	})
+	return age, ok
+}
+
+// Check implements ftl.FTL: it verifies the full-page region's invariants
+// plus the subpage region's.
+func (f *FTL) Check() error {
+	if err := f.full.Check(); err != nil {
+		return err
+	}
+	g := f.dev.Geometry()
+	perBlock := make(map[nand.BlockID]int)
+	var checkErr error
+	f.hash.Range(func(lsn, spn int64) bool {
+		if f.rmapSub[spn] != lsn {
+			checkErr = fmt.Errorf("core: rmapSub[%d] = %d, want %d", spn, f.rmapSub[spn], lsn)
+			return false
+		}
+		p := g.PageOfSubpage(nand.SubpageID(spn))
+		b := g.BlockOfPage(p)
+		perBlock[b]++
+		if f.man.Role(b) != ftl.RoleSub {
+			checkErr = fmt.Errorf("core: live subpage on block %d with role %v", b, f.man.Role(b))
+			return false
+		}
+		// The device must agree the subpage is readable (not destroyed by
+		// a later ESP pass — the safety property of the writing policy).
+		info := f.dev.SubpageInfo(nand.SubpageID(spn))
+		if !info.Programmed || info.Destroyed {
+			checkErr = fmt.Errorf("core: live subpage %d of lsn %d is physically %+v", spn, lsn, info)
+			return false
+		}
+		// A sector must not be live in both regions.
+		lpn := lsn / int64(f.pageSecs)
+		slot := int(lsn % int64(f.pageSecs))
+		if f.full.Mapped(lpn) && f.full.Mask(lpn)&(1<<slot) != 0 {
+			checkErr = fmt.Errorf("core: lsn %d live in both regions", lsn)
+			return false
+		}
+		return true
+	})
+	if checkErr != nil {
+		return checkErr
+	}
+	subCount := 0
+	for b := 0; b < g.TotalBlocks(); b++ {
+		id := nand.BlockID(b)
+		if f.man.State(id) != ftl.StateFree && f.man.Role(id) == ftl.RoleSub {
+			subCount++
+			if got, want := f.man.Valid(id), perBlock[id]; got != want {
+				return fmt.Errorf("core: sub block %d valid = %d, want %d", id, got, want)
+			}
+			mb := &f.meta[id]
+			if !mb.inUse {
+				return fmt.Errorf("core: live sub block %d has no metadata", id)
+			}
+			for pi, ni := range mb.nextIdx {
+				if int(ni) < mb.round || int(ni) > f.pageSecs {
+					return fmt.Errorf("core: sub block %d page %d nextIdx %d outside [round %d, %d]", id, pi, ni, mb.round, f.pageSecs)
+				}
+			}
+		} else if perBlock[id] != 0 {
+			return fmt.Errorf("core: non-sub block %d holds %d live subpages", id, perBlock[id])
+		}
+	}
+	if subCount != f.subBlocks {
+		return fmt.Errorf("core: subBlocks = %d, found %d", f.subBlocks, subCount)
+	}
+	// The hash table must not exceed its design bound: one live entry per
+	// subpage-region slot (multi-subpage passes can leave several live
+	// subpages in one page until its next pass).
+	if f.hash.Len() > f.subBlocks*g.SubpagesPerBlock() {
+		return fmt.Errorf("core: %d hash entries exceed %d region slots", f.hash.Len(), f.subBlocks*g.SubpagesPerBlock())
+	}
+	return nil
+}

@@ -1,0 +1,467 @@
+// Package core implements subFTL, the paper's ESP-aware flash translation
+// layer (§4). subFTL divides flash into two dynamically assigned regions:
+//
+//   - a subpage region (20 % of blocks by default) written with erase-free
+//     subpage programming — one valid subpage per physical page, pages
+//     re-programmed round by round in sequential subpage order — and
+//     mapped by a compact hash table;
+//   - a full-page region managed exactly like a CGM FTL (coarse-grained
+//     page mapping, read-modify-write for partial pages).
+//
+// Data placement is by flushed request length: pieces shorter than a full
+// page go to the subpage region (so small writes never fragment a 16-KB
+// page), full aligned pages go to the full-page region. The subpage
+// region's GC separates hot from cold (subpages updated at least once stay,
+// never-updated ones are evicted to the full-page region), and a retention
+// manager evicts subpages older than 15 days, half the conservative
+// one-month retention capability of ESP-written data.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"espftl/internal/buffer"
+	"espftl/internal/ftl"
+	"espftl/internal/ftl/fullpage"
+	"espftl/internal/mapping"
+	"espftl/internal/nand"
+	"espftl/internal/sim"
+)
+
+// Config parameterizes subFTL.
+type Config struct {
+	// LogicalSectors is the exported logical space in sectors; it must be
+	// a multiple of the page size in sectors.
+	LogicalSectors int64
+	// SubRegionFrac is the fraction of blocks assigned to the subpage
+	// region (the paper uses 0.20).
+	SubRegionFrac float64
+	// GCReserveBlocks is the free-pool floor that triggers GC.
+	GCReserveBlocks int
+	// BufferSectors bounds the aligned write buffer (staged sectors).
+	BufferSectors int
+	// RetentionThreshold is the age at which the retention manager evicts
+	// a subpage to the full-page region (paper: 15 days).
+	RetentionThreshold time.Duration
+	// ScrubInterval is how often the retention manager scans (paper
+	// checks continuously; a daily scan is equivalent at these scales).
+	ScrubInterval time.Duration
+	// DisableHotColdGC turns off the hot/cold split in subpage-region GC:
+	// every valid subpage is treated as cold and evicted to the full-page
+	// region, so hot data loses its in-region residency. Used by the
+	// ablation experiments to quantify the value of the paper's §4.2
+	// separation heuristic.
+	DisableHotColdGC bool
+	// DisableRetention turns off the retention manager. Used by failure-
+	// injection tests that demonstrate why it must exist.
+	DisableRetention bool
+}
+
+// DefaultConfig fills in the paper's parameters for a given logical space.
+func DefaultConfig(logicalSectors int64) Config {
+	return Config{
+		LogicalSectors:     logicalSectors,
+		SubRegionFrac:      0.20,
+		GCReserveBlocks:    4,
+		BufferSectors:      256,
+		RetentionThreshold: 15 * 24 * time.Hour,
+		ScrubInterval:      24 * time.Hour,
+	}
+}
+
+// subBlock is subFTL's per-block bookkeeping for subpage-region blocks.
+type subBlock struct {
+	// round is the subpage index currently being filled (0..N_sub-1).
+	round int
+	// cursor is the next page to consider at this round.
+	cursor int
+	// nextIdx is, per page, the next unprogrammed subpage index. A page
+	// is eligible for a pass when nextIdx == round; multi-subpage passes
+	// may leave it ahead of the round (invariant: round <= nextIdx <= N_sub).
+	nextIdx []uint8
+	// inUse marks the entry as belonging to a live subpage-region block.
+	inUse bool
+}
+
+// FTL is the subFTL instance.
+type FTL struct {
+	dev   *nand.Device
+	man   *ftl.Manager
+	ver   *ftl.Versions
+	stats ftl.Stats
+	cfg   Config
+
+	full *fullpage.Store // the CGM-managed full-page region
+
+	// Subpage region state.
+	hash      *mapping.HashTable // LSN -> SPN
+	rmapSub   []int64            // SPN -> LSN
+	verAt     []uint32           // SPN -> host version stored there
+	writtenAt []sim.Time         // SPN -> program time (retention aging)
+	updated   []bool             // LSN: overwritten since entering the region?
+	meta      []subBlock         // per-block, indexed by BlockID
+	subBlocks int                // blocks currently in the subpage region
+	subQuota  int
+
+	// actives is the stripe of open write blocks, one slot per chip (up
+	// to a third of the region quota), rotated per write so consecutive
+	// subpage programs land on different chips — the channel/way
+	// parallelism the paper's §4.2 notes its implementation maximizes.
+	actives  []nand.BlockID
+	activeOK []bool
+	rr       int
+
+	gcDest    nand.BlockID // persistent GC destination block (round 0)
+	gcDestSet bool
+
+	// collecting marks the subpage-GC victim currently being drained, so
+	// reentrant reclaim (via evictions into the full-page region) cannot
+	// recycle and re-allocate it mid-scan.
+	collecting    nand.BlockID
+	collectingSet bool
+
+	buf       *buffer.Aligned
+	pageSecs  int
+	lastScrub sim.Time
+}
+
+var _ ftl.FTL = (*FTL)(nil)
+
+// New builds a subFTL over the device.
+func New(dev *nand.Device, cfg Config) (*FTL, error) {
+	g := dev.Geometry()
+	ps := int64(g.SubpagesPerPage)
+	if cfg.LogicalSectors <= 0 || cfg.LogicalSectors%ps != 0 {
+		return nil, fmt.Errorf("core: LogicalSectors = %d must be a positive multiple of %d", cfg.LogicalSectors, ps)
+	}
+	if cfg.SubRegionFrac <= 0 || cfg.SubRegionFrac >= 1 {
+		return nil, fmt.Errorf("core: SubRegionFrac = %v outside (0,1)", cfg.SubRegionFrac)
+	}
+	if cfg.GCReserveBlocks < 2 {
+		cfg.GCReserveBlocks = 2
+	}
+	if cfg.BufferSectors < g.SubpagesPerPage {
+		cfg.BufferSectors = g.SubpagesPerPage
+	}
+	if cfg.RetentionThreshold <= 0 {
+		cfg.RetentionThreshold = 15 * 24 * time.Hour
+	}
+	if cfg.ScrubInterval <= 0 {
+		cfg.ScrubInterval = 24 * time.Hour
+	}
+	subQuota := int(float64(g.TotalBlocks()) * cfg.SubRegionFrac)
+	if subQuota < 3 {
+		subQuota = 3
+	}
+	if subQuota > g.TotalBlocks()-cfg.GCReserveBlocks-3 {
+		return nil, fmt.Errorf("core: device too small for a %d-block subpage region", subQuota)
+	}
+	f := &FTL{
+		dev:       dev,
+		man:       ftl.NewManager(dev),
+		ver:       ftl.NewVersions(cfg.LogicalSectors),
+		cfg:       cfg,
+		hash:      mapping.NewHashTable(subQuota * g.SubpagesPerBlock()),
+		rmapSub:   make([]int64, g.TotalSubpages()),
+		verAt:     make([]uint32, g.TotalSubpages()),
+		writtenAt: make([]sim.Time, g.TotalSubpages()),
+		updated:   make([]bool, cfg.LogicalSectors),
+		meta:      make([]subBlock, g.TotalBlocks()),
+		subQuota:  subQuota,
+		buf:       buffer.NewAligned(g.SubpagesPerPage, cfg.BufferSectors),
+		pageSecs:  g.SubpagesPerPage,
+	}
+	stripe := g.Chips()
+	if cap := subQuota / 3; stripe > cap {
+		stripe = cap
+	}
+	if stripe < 1 {
+		stripe = 1
+	}
+	f.actives = make([]nand.BlockID, stripe)
+	f.activeOK = make([]bool, stripe)
+	for i := range f.rmapSub {
+		f.rmapSub[i] = mapping.None
+	}
+	// The full-page region is uncapped: block roles are assigned at
+	// program time (paper §4.2), so full-page data may spread over idle
+	// subpage-region capacity — the reclaim hook converts empty subpage
+	// blocks back whenever the pool runs low.
+	store, err := fullpage.New(dev, f.man, f.ver, &f.stats, ftl.RoleFull, cfg.LogicalSectors/ps, cfg.GCReserveBlocks, 0)
+	if err != nil {
+		return nil, err
+	}
+	f.full = store
+	store.SetReclaim(f.reclaimEmptySubBlock)
+	return f, nil
+}
+
+// reclaimEmptySubBlock erases one subpage-region block that holds no live
+// data and returns it to the shared pool (dynamic region conversion). It
+// reports whether a block was reclaimed.
+func (f *FTL) reclaimEmptySubBlock() bool {
+	g := f.dev.Geometry()
+	for b := 0; b < g.TotalBlocks(); b++ {
+		id := nand.BlockID(b)
+		if !f.meta[b].inUse || f.man.Valid(id) != 0 {
+			continue
+		}
+		if f.man.State(id) == ftl.StateFree {
+			continue
+		}
+		if (f.gcDestSet && id == f.gcDest) || f.isActive(id) {
+			continue
+		}
+		if f.collectingSet && id == f.collecting {
+			continue
+		}
+		if err := f.man.Recycle(id); err != nil {
+			return false
+		}
+		f.meta[id] = subBlock{}
+		f.subBlocks--
+		f.stats.RegionReclaims++
+		return true
+	}
+	return false
+}
+
+// Name implements ftl.FTL.
+func (f *FTL) Name() string { return "subFTL" }
+
+// SubRegionBlocks returns the current subpage-region block count.
+func (f *FTL) SubRegionBlocks() int { return f.subBlocks }
+
+// RegionValid returns the number of live subpages in the subpage region.
+func (f *FTL) RegionValid() int { return f.man.TotalValid(ftl.RoleSub) }
+
+// HashLoad returns the subpage-mapping hash table's live entries and
+// average probe length, for the paper's mapping-memory discussion.
+func (f *FTL) HashLoad() (entries int, avgProbes float64) {
+	return f.hash.Len(), f.hash.AverageProbes()
+}
+
+// writeFullAligned routes a complete aligned logical page to the full-page
+// region, retiring any stale copies its sectors have elsewhere.
+func (f *FTL) writeFullAligned(lpn int64, attrSmall int64) error {
+	base := lpn * int64(f.pageSecs)
+	slots := make([]int, f.pageSecs)
+	for i := range slots {
+		slots[i] = i
+		f.dropSubCopy(base + int64(i))
+	}
+	return f.full.WriteSectors(lpn, slots, attrSmall)
+}
+
+// dropSubCopy removes lsn's subpage-region mapping, if any (its data is
+// being superseded elsewhere).
+func (f *FTL) dropSubCopy(lsn int64) {
+	spn, ok := f.hash.Delete(lsn)
+	if !ok {
+		return
+	}
+	g := f.dev.Geometry()
+	f.rmapSub[spn] = mapping.None
+	f.man.AddValid(g.BlockOfPage(g.PageOfSubpage(nand.SubpageID(spn))), -1)
+	f.updated[lsn] = false
+}
+
+// dropFullCopy invalidates lsn's full-region copy, if any.
+func (f *FTL) dropFullCopy(lsn int64) {
+	lpn := lsn / int64(f.pageSecs)
+	slot := int(lsn % int64(f.pageSecs))
+	if f.full.Mapped(lpn) && f.full.Mask(lpn)&(1<<slot) != 0 {
+		f.full.TrimSectors(lpn, []int{slot})
+	}
+}
+
+// Write implements ftl.FTL, realizing the paper's §4.1 data placement: the
+// flushed length decides the region. Large requests are split — full
+// aligned pages to the full-page region, partial head/tail sectors to the
+// subpage region (so even misaligned large writes never RMW). Small sync
+// writes go straight to the subpage region; small async writes stage in
+// the aligned buffer hoping to merge into full pages.
+func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
+	if err := f.ver.CheckRange(lsn, sectors); err != nil {
+		return err
+	}
+	f.stats.HostWriteReqs++
+	f.stats.HostSectorsWritten += int64(sectors)
+	g := f.dev.Geometry()
+	small := sectors < f.pageSecs
+	if small {
+		f.stats.SmallWriteReqs++
+		f.stats.SmallHostBytes += int64(sectors) * int64(g.SubpageBytes)
+	}
+	lsns := make([]int64, sectors)
+	for i := range lsns {
+		lsns[i] = lsn + int64(i)
+		f.ver.Bump(lsns[i], small)
+	}
+
+	if !small {
+		// Large request: bypass the buffer entirely.
+		f.buf.Remove(lsns)
+		ps := int64(f.pageSecs)
+		i := 0
+		var partial []int64
+		for i < sectors {
+			cur := lsn + int64(i)
+			if cur%ps == 0 && sectors-i >= f.pageSecs {
+				if err := f.writeFullAligned(cur/ps, 0); err != nil {
+					return err
+				}
+				i += f.pageSecs
+				continue
+			}
+			// Partial head/tail sector: subpage region, no RMW.
+			partial = append(partial, cur)
+			i++
+		}
+		if len(partial) > 0 {
+			return f.subWriteRun(partial, 0)
+		}
+		return nil
+	}
+
+	if sync {
+		f.buf.Remove(lsns)
+		return f.subWriteRun(lsns, int64(g.SubpageBytes))
+	}
+
+	fullPages, evicted := f.buf.Stage(lsns)
+	for _, lpn := range fullPages {
+		// Every sector of a merged page came from small requests; each is
+		// charged its exact share (S_sub), i.e. request WAF 1.
+		if err := f.writeFullAligned(lpn, f.smallAttrForPage(lpn)); err != nil {
+			return err
+		}
+	}
+	for _, group := range evicted {
+		if err := f.subWriteRun(group, int64(g.SubpageBytes)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// smallAttrForPage sums the small-origin attribution for a full-page write
+// of lpn.
+func (f *FTL) smallAttrForPage(lpn int64) int64 {
+	g := f.dev.Geometry()
+	var attr int64
+	base := lpn * int64(f.pageSecs)
+	for i := 0; i < f.pageSecs; i++ {
+		if f.ver.SmallOrigin(base + int64(i)) {
+			attr += int64(g.SubpageBytes)
+		}
+	}
+	return attr
+}
+
+// Read implements ftl.FTL. Lookup order is buffer, subpage region (hash),
+// then full-page region; grouping full-region sectors by page keeps reads
+// to one page sense per touched page.
+func (f *FTL) Read(lsn int64, sectors int) error {
+	if err := f.ver.CheckRange(lsn, sectors); err != nil {
+		return err
+	}
+	f.stats.HostReadReqs++
+	f.stats.HostSectorsRead += int64(sectors)
+	ps := int64(f.pageSecs)
+	var fullLPN int64 = -1
+	var fullSlots []int
+	flushFull := func() error {
+		if fullLPN < 0 || len(fullSlots) == 0 {
+			fullLPN = -1
+			fullSlots = nil
+			return nil
+		}
+		err := f.full.ReadSectors(fullLPN, fullSlots)
+		fullLPN = -1
+		fullSlots = nil
+		return err
+	}
+	for i := 0; i < sectors; i++ {
+		cur := lsn + int64(i)
+		if f.buf.Contains(cur) {
+			f.stats.ReadBufferHits++
+			continue
+		}
+		if spn, ok := f.hash.Get(cur); ok {
+			stamp, err := f.dev.ReadSubpage(nand.SubpageID(spn))
+			if err != nil {
+				return fmt.Errorf("core: subpage read of lsn %d: %w", cur, err)
+			}
+			want := nand.Stamp{LSN: cur, Version: f.ver.Current(cur)}
+			if stamp != want {
+				return fmt.Errorf("core: integrity violation at lsn %d: got %v, want %v", cur, stamp, want)
+			}
+			continue
+		}
+		lpn, slot := cur/ps, int(cur%ps)
+		if lpn != fullLPN {
+			if err := flushFull(); err != nil {
+				return err
+			}
+			fullLPN = lpn
+		}
+		fullSlots = append(fullSlots, slot)
+	}
+	return flushFull()
+}
+
+// Trim implements ftl.FTL.
+func (f *FTL) Trim(lsn int64, sectors int) error {
+	if err := f.ver.CheckRange(lsn, sectors); err != nil {
+		return err
+	}
+	f.stats.HostTrimReqs++
+	ps := int64(f.pageSecs)
+	lsns := make([]int64, sectors)
+	for i := range lsns {
+		lsns[i] = lsn + int64(i)
+	}
+	f.buf.Remove(lsns)
+	for _, cur := range lsns {
+		f.dropSubCopy(cur)
+		f.full.TrimSectors(cur/ps, []int{int(cur % ps)})
+		f.ver.Clear(cur)
+	}
+	return nil
+}
+
+// Flush implements ftl.FTL: unmerged staged sectors go to the subpage
+// region, exactly as if their page never completed.
+func (f *FTL) Flush() error {
+	g := f.dev.Geometry()
+	for _, group := range f.buf.Drain() {
+		if err := f.subWriteRun(group, int64(g.SubpageBytes)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tick implements ftl.FTL: run the retention manager when due.
+func (f *FTL) Tick() error {
+	if f.cfg.DisableRetention {
+		return nil
+	}
+	now := f.dev.Clock().Now()
+	if now.Sub(f.lastScrub) < f.cfg.ScrubInterval {
+		return nil
+	}
+	f.lastScrub = now
+	return f.scrubRetention(now)
+}
+
+// Stats implements ftl.FTL.
+func (f *FTL) Stats() ftl.Stats {
+	s := f.stats
+	s.MappingBytes = f.full.MappingBytes() + f.hash.MemoryBytes()
+	s.SectorBytes = int64(f.dev.Geometry().SubpageBytes)
+	s.Device = f.dev.Counters()
+	return s
+}

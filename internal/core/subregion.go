@@ -1,0 +1,552 @@
+package core
+
+import (
+	"fmt"
+
+	"espftl/internal/ftl"
+	"espftl/internal/mapping"
+	"espftl/internal/nand"
+)
+
+// initSubBlock prepares bookkeeping for a block entering the subpage
+// region at round 0.
+func (f *FTL) initSubBlock(b nand.BlockID) {
+	g := f.dev.Geometry()
+	f.meta[b] = subBlock{
+		round:   0,
+		cursor:  0,
+		nextIdx: make([]uint8, g.PagesPerBlock),
+		inUse:   true,
+	}
+	f.subBlocks++
+}
+
+// isActive reports whether id is one of the stripe's open write blocks.
+func (f *FTL) isActive(id nand.BlockID) bool {
+	for i, b := range f.actives {
+		if f.activeOK[i] && b == id {
+			return true
+		}
+	}
+	return false
+}
+
+// stale reports whether the flash copy at spn no longer carries lsn's
+// newest version — a fresher copy is staged in the write buffer or is the
+// in-flight write that triggered this relocation. Stale copies are simply
+// dropped: the newer data is in controller RAM and will reach flash on
+// its own path.
+func (f *FTL) stale(lsn, spn int64) bool {
+	return f.verAt[spn] != f.ver.Current(lsn)
+}
+
+// liveAt returns the live logical sector stored in slot sub of page p, if
+// any.
+func (f *FTL) liveAt(p nand.PageID, sub int) (lsn, spn int64, ok bool) {
+	g := f.dev.Geometry()
+	cand := int64(g.SubpageOf(p, sub))
+	l := f.rmapSub[cand]
+	if l == mapping.None {
+		return 0, 0, false
+	}
+	if got, live := f.hash.Get(l); live && got == cand {
+		return l, cand, true
+	}
+	return 0, 0, false
+}
+
+// survivor is a live subpage encountered during relocation.
+type survivor struct {
+	lsn, spn int64
+	slot     int
+}
+
+// survivorsIn returns the live subpages of page p in slots [0, limit),
+// dropping stale copies on the way.
+func (f *FTL) survivorsIn(p nand.PageID, limit int) []survivor {
+	var out []survivor
+	for s := 0; s < limit; s++ {
+		lsn, spn, ok := f.liveAt(p, s)
+		if !ok {
+			continue
+		}
+		if f.stale(lsn, spn) {
+			f.dropSubCopy(lsn)
+			continue
+		}
+		out = append(out, survivor{lsn: lsn, spn: spn, slot: s})
+	}
+	return out
+}
+
+// nextEligible returns the next page of the writing policy that can take
+// a program pass at its block's current round: rotate across the stripe of
+// open blocks (chip parallelism); refill exhausted stripe slots with a
+// fresh block while the region quota allows, else by advancing the round
+// of the best candidate block, and finally by garbage-collecting.
+func (f *FTL) nextEligible() (nand.PageID, *subBlock, int, error) {
+	g := f.dev.Geometry()
+	maxAttempts := 2*f.subQuota*f.pageSecs + 64
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		for try := 0; try < len(f.actives); try++ {
+			i := f.rr
+			f.rr = (f.rr + 1) % len(f.actives)
+			if !f.activeOK[i] {
+				continue
+			}
+			mb := &f.meta[f.actives[i]]
+			for mb.cursor < g.PagesPerBlock {
+				pi := mb.cursor
+				if int(mb.nextIdx[pi]) == mb.round {
+					return g.PageOf(f.actives[i], pi), mb, pi, nil
+				}
+				mb.cursor++
+			}
+			// This stripe slot's block is exhausted at its round.
+			f.activeOK[i] = false
+			if mb.round == f.pageSecs-1 {
+				f.man.MarkFull(f.actives[i])
+			}
+		}
+		// Refill one empty stripe slot, rotating the starting point so
+		// refill pressure (and the chip affinity that follows it) spreads
+		// across the stripe instead of piling onto slot 0.
+		slot := -1
+		for i := 0; i < len(f.activeOK); i++ {
+			j := (f.rr + i) % len(f.activeOK)
+			if !f.activeOK[j] {
+				slot = j
+				break
+			}
+		}
+		if slot < 0 {
+			continue
+		}
+		if f.subBlocks < f.subQuota {
+			if f.man.FreeCount() <= f.cfg.GCReserveBlocks && !f.reclaimEmptySubBlock() {
+				// The full-page region holds the spare space; make it
+				// give a block back so the subpage region can grow to
+				// its quota.
+				if err := f.full.CollectOnce(); err != nil {
+					return 0, nil, 0, err
+				}
+			}
+			if f.man.FreeCount() > f.cfg.GCReserveBlocks {
+				chip := slot * g.Chips() / len(f.actives)
+				if b, ok := f.man.AllocOnChip(ftl.RoleSub, chip); ok {
+					f.initSubBlock(b)
+					f.actives[slot], f.activeOK[slot] = b, true
+					continue
+				}
+			}
+		}
+		if b, ok := f.pickAdvance(slot * g.Chips() / len(f.actives)); ok {
+			f.advanceRound(b)
+			f.actives[slot], f.activeOK[slot] = b, true
+			continue
+		}
+		if err := f.collectSubOnce(); err != nil {
+			return 0, nil, 0, err
+		}
+	}
+	return 0, nil, 0, fmt.Errorf("core: subpage slot allocation made no progress: %s", f.debugState())
+}
+
+// debugState renders the subpage region's state for policy-bug reports.
+func (f *FTL) debugState() string {
+	g := f.dev.Geometry()
+	s := fmt.Sprintf("subBlocks=%d quota=%d free=%d reserve=%d stripe=%d gcDestSet=%v;",
+		f.subBlocks, f.subQuota, f.man.FreeCount(), f.cfg.GCReserveBlocks, len(f.actives), f.gcDestSet)
+	for b := 0; b < g.TotalBlocks(); b++ {
+		id := nand.BlockID(b)
+		if f.meta[b].inUse {
+			s += fmt.Sprintf(" blk%d[st=%d rd=%d cur=%d val=%d]", b, f.man.State(id), f.meta[b].round, f.meta[b].cursor, f.man.Valid(id))
+		}
+	}
+	return s
+}
+
+// pickAdvance selects the round-advance candidate: the non-terminal
+// subpage block with the fewest valid subpages ("a block with only
+// obsolete subpages ... if subFTL cannot find [one], a block with the
+// smallest number of valid subpages"). Blocks with more valid subpages
+// than pages are excluded: advancing one would be mostly relocation for
+// little yield, and GC — which actually removes data from the region —
+// handles that case.
+func (f *FTL) pickAdvance(preferChip int) (nand.BlockID, bool) {
+	g := f.dev.Geometry()
+	best := nand.BlockID(-1)
+	bestValid := int(^uint(0) >> 1)
+	bestOnChip := nand.BlockID(-1)
+	bestOnChipValid := int(^uint(0) >> 1)
+	for b := 0; b < g.TotalBlocks(); b++ {
+		id := nand.BlockID(b)
+		if !f.meta[b].inUse || f.man.State(id) != ftl.StateOpen {
+			continue
+		}
+		if f.gcDestSet && id == f.gcDest {
+			continue
+		}
+		if f.isActive(id) {
+			continue
+		}
+		if f.meta[b].round >= f.pageSecs-1 {
+			continue
+		}
+		v := f.man.Valid(id)
+		if v >= g.PagesPerBlock {
+			continue
+		}
+		if v < bestValid {
+			best, bestValid = id, v
+		}
+		if g.ChipOf(id) == preferChip && v < bestOnChipValid {
+			bestOnChip, bestOnChipValid = id, v
+		}
+	}
+	// Keep the stripe slot on its chip when a reasonable candidate exists
+	// there (within 2 valid units of the global best): the stripe is what
+	// spreads program load over every channel and way.
+	if bestOnChip >= 0 && bestOnChipValid <= bestValid+8 {
+		return bestOnChip, true
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// pickOpenVictim returns the open (non-active, non-destination) subpage
+// block with the fewest valid subpages, for the GC fallback when no block
+// is terminally exhausted.
+func (f *FTL) pickOpenVictim() (nand.BlockID, bool) {
+	g := f.dev.Geometry()
+	best := nand.BlockID(-1)
+	bestValid := int(^uint(0) >> 1)
+	for b := 0; b < g.TotalBlocks(); b++ {
+		id := nand.BlockID(b)
+		if !f.meta[b].inUse || f.man.State(id) != ftl.StateOpen {
+			continue
+		}
+		if (f.gcDestSet && id == f.gcDest) || f.isActive(id) {
+			continue
+		}
+		if v := f.man.Valid(id); v < bestValid {
+			best, bestValid = id, v
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// advanceRound moves block b to its next subpage round. Relocation of
+// survivors is deferred to program time: a page's survivors are shifted
+// into the same pass that programs its next slots (one page read plus one
+// combined pass — the paper's Fig. 7(c) movement, batched), so advancing
+// itself costs no I/O.
+func (f *FTL) advanceRound(b nand.BlockID) {
+	mb := &f.meta[b]
+	mb.round++
+	mb.cursor = 0
+	f.stats.RoundAdvances++
+}
+
+// readPageVerified reads a whole page once and returns the stamps,
+// verifying each expected survivor against its recorded version.
+func (f *FTL) readPageVerified(p nand.PageID, survs []survivor) ([]nand.Stamp, error) {
+	stamps, errs, err := f.dev.ReadPage(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, sv := range survs {
+		if errs[sv.slot] != nil {
+			return nil, fmt.Errorf("core: relocating lsn %d: %w", sv.lsn, errs[sv.slot])
+		}
+		want := nand.Stamp{LSN: sv.lsn, Version: f.verAt[sv.spn]}
+		if stamps[sv.slot] != want {
+			return nil, fmt.Errorf("core: relocation integrity violation at lsn %d: got %v, want %v", sv.lsn, stamps[sv.slot], want)
+		}
+	}
+	return stamps, nil
+}
+
+// subPass programs one ESP pass on the next eligible page: shifting the
+// page's hot survivors into the pass, evicting its cold survivors to the
+// full-page region, and filling the remaining slots with up to len(lsns)
+// new sectors. It returns how many new sectors it consumed (possibly 0
+// for a pure-relocation pass).
+func (f *FTL) subPass(lsns []int64, attrPerSector int64) (int, error) {
+	g := f.dev.Geometry()
+	p, mb, pi, err := f.nextEligible()
+	if err != nil {
+		return 0, err
+	}
+	r := mb.round
+	survs := f.survivorsIn(p, r)
+
+	// Hot/cold split: never-updated survivors are evicted (the paper's
+	// §4.2 heuristic — a hot sector is rewritten many times over before
+	// its block comes around, so an un-updated survivor is genuinely
+	// cold); updated survivors shift into this pass.
+	var shift, evict []survivor
+	for _, sv := range survs {
+		if f.updated[sv.lsn] && !f.cfg.DisableHotColdGC {
+			shift = append(shift, sv)
+		} else {
+			evict = append(evict, sv)
+		}
+	}
+	var pageStamps []nand.Stamp
+	if len(survs) > 0 {
+		pageStamps, err = f.readPageVerified(p, survs)
+		if err != nil {
+			return 0, err
+		}
+	}
+	for _, sv := range evict {
+		if err := f.evictSector(sv.lsn); err != nil {
+			return 0, err
+		}
+		f.stats.Evictions++
+	}
+	// More hot survivors than remaining slots (an earlier multi-subpage
+	// pass left several live): the excess relocates to the GC destination
+	// block instead of shifting in place.
+	if over := r + len(shift) - f.pageSecs; over > 0 {
+		if err := f.gcMoveGroup(shift[len(shift)-over:], pageStamps); err != nil {
+			return 0, err
+		}
+		shift = shift[:len(shift)-over]
+	}
+
+	capacity := f.pageSecs - r - len(shift)
+	n := len(lsns)
+	if n > capacity {
+		n = capacity
+	}
+	stamps := make([]nand.Stamp, 0, len(shift)+n)
+	for _, sv := range shift {
+		stamps = append(stamps, pageStamps[sv.slot])
+	}
+	for _, lsn := range lsns[:n] {
+		stamps = append(stamps, nand.Stamp{LSN: lsn, Version: f.ver.Current(lsn)})
+	}
+	if len(stamps) == 0 {
+		// Nothing to program on this page (its survivors were all
+		// evicted, or the caller had no sectors); consume it so the
+		// policy moves on.
+		mb.cursor++
+		return n, nil
+	}
+	if _, err := f.dev.ProgramSubpageRun(p, r, stamps); err != nil {
+		return 0, err
+	}
+	// Remap the shifted survivors.
+	for i, sv := range shift {
+		newSpn := int64(g.SubpageOf(p, r+i))
+		f.rmapSub[sv.spn] = mapping.None
+		f.rmapSub[newSpn] = sv.lsn
+		if err := f.hash.Put(sv.lsn, newSpn); err != nil {
+			return 0, fmt.Errorf("core: shifting lsn %d: %w", sv.lsn, err)
+		}
+		f.verAt[newSpn] = pageStamps[sv.slot].Version
+		f.writtenAt[newSpn] = f.dev.Clock().Now()
+		f.stats.SubShifts++
+		if f.ver.SmallOrigin(sv.lsn) {
+			f.stats.SmallFlashBytes += int64(g.SubpageBytes)
+		}
+	}
+	// Map the new sectors.
+	for i, lsn := range lsns[:n] {
+		spn := int64(g.SubpageOf(p, r+len(shift)+i))
+		if err := f.subPlace(lsn, spn); err != nil {
+			return 0, err
+		}
+		f.stats.SmallFlashBytes += attrPerSector
+	}
+	mb.nextIdx[pi] = uint8(r + len(stamps))
+	mb.cursor++
+	return n, nil
+}
+
+// subWriteRun writes the given sectors into the subpage region using as
+// few erase-free program passes as possible (an SBPI pass can carry
+// several subpages at once). attrPerSector is the per-sector small-write
+// flash attribution.
+func (f *FTL) subWriteRun(lsns []int64, attrPerSector int64) error {
+	guard := 2*f.subQuota*f.dev.Geometry().SubpagesPerBlock() + 64
+	for len(lsns) > 0 {
+		n, err := f.subPass(lsns, attrPerSector)
+		if err != nil {
+			return err
+		}
+		lsns = lsns[n:]
+		if guard--; guard < 0 {
+			return fmt.Errorf("core: subpage write made no progress: %s", f.debugState())
+		}
+	}
+	return nil
+}
+
+// subPlace records the mapping updates shared by every new subpage
+// program: invalidate the previous locations of lsn, map it to spn, and
+// bump the valid count of spn's block.
+func (f *FTL) subPlace(lsn, spn int64) error {
+	g := f.dev.Geometry()
+	if old, ok := f.hash.Get(lsn); ok {
+		f.rmapSub[old] = mapping.None
+		f.man.AddValid(g.BlockOfPage(g.PageOfSubpage(nand.SubpageID(old))), -1)
+		f.updated[lsn] = true
+	} else {
+		f.updated[lsn] = false
+	}
+	f.dropFullCopy(lsn)
+	if err := f.hash.Put(lsn, spn); err != nil {
+		return fmt.Errorf("core: mapping lsn %d: %w", lsn, err)
+	}
+	f.rmapSub[spn] = lsn
+	f.man.AddValid(g.BlockOfPage(g.PageOfSubpage(nand.SubpageID(spn))), 1)
+	f.verAt[spn] = f.ver.Current(lsn)
+	f.writtenAt[spn] = f.dev.Clock().Now()
+	return nil
+}
+
+// evictSector moves lsn's (already read and verified) subpage-region data
+// into the full-page region: drop the region copy and rewrite the sector
+// there, a read-modify-write on the receiving page.
+func (f *FTL) evictSector(lsn int64) error {
+	f.dropSubCopy(lsn)
+	g := f.dev.Geometry()
+	ps := int64(f.pageSecs)
+	var attr int64
+	if f.ver.SmallOrigin(lsn) {
+		attr = int64(g.SubpageBytes)
+	}
+	return f.full.WriteSectors(lsn/ps, []int{int(lsn % ps)}, attr)
+}
+
+// evictToFull reads, verifies and evicts one subpage-region sector; used
+// by the retention manager, which has not read the page yet.
+func (f *FTL) evictToFull(lsn, spn int64) error {
+	stamp, err := f.dev.ReadSubpage(nand.SubpageID(spn))
+	if err != nil {
+		return fmt.Errorf("core: evicting lsn %d: %w", lsn, err)
+	}
+	want := nand.Stamp{LSN: lsn, Version: f.verAt[spn]}
+	if stamp != want {
+		return fmt.Errorf("core: eviction integrity violation at lsn %d: got %v, want %v", lsn, stamp, want)
+	}
+	return f.evictSector(lsn)
+}
+
+// gcMoveGroup writes a victim page's hot survivors into the GC destination
+// block as one pass.
+func (f *FTL) gcMoveGroup(survs []survivor, pageStamps []nand.Stamp) error {
+	g := f.dev.Geometry()
+	if f.gcDestSet && f.meta[f.gcDest].cursor >= g.PagesPerBlock {
+		// Destination filled its round 0: it rejoins the region as a
+		// normal (advance-capable) block.
+		f.gcDestSet = false
+	}
+	if !f.gcDestSet {
+		b, ok := f.man.Alloc(ftl.RoleSub)
+		if !ok {
+			return fmt.Errorf("core: no free block for subpage GC destination")
+		}
+		f.initSubBlock(b)
+		f.gcDest, f.gcDestSet = b, true
+	}
+	mb := &f.meta[f.gcDest]
+	pi := mb.cursor
+	mb.cursor++
+	dp := g.PageOf(f.gcDest, pi)
+	stamps := make([]nand.Stamp, len(survs))
+	for i, sv := range survs {
+		stamps[i] = pageStamps[sv.slot]
+	}
+	if _, err := f.dev.ProgramSubpageRun(dp, 0, stamps); err != nil {
+		return err
+	}
+	mb.nextIdx[pi] = uint8(len(stamps))
+	for i, sv := range survs {
+		if err := f.subPlace(sv.lsn, int64(g.SubpageOf(dp, i))); err != nil {
+			return err
+		}
+		// Demote: surviving one GC without a host refresh costs the hot
+		// verdict, so even a region saturated with once-hot data
+		// converges — the next encounter evicts anything the host has
+		// not re-updated. Genuinely hot data is re-updated (restoring
+		// the verdict) long before its next GC.
+		f.updated[sv.lsn] = false
+		f.stats.GCMovedSectors++
+		if f.ver.SmallOrigin(sv.lsn) {
+			f.stats.SmallFlashBytes += int64(g.SubpageBytes)
+		}
+	}
+	return nil
+}
+
+// collectSubOnce performs one subpage-region GC pass (paper §4.2): take
+// the terminally exhausted block with the fewest valid subpages; subpages
+// that were updated at least once since entering the region are hot and
+// move to the GC destination block, never-updated ones are cold and are
+// evicted to the full-page region; then erase the victim.
+func (f *FTL) collectSubOnce() error {
+	victim, ok := f.man.Victim(ftl.RoleSub, nil)
+	if !ok {
+		// No terminally exhausted block: reclaim the fullest-free open
+		// block instead, sacrificing its remaining rounds.
+		victim, ok = f.pickOpenVictim()
+	}
+	if !ok {
+		return fmt.Errorf("core: subpage GC has no victim (%d region blocks, %d free)", f.subBlocks, f.man.FreeCount())
+	}
+	f.stats.GCInvocations++
+	f.collecting, f.collectingSet = victim, true
+	defer func() { f.collectingSet = false }()
+	g := f.dev.Geometry()
+	// Pressure valve: a victim with most slots still valid means the
+	// region is saturated with data the host is not invalidating fast
+	// enough; keeping it would make GC a pure rotation. Evict everything
+	// in such victims so the region always converges to its hot core.
+	evictAll := f.man.Valid(victim) > g.SubpagesPerBlock()/2
+	for pi := 0; pi < g.PagesPerBlock; pi++ {
+		p := g.PageOf(victim, pi)
+		survs := f.survivorsIn(p, f.pageSecs)
+		if len(survs) == 0 {
+			continue
+		}
+		pageStamps, err := f.readPageVerified(p, survs)
+		if err != nil {
+			return err
+		}
+		var hot []survivor
+		for _, sv := range survs {
+			if f.updated[sv.lsn] && !f.cfg.DisableHotColdGC && !evictAll {
+				hot = append(hot, sv)
+				continue
+			}
+			if err := f.evictSector(sv.lsn); err != nil {
+				return err
+			}
+			f.stats.Evictions++
+		}
+		if len(hot) > 0 {
+			if err := f.gcMoveGroup(hot, pageStamps); err != nil {
+				return err
+			}
+		}
+	}
+	// Evictions above route through the full-page region, whose capacity
+	// work may already have reclaimed this victim once it emptied.
+	if f.man.State(victim) != ftl.StateFree {
+		if err := f.man.Recycle(victim); err != nil {
+			return err
+		}
+		f.meta[victim] = subBlock{}
+		f.subBlocks--
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package ecc models the error-correcting code that protects NAND pages.
+//
+// Modern large-page NAND stores several ECC codewords per physical page
+// (the paper's Fig. 3 shows eight 1-KB or 2-KB codewords per 16-KB page,
+// one pair per 4-KB subpage). The controller can correct up to a fixed
+// number of bit errors per codeword; once the raw bit error rate (RBER)
+// pushes the expected error count past that capability the read fails
+// uncorrectably.
+//
+// The package supports both a deterministic decision (expected-value
+// threshold, used by the simulator so runs are reproducible) and a
+// stochastic decision (Poisson-sampled error counts, used by the
+// reliability experiments).
+package ecc
+
+import (
+	"fmt"
+	"math"
+
+	"espftl/internal/sim"
+)
+
+// Code describes an ECC configuration: the codeword payload size and the
+// number of bit errors correctable per codeword.
+type Code struct {
+	// CodewordBytes is the payload protected by one codeword. The paper's
+	// device uses 1-KB or 2-KB codewords; the default configuration below
+	// uses 1 KB.
+	CodewordBytes int
+	// CorrectBits is the per-codeword correction capability (t of a
+	// BCH/LDPC code). Commercial TLC-era controllers correct roughly
+	// 40-72 bits per 1-KB codeword; the default uses 40.
+	CorrectBits int
+}
+
+// DefaultTLC is the ECC configuration used throughout the experiments:
+// 40 bits per 1-KB codeword, a typical mid-2010s TLC BCH configuration.
+var DefaultTLC = Code{CodewordBytes: 1024, CorrectBits: 40}
+
+// Validate reports a descriptive error for nonsensical configurations.
+func (c Code) Validate() error {
+	if c.CodewordBytes <= 0 {
+		return fmt.Errorf("ecc: codeword size %d must be positive", c.CodewordBytes)
+	}
+	if c.CorrectBits <= 0 {
+		return fmt.Errorf("ecc: correction capability %d must be positive", c.CorrectBits)
+	}
+	return nil
+}
+
+// Bits returns the number of payload bits per codeword.
+func (c Code) Bits() int { return c.CodewordBytes * 8 }
+
+// MaxBER returns the highest raw bit error rate at which the expected
+// number of errors per codeword is still within the correction capability.
+// This is the deterministic "ECC limit" line of the paper's Fig. 5.
+func (c Code) MaxBER() float64 {
+	return float64(c.CorrectBits) / float64(c.Bits())
+}
+
+// ExpectedErrors returns the expected number of bit errors in one codeword
+// at raw bit error rate ber.
+func (c Code) ExpectedErrors(ber float64) float64 {
+	if ber < 0 {
+		ber = 0
+	}
+	return ber * float64(c.Bits())
+}
+
+// Correctable reports whether a codeword read at raw bit error rate ber is
+// expected to decode successfully (deterministic expected-value decision).
+func (c Code) Correctable(ber float64) bool {
+	return c.ExpectedErrors(ber) <= float64(c.CorrectBits)
+}
+
+// SampleErrors draws a random per-codeword error count at rate ber using a
+// Poisson approximation to the binomial (appropriate because bit errors are
+// rare and bits per codeword are many). The draw is deterministic given the
+// RNG state.
+func (c Code) SampleErrors(r *sim.RNG, ber float64) int {
+	lambda := c.ExpectedErrors(ber)
+	if lambda <= 0 {
+		return 0
+	}
+	// Knuth's algorithm is fine for the small lambdas we see (< ~100);
+	// for larger lambdas fall back to a normal approximation.
+	if lambda < 64 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation with continuity correction.
+	u1, u2 := r.Float64(), r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	n := int(math.Round(lambda + z*math.Sqrt(lambda)))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// SampleCorrectable reports whether a stochastic read of one codeword at
+// rate ber decodes, using SampleErrors.
+func (c Code) SampleCorrectable(r *sim.RNG, ber float64) bool {
+	return c.SampleErrors(r, ber) <= c.CorrectBits
+}
+
+// PageFailureProb returns the probability that at least one of n codewords
+// fails to decode at rate ber, under the Poisson model. Used by the
+// reliability experiments to convert per-codeword behaviour to page-level
+// failure rates.
+func (c Code) PageFailureProb(ber float64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	lambda := c.ExpectedErrors(ber)
+	// P(codeword fails) = P(Poisson(lambda) > t) = 1 - CDF(t).
+	cdf := 0.0
+	term := math.Exp(-lambda)
+	for k := 0; k <= c.CorrectBits; k++ {
+		cdf += term
+		term *= lambda / float64(k+1)
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	pFail := 1 - cdf
+	return 1 - math.Pow(1-pFail, float64(n))
+}

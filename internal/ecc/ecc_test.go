@@ -1,0 +1,157 @@
+package ecc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"espftl/internal/sim"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		code Code
+		ok   bool
+	}{
+		{Code{1024, 40}, true},
+		{Code{0, 40}, false},
+		{Code{1024, 0}, false},
+		{Code{-1, -1}, false},
+		{DefaultTLC, true},
+	}
+	for _, c := range cases {
+		err := c.code.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) err=%v, want ok=%v", c.code, err, c.ok)
+		}
+	}
+}
+
+func TestMaxBER(t *testing.T) {
+	c := Code{CodewordBytes: 1024, CorrectBits: 40}
+	want := 40.0 / 8192.0
+	if got := c.MaxBER(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MaxBER = %v, want %v", got, want)
+	}
+}
+
+func TestCorrectableThreshold(t *testing.T) {
+	c := DefaultTLC
+	if !c.Correctable(0) {
+		t.Error("BER 0 must be correctable")
+	}
+	if !c.Correctable(c.MaxBER()) {
+		t.Error("BER exactly at MaxBER must be correctable")
+	}
+	if c.Correctable(c.MaxBER() * 1.01) {
+		t.Error("BER just above MaxBER must be uncorrectable")
+	}
+}
+
+func TestExpectedErrors(t *testing.T) {
+	c := Code{CodewordBytes: 1024, CorrectBits: 40}
+	if got := c.ExpectedErrors(1e-3); math.Abs(got-8.192) > 1e-9 {
+		t.Fatalf("ExpectedErrors(1e-3) = %v, want 8.192", got)
+	}
+	if got := c.ExpectedErrors(-1); got != 0 {
+		t.Fatalf("negative BER clamps to 0, got %v", got)
+	}
+}
+
+func TestSampleErrorsZero(t *testing.T) {
+	r := sim.NewRNG(1)
+	if got := DefaultTLC.SampleErrors(r, 0); got != 0 {
+		t.Fatalf("SampleErrors(0) = %d, want 0", got)
+	}
+}
+
+func TestSampleErrorsMean(t *testing.T) {
+	r := sim.NewRNG(2)
+	c := DefaultTLC
+	const ber = 2e-3 // lambda = 16.384
+	lambda := c.ExpectedErrors(ber)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(c.SampleErrors(r, ber))
+	}
+	mean := sum / n
+	if math.Abs(mean-lambda) > 0.25 {
+		t.Fatalf("sample mean = %v, want ~%v", mean, lambda)
+	}
+}
+
+func TestSampleErrorsLargeLambdaMean(t *testing.T) {
+	r := sim.NewRNG(3)
+	c := DefaultTLC
+	const ber = 0.02 // lambda = 163.84, normal path
+	lambda := c.ExpectedErrors(ber)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := c.SampleErrors(r, ber)
+		if v < 0 {
+			t.Fatal("negative sample")
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if math.Abs(mean-lambda)/lambda > 0.02 {
+		t.Fatalf("sample mean = %v, want ~%v", mean, lambda)
+	}
+}
+
+func TestPageFailureProbMonotoneInBER(t *testing.T) {
+	c := DefaultTLC
+	prev := -1.0
+	for _, ber := range []float64{1e-4, 1e-3, 3e-3, 5e-3, 7e-3, 1e-2} {
+		p := c.PageFailureProb(ber, 8)
+		if p < prev {
+			t.Fatalf("PageFailureProb not monotone at ber=%v: %v < %v", ber, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("PageFailureProb out of [0,1]: %v", p)
+		}
+		prev = p
+	}
+}
+
+func TestPageFailureProbEdges(t *testing.T) {
+	c := DefaultTLC
+	if p := c.PageFailureProb(1e-3, 0); p != 0 {
+		t.Fatalf("n=0 gives %v, want 0", p)
+	}
+	if p := c.PageFailureProb(0, 8); p > 1e-12 {
+		t.Fatalf("ber=0 gives %v, want ~0", p)
+	}
+	// Far above the limit the page practically always fails.
+	if p := c.PageFailureProb(0.05, 8); p < 0.999 {
+		t.Fatalf("huge ber gives %v, want ~1", p)
+	}
+}
+
+// Property: sampled correctability agrees with the deterministic decision
+// in the strong regimes (ber far below or far above the limit).
+func TestSampleCorrectableExtremes(t *testing.T) {
+	r := sim.NewRNG(4)
+	c := DefaultTLC
+	for i := 0; i < 200; i++ {
+		if !c.SampleCorrectable(r, c.MaxBER()/10) {
+			t.Fatal("low-BER sample uncorrectable")
+		}
+		if c.SampleCorrectable(r, c.MaxBER()*4) {
+			t.Fatal("high-BER sample correctable")
+		}
+	}
+}
+
+// Property: MaxBER * Bits == CorrectBits for any valid code.
+func TestMaxBERConsistencyProperty(t *testing.T) {
+	f := func(cw, tbits uint8) bool {
+		c := Code{CodewordBytes: int(cw)%4096 + 1, CorrectBits: int(tbits)%128 + 1}
+		return math.Abs(c.MaxBER()*float64(c.Bits())-float64(c.CorrectBits)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

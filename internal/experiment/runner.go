@@ -1,0 +1,358 @@
+// Package experiment is the harness that regenerates every table and
+// figure of the paper's evaluation: it assembles a device and an FTL,
+// preconditions the SSD to steady state (the paper fills 10 GB of its
+// 16 GB device before measuring), replays a workload, and reports the
+// stats delta of the measured phase. One function per paper artifact
+// lives in figures.go and ablations.go; cmd/espbench and the repository's
+// benchmarks both call through here.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"espftl/internal/core"
+	"espftl/internal/ftl"
+	"espftl/internal/ftl/cgm"
+	"espftl/internal/ftl/fgm"
+	"espftl/internal/metrics"
+	"espftl/internal/nand"
+	"espftl/internal/sim"
+	"espftl/internal/workload"
+)
+
+// Kind selects the FTL under test.
+type Kind string
+
+// The three FTLs the paper compares.
+const (
+	KindCGM Kind = "cgmFTL"
+	KindFGM Kind = "fgmFTL"
+	KindSub Kind = "subFTL"
+)
+
+// ExperimentGeometry is the full-size device for `espbench`: the paper's
+// 8-channel x 4-chip fabric at 2 GiB raw capacity (the paper itself scales
+// its 512 GB platform to 16 GB for run time; we scale once more because
+// FTL behaviour is utilization- not capacity-determined).
+var ExperimentGeometry = nand.Geometry{
+	Channels:        8,
+	ChipsPerChannel: 4,
+	BlocksPerChip:   64,
+	PagesPerBlock:   64,
+	SubpagesPerPage: 4,
+	SubpageBytes:    4096,
+}
+
+// QuickGeometry is the reduced device used by `go test -bench` so the
+// whole suite runs in minutes.
+var QuickGeometry = nand.Geometry{
+	Channels:        8,
+	ChipsPerChannel: 4,
+	BlocksPerChip:   16,
+	PagesPerBlock:   32,
+	SubpagesPerPage: 4,
+	SubpageBytes:    4096,
+}
+
+// RunConfig assembles one simulation run.
+type RunConfig struct {
+	Kind     Kind
+	Geometry nand.Geometry
+	// LogicalFrac is the exported logical space as a fraction of raw
+	// capacity; FillFrac is how much of it preconditioning fills. The
+	// defaults (0.70, 0.89) reproduce the paper's 62.5 % raw occupancy
+	// (10 GB data on a 16 GB SSD) while leaving subFTL's full-page
+	// region able to hold the whole logical space if everything cools.
+	LogicalFrac, FillFrac float64
+	// Requests is the measured request count.
+	Requests int
+	// Profile drives the synthetic workload.
+	Profile workload.Profile
+	// Trace, when non-nil, replays these requests instead of Profile.
+	Trace []workload.Request
+	Seed  uint64
+	// TickEvery is how many requests pass between FTL.Tick calls.
+	TickEvery int
+
+	// MeasureLatency records, per request, how much the request extended
+	// the device's completion horizon — a saturated-queue proxy for
+	// service latency that makes GC stalls visible as tail spikes.
+	MeasureLatency bool
+
+	// FTL-specific knobs.
+	SubRegionFrac     float64 // subFTL; 0 = paper default 0.20
+	DisableHotColdGC  bool    // subFTL ablation
+	DisableRetention  bool    // subFTL ablation
+	OpportunisticFill bool    // fgmFTL extension
+	EnableSubpageRead bool    // device extension (paper §7 future work)
+}
+
+// withDefaults fills zero fields.
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Geometry.Channels == 0 {
+		c.Geometry = QuickGeometry
+	}
+	if c.LogicalFrac == 0 {
+		c.LogicalFrac = 0.70
+	}
+	if c.FillFrac == 0 {
+		c.FillFrac = 0.89
+	}
+	if c.Requests == 0 {
+		c.Requests = 50000
+	}
+	if c.TickEvery == 0 {
+		c.TickEvery = 64
+	}
+	if c.SubRegionFrac == 0 {
+		c.SubRegionFrac = 0.20
+	}
+	return c
+}
+
+// Result is the measured-phase outcome of one run.
+type Result struct {
+	Kind    Kind
+	Profile string
+	// Requests and Elapsed give IOPS; Elapsed is virtual device time.
+	Requests int
+	Elapsed  sim.Duration
+	// Stats is the measured-phase delta.
+	Stats ftl.Stats
+	// FillSectors is the preconditioned working-set size.
+	FillSectors int64
+	// ChipUtil is the per-chip busy fraction over the whole run
+	// (preconditioning included), a parallelism diagnostic.
+	ChipUtil []float64
+	// ChipOps is the per-chip operation count over the whole run.
+	ChipOps []int64
+	// SubRegionValid and SubRegionBlocks snapshot subFTL's subpage region
+	// at the end of the run (zero for the baselines).
+	SubRegionValid  int
+	SubRegionBlocks int
+	// Latency holds per-request completion-horizon extensions when
+	// RunConfig.MeasureLatency was set.
+	Latency *metrics.Histogram
+}
+
+// IOPS returns measured requests per virtual second.
+func (r *Result) IOPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// buildFTL constructs the FTL under test.
+func buildFTL(kind Kind, dev *nand.Device, cfg RunConfig, logicalSectors int64) (ftl.FTL, error) {
+	// The GC reserve scales with the chip count so GC relocation can use
+	// a meaningful fraction of the device's parallelism.
+	reserve := dev.Geometry().Chips() + 4
+	switch kind {
+	case KindCGM:
+		return cgm.New(dev, cgm.Config{LogicalSectors: logicalSectors, GCReserveBlocks: reserve})
+	case KindFGM:
+		return fgm.New(dev, fgm.Config{
+			LogicalSectors:    logicalSectors,
+			GCReserveBlocks:   reserve,
+			OpportunisticFill: cfg.OpportunisticFill,
+		})
+	case KindSub:
+		sc := core.DefaultConfig(logicalSectors)
+		sc.SubRegionFrac = cfg.SubRegionFrac
+		sc.GCReserveBlocks = reserve
+		sc.DisableHotColdGC = cfg.DisableHotColdGC
+		sc.DisableRetention = cfg.DisableRetention
+		return core.New(dev, sc)
+	}
+	return nil, fmt.Errorf("experiment: unknown FTL kind %q", kind)
+}
+
+// Precondition sequentially fills fillSectors of the logical space with
+// full-page aligned writes and flushes, bringing the device to the steady
+// state the paper measures from.
+func Precondition(f ftl.FTL, pageSectors int, fillSectors int64) error {
+	step := int64(pageSectors * 8) // 128-KB sequential fill writes
+	for lsn := int64(0); lsn < fillSectors; lsn += step {
+		n := step
+		if lsn+n > fillSectors {
+			n = fillSectors - lsn
+		}
+		if err := f.Write(lsn, int(n), false); err != nil {
+			return fmt.Errorf("experiment: preconditioning at lsn %d: %w", lsn, err)
+		}
+	}
+	return f.Flush()
+}
+
+// Run executes one configured simulation and returns its measured result.
+func Run(cfg RunConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	devCfg := nand.DefaultConfig()
+	devCfg.Geometry = cfg.Geometry
+	devCfg.EnableSubpageRead = cfg.EnableSubpageRead
+	clock := sim.NewClock(0)
+	dev, err := nand.NewDevice(devCfg, clock)
+	if err != nil {
+		return nil, err
+	}
+	g := dev.Geometry()
+	rawSectors := g.TotalSubpages()
+	ps := int64(g.SubpagesPerPage)
+	logicalSectors := int64(float64(rawSectors)*cfg.LogicalFrac) / ps * ps
+	if logicalSectors < ps*4 {
+		return nil, fmt.Errorf("experiment: logical space of %d sectors too small", logicalSectors)
+	}
+	f, err := buildFTL(cfg.Kind, dev, cfg, logicalSectors)
+	if err != nil {
+		return nil, err
+	}
+	fillSectors := int64(float64(logicalSectors)*cfg.FillFrac) / ps * ps
+	if err := Precondition(f, g.SubpagesPerPage, fillSectors); err != nil {
+		return nil, err
+	}
+
+	before := f.Stats()
+	drainBefore := dev.DrainTime()
+	clock.AdvanceTo(drainBefore)
+
+	res := &Result{Kind: cfg.Kind, FillSectors: fillSectors}
+	if cfg.MeasureLatency {
+		res.Latency = metrics.NewHistogram()
+	}
+	if cfg.Trace != nil {
+		res.Profile = "trace"
+		if err := ReplayTrace(f, clock, cfg.Trace, cfg.TickEvery); err != nil {
+			return nil, err
+		}
+		res.Requests = len(cfg.Trace)
+	} else {
+		gen, err := workload.NewSynthetic(cfg.Profile, fillSectors, g.SubpagesPerPage, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		res.Profile = cfg.Profile.Name
+		if res.Latency != nil {
+			err = replayGeneratorMeasured(f, dev, gen, cfg.Requests, cfg.TickEvery, res.Latency)
+		} else {
+			err = ReplayGenerator(f, gen, cfg.Requests, cfg.TickEvery)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Requests = cfg.Requests
+	}
+	if err := f.Flush(); err != nil {
+		return nil, err
+	}
+	res.Elapsed = dev.DrainTime().Sub(drainBefore)
+	res.Stats = f.Stats().Sub(before)
+	res.ChipUtil = dev.ChipUtilization()
+	res.ChipOps = dev.ChipOps()
+	if sub, ok := f.(*core.FTL); ok {
+		res.SubRegionValid = sub.RegionValid()
+		res.SubRegionBlocks = sub.SubRegionBlocks()
+	}
+	if err := f.Check(); err != nil {
+		return nil, fmt.Errorf("experiment: post-run invariant violation: %w", err)
+	}
+	return res, nil
+}
+
+// apply dispatches one request to the FTL. Idle gaps are advanced in
+// one-day steps with a maintenance tick per step: time-based work such as
+// retention scrubbing runs in the background of a real controller, so a
+// month-long trace gap must not be an atomic jump past every deadline.
+func apply(f ftl.FTL, clock *sim.Clock, r workload.Request) error {
+	switch r.Op {
+	case workload.OpWrite:
+		return f.Write(r.LSN, r.Sectors, r.Sync)
+	case workload.OpRead:
+		return f.Read(r.LSN, r.Sectors)
+	case workload.OpTrim:
+		return f.Trim(r.LSN, r.Sectors)
+	case workload.OpAdvance:
+		const step = 24 * time.Hour
+		for remaining := r.Gap; remaining > 0; remaining -= step {
+			d := remaining
+			if d > step {
+				d = step
+			}
+			clock.Advance(d)
+			if err := f.Tick(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("experiment: unknown op %v", r.Op)
+}
+
+// ReplayGenerator feeds n generated requests to the FTL, ticking
+// maintenance every tickEvery requests.
+func ReplayGenerator(f ftl.FTL, gen workload.Generator, n, tickEvery int) error {
+	for i := 0; i < n; i++ {
+		r := gen.Next()
+		if err := applyGen(f, r); err != nil {
+			return fmt.Errorf("experiment: request %d (%v): %w", i, r, err)
+		}
+		if tickEvery > 0 && i%tickEvery == 0 {
+			if err := f.Tick(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyGen applies a generated request (generators never emit OpAdvance).
+func applyGen(f ftl.FTL, r workload.Request) error {
+	switch r.Op {
+	case workload.OpWrite:
+		return f.Write(r.LSN, r.Sectors, r.Sync)
+	case workload.OpRead:
+		return f.Read(r.LSN, r.Sectors)
+	case workload.OpTrim:
+		return f.Trim(r.LSN, r.Sectors)
+	}
+	return fmt.Errorf("experiment: generator emitted %v", r.Op)
+}
+
+// replayGeneratorMeasured is ReplayGenerator plus a per-request histogram
+// of completion-horizon extensions (how far the request pushed the
+// device's drain time). Under a saturated queue this is the request's
+// marginal service demand; foreground GC appears as tail spikes.
+func replayGeneratorMeasured(f ftl.FTL, dev *nand.Device, gen workload.Generator, n, tickEvery int, h *metrics.Histogram) error {
+	before := dev.DrainTime()
+	for i := 0; i < n; i++ {
+		r := gen.Next()
+		if err := applyGen(f, r); err != nil {
+			return fmt.Errorf("experiment: request %d (%v): %w", i, r, err)
+		}
+		after := dev.DrainTime()
+		h.Record(after.Sub(before))
+		before = after
+		if tickEvery > 0 && i%tickEvery == 0 {
+			if err := f.Tick(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReplayTrace feeds a recorded trace to the FTL.
+func ReplayTrace(f ftl.FTL, clock *sim.Clock, reqs []workload.Request, tickEvery int) error {
+	for i, r := range reqs {
+		if err := apply(f, clock, r); err != nil {
+			return fmt.Errorf("experiment: trace request %d (%v): %w", i, r, err)
+		}
+		if tickEvery > 0 && i%tickEvery == 0 {
+			if err := f.Tick(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

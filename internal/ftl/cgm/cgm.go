@@ -1,0 +1,158 @@
+// Package cgm implements cgmFTL, the paper's coarse-grained-mapping
+// baseline: page-level L2P mapping with no write buffer, where every write
+// smaller than (or misaligned to) a full page pays a read-modify-write.
+package cgm
+
+import (
+	"fmt"
+
+	"espftl/internal/ftl"
+	"espftl/internal/ftl/fullpage"
+	"espftl/internal/nand"
+)
+
+// Config parameterizes cgmFTL.
+type Config struct {
+	// LogicalSectors is the exported logical space in sectors; it must be
+	// a multiple of the page size in sectors.
+	LogicalSectors int64
+	// GCReserveBlocks is the free-pool floor that triggers GC.
+	GCReserveBlocks int
+}
+
+// FTL is the cgmFTL instance.
+type FTL struct {
+	dev   *nand.Device
+	man   *ftl.Manager
+	ver   *ftl.Versions
+	stats ftl.Stats
+	store *fullpage.Store
+
+	pageSecs int
+}
+
+var _ ftl.FTL = (*FTL)(nil)
+
+// New builds a cgmFTL over the device.
+func New(dev *nand.Device, cfg Config) (*FTL, error) {
+	g := dev.Geometry()
+	ps := int64(g.SubpagesPerPage)
+	if cfg.LogicalSectors <= 0 || cfg.LogicalSectors%ps != 0 {
+		return nil, fmt.Errorf("cgm: LogicalSectors = %d must be a positive multiple of %d", cfg.LogicalSectors, ps)
+	}
+	if cfg.GCReserveBlocks < 2 {
+		cfg.GCReserveBlocks = 2
+	}
+	f := &FTL{
+		dev:      dev,
+		man:      ftl.NewManager(dev),
+		ver:      ftl.NewVersions(cfg.LogicalSectors),
+		pageSecs: g.SubpagesPerPage,
+	}
+	store, err := fullpage.New(dev, f.man, f.ver, &f.stats, ftl.RoleFull, cfg.LogicalSectors/ps, cfg.GCReserveBlocks, 0)
+	if err != nil {
+		return nil, err
+	}
+	f.store = store
+	return f, nil
+}
+
+// Name implements ftl.FTL.
+func (f *FTL) Name() string { return "cgmFTL" }
+
+// forEachPage splits a sector range into per-logical-page slot lists.
+func (f *FTL) forEachPage(lsn int64, sectors int, fn func(lpn int64, slots []int) error) error {
+	ps := int64(f.pageSecs)
+	for remaining := int64(sectors); remaining > 0; {
+		lpn := lsn / ps
+		start := int(lsn % ps)
+		n := int(ps) - start
+		if int64(n) > remaining {
+			n = int(remaining)
+		}
+		slots := make([]int, n)
+		for i := range slots {
+			slots[i] = start + i
+		}
+		if err := fn(lpn, slots); err != nil {
+			return err
+		}
+		lsn += int64(n)
+		remaining -= int64(n)
+	}
+	return nil
+}
+
+// Write implements ftl.FTL. cgmFTL has no write buffer, so sync is
+// irrelevant: every request goes straight to flash, page by page. A
+// request (or request fragment) that does not cover a whole page becomes
+// a read-modify-write.
+func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
+	if err := f.ver.CheckRange(lsn, sectors); err != nil {
+		return err
+	}
+	_ = sync
+	f.stats.HostWriteReqs++
+	f.stats.HostSectorsWritten += int64(sectors)
+	g := f.dev.Geometry()
+	small := sectors < f.pageSecs
+	if small {
+		f.stats.SmallWriteReqs++
+		f.stats.SmallHostBytes += int64(sectors) * int64(g.SubpageBytes)
+	}
+	for i := 0; i < sectors; i++ {
+		f.ver.Bump(lsn+int64(i), small)
+	}
+	return f.forEachPage(lsn, sectors, func(lpn int64, slots []int) error {
+		// Attribution: a small request is charged the full pages it
+		// forces flash to program (w(r) = S_full/s for a lone sector).
+		var attr int64
+		if small {
+			attr = int64(g.PageBytes())
+		}
+		return f.store.WriteSectors(lpn, slots, attr)
+	})
+}
+
+// Read implements ftl.FTL.
+func (f *FTL) Read(lsn int64, sectors int) error {
+	if err := f.ver.CheckRange(lsn, sectors); err != nil {
+		return err
+	}
+	f.stats.HostReadReqs++
+	f.stats.HostSectorsRead += int64(sectors)
+	return f.forEachPage(lsn, sectors, f.store.ReadSectors)
+}
+
+// Trim implements ftl.FTL.
+func (f *FTL) Trim(lsn int64, sectors int) error {
+	if err := f.ver.CheckRange(lsn, sectors); err != nil {
+		return err
+	}
+	f.stats.HostTrimReqs++
+	return f.forEachPage(lsn, sectors, func(lpn int64, slots []int) error {
+		f.store.TrimSectors(lpn, slots)
+		for _, slot := range slots {
+			f.ver.Clear(lpn*int64(f.pageSecs) + int64(slot))
+		}
+		return nil
+	})
+}
+
+// Flush implements ftl.FTL; cgmFTL is unbuffered.
+func (f *FTL) Flush() error { return nil }
+
+// Tick implements ftl.FTL; cgmFTL has no time-based maintenance.
+func (f *FTL) Tick() error { return nil }
+
+// Stats implements ftl.FTL.
+func (f *FTL) Stats() ftl.Stats {
+	s := f.stats
+	s.MappingBytes = f.store.MappingBytes()
+	s.SectorBytes = int64(f.dev.Geometry().SubpageBytes)
+	s.Device = f.dev.Counters()
+	return s
+}
+
+// Check implements ftl.FTL.
+func (f *FTL) Check() error { return f.store.Check() }

@@ -1,0 +1,131 @@
+package cgm
+
+import (
+	"testing"
+
+	"espftl/internal/ftltest"
+)
+
+func newEnv(t *testing.T) *ftltest.Env {
+	dev := ftltest.TinyDevice(t)
+	f, err := New(dev, Config{LogicalSectors: 512, GCReserveBlocks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ftltest.Env{Dev: dev, FTL: f, Sectors: 512}
+}
+
+func TestConformance(t *testing.T) {
+	ftltest.Run(t, newEnv)
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	dev := ftltest.TinyDevice(t)
+	if _, err := New(dev, Config{LogicalSectors: 0}); err == nil {
+		t.Error("zero logical space accepted")
+	}
+	if _, err := New(dev, Config{LogicalSectors: 511}); err == nil {
+		t.Error("non-page-multiple logical space accepted")
+	}
+}
+
+// The defining CGM behaviour: a small write to a mapped page costs a
+// read-modify-write, and its request WAF is S_full/s.
+func TestSmallWriteRMWAndWAF(t *testing.T) {
+	env := newEnv(t)
+	f := env.FTL
+	// First small write: page unmapped, no read needed, but still a full
+	// page program (w = 4 for one sector).
+	if err := f.Write(0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	s := f.Stats()
+	if s.RMWOps != 0 {
+		t.Fatalf("RMW on unmapped page: %d", s.RMWOps)
+	}
+	if got := s.AvgRequestWAF(); got != 4.0 {
+		t.Fatalf("request WAF = %v, want 4.0 (16KB page per 4KB sector)", got)
+	}
+	// Second small write to the same page: now an RMW.
+	if err := f.Write(1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	s = f.Stats()
+	if s.RMWOps != 1 {
+		t.Fatalf("RMWOps = %d, want 1", s.RMWOps)
+	}
+	if s.Device.PageReads == 0 {
+		t.Fatal("RMW did not read the old page")
+	}
+}
+
+// Footnote 1 of the paper: a misaligned full-page-sized write splits into
+// two partial writes, each paying the RMW path.
+func TestMisalignedLargeWriteSplits(t *testing.T) {
+	env := newEnv(t)
+	f := env.FTL
+	ps := env.Dev.Geometry().SubpagesPerPage
+	// Pre-populate two pages so the misaligned write must RMW both.
+	if err := f.Write(0, ps*2, false); err != nil {
+		t.Fatal(err)
+	}
+	before := f.Stats()
+	if err := f.Write(1, ps, false); err != nil { // 16 KB at offset 4 KB
+		t.Fatal(err)
+	}
+	after := f.Stats()
+	if got := after.RMWOps - before.RMWOps; got != 2 {
+		t.Fatalf("misaligned write caused %d RMWs, want 2", got)
+	}
+	if got := after.Device.PagePrograms - before.Device.PagePrograms; got != 2 {
+		t.Fatalf("misaligned write programmed %d pages, want 2", got)
+	}
+	// An aligned write of the same size is a single clean program.
+	before = f.Stats()
+	if err := f.Write(int64(ps), ps, false); err != nil {
+		t.Fatal(err)
+	}
+	after = f.Stats()
+	if got := after.RMWOps - before.RMWOps; got != 0 {
+		t.Fatalf("aligned write caused %d RMWs", got)
+	}
+}
+
+func TestGCReclaimsInvalidatedPages(t *testing.T) {
+	env := newEnv(t)
+	f := env.FTL
+	ps := env.Dev.Geometry().SubpagesPerPage
+	// Overwrite one page far more times than the device has pages.
+	totalPages := int(env.Dev.Geometry().TotalPages())
+	for i := 0; i < totalPages*2; i++ {
+		if err := f.Write(0, ps, false); err != nil {
+			t.Fatalf("overwrite %d: %v", i, err)
+		}
+	}
+	s := f.Stats()
+	if s.GCInvocations == 0 {
+		t.Fatal("no GC despite exhausting the device")
+	}
+	// All overwrites invalidate the previous copy, so GC moves are nearly
+	// free: far fewer moved sectors than programs.
+	if s.GCMovedSectors > int64(totalPages) {
+		t.Fatalf("GC moved %d sectors for a single-page workload", s.GCMovedSectors)
+	}
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Read(0, ps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingFootprintCoarse(t *testing.T) {
+	env := newEnv(t)
+	s := env.FTL.Stats()
+	// 512 sectors = 128 logical pages; 8 bytes per entry plus the 8-byte
+	// live mask per page.
+	want := int64(128*8 + 128*8)
+	if s.MappingBytes != want {
+		t.Fatalf("MappingBytes = %d, want %d", s.MappingBytes, want)
+	}
+}

@@ -1,0 +1,137 @@
+// Package ftl defines the flash translation layer interface shared by the
+// three FTLs the paper compares (cgmFTL, fgmFTL, subFTL), plus the
+// building blocks they share: block lifecycle management with wear-aware
+// allocation, greedy victim selection, and the per-sector version/origin
+// tracker that powers both data-integrity checking and the paper's
+// request-WAF metric.
+package ftl
+
+import (
+	"fmt"
+
+	"espftl/internal/nand"
+)
+
+// FTL is the host-facing interface of a flash translation layer. All
+// addresses are logical sectors of S_sub bytes. Implementations are
+// single-threaded, matching the deterministic simulator.
+type FTL interface {
+	// Name identifies the FTL in reports ("cgmFTL", "fgmFTL", "subFTL").
+	Name() string
+	// Write services a host write of sectors starting at lsn. sync marks
+	// a synchronous write that must reach flash without buffer merging.
+	Write(lsn int64, sectors int, sync bool) error
+	// Read services a host read.
+	Read(lsn int64, sectors int) error
+	// Trim invalidates a logical range.
+	Trim(lsn int64, sectors int) error
+	// Flush forces any buffered writes to flash.
+	Flush() error
+	// Tick lets the FTL run time-based maintenance (retention scrubbing).
+	// The harness calls it between requests; FTLs without time-based work
+	// treat it as a no-op.
+	Tick() error
+	// Stats returns a snapshot of the FTL's counters.
+	Stats() Stats
+	// Check verifies internal invariants, returning the first violation.
+	// It is for tests and debugging; it must not change state.
+	Check() error
+}
+
+// Stats aggregates the counters the experiments report. Fields that only
+// one FTL produces are zero elsewhere.
+type Stats struct {
+	// Host-visible traffic.
+	HostWriteReqs, HostReadReqs, HostTrimReqs int64
+	HostSectorsWritten, HostSectorsRead       int64
+
+	// Small writes (requests shorter than a full page) and the flash
+	// bytes attributed to their data, including later relocations — the
+	// numerator/denominator of the paper's average request WAF.
+	SmallWriteReqs  int64
+	SmallHostBytes  int64
+	SmallFlashBytes int64
+
+	// Mechanisms.
+	RMWOps         int64 // read-modify-write operations
+	GCInvocations  int64 // garbage collection victim selections
+	GCMovedSectors int64 // valid sectors copied by GC
+	RoundAdvances  int64 // subFTL: erase-free round advancements of a block
+	SubShifts      int64 // subFTL: valid subpages shifted to the next subpage
+	Evictions      int64 // subFTL: cold subpages evicted to the full-page region
+	RetentionMoves int64 // subFTL: subpages moved because of retention age
+	RegionReclaims int64 // subFTL: empty subpage blocks converted back to the pool
+	BufferAbsorbed int64 // writes absorbed entirely in the write buffer
+	ReadBufferHits int64 // reads served from the write buffer
+
+	// MappingBytes is the L2P translation memory footprint.
+	MappingBytes int64
+
+	// SectorBytes is the logical sector size, recorded so derived metrics
+	// need no out-of-band configuration.
+	SectorBytes int64
+
+	// Device mirrors the NAND-level counters at snapshot time.
+	Device nand.Counters
+}
+
+// Sub returns the counter-wise difference s - prev, used by the experiment
+// harness to isolate the measured phase from preconditioning. Derived and
+// size fields (MappingBytes, SectorBytes) keep s's values.
+func (s Stats) Sub(prev Stats) Stats {
+	d := s
+	d.HostWriteReqs -= prev.HostWriteReqs
+	d.HostReadReqs -= prev.HostReadReqs
+	d.HostTrimReqs -= prev.HostTrimReqs
+	d.HostSectorsWritten -= prev.HostSectorsWritten
+	d.HostSectorsRead -= prev.HostSectorsRead
+	d.SmallWriteReqs -= prev.SmallWriteReqs
+	d.SmallHostBytes -= prev.SmallHostBytes
+	d.SmallFlashBytes -= prev.SmallFlashBytes
+	d.RMWOps -= prev.RMWOps
+	d.GCInvocations -= prev.GCInvocations
+	d.GCMovedSectors -= prev.GCMovedSectors
+	d.RoundAdvances -= prev.RoundAdvances
+	d.SubShifts -= prev.SubShifts
+	d.Evictions -= prev.Evictions
+	d.RetentionMoves -= prev.RetentionMoves
+	d.RegionReclaims -= prev.RegionReclaims
+	d.BufferAbsorbed -= prev.BufferAbsorbed
+	d.ReadBufferHits -= prev.ReadBufferHits
+	d.Device.PageReads -= prev.Device.PageReads
+	d.Device.SubpageReads -= prev.Device.SubpageReads
+	d.Device.PagePrograms -= prev.Device.PagePrograms
+	d.Device.SubPrograms -= prev.Device.SubPrograms
+	d.Device.Erases -= prev.Device.Erases
+	d.Device.BytesWritten -= prev.Device.BytesWritten
+	d.Device.BytesRead -= prev.Device.BytesRead
+	d.Device.ReadFailures -= prev.Device.ReadFailures
+	d.Device.RetentionHits -= prev.Device.RetentionHits
+	return d
+}
+
+// AvgRequestWAF returns the paper's "average request WAF" of small writes:
+// flash bytes written on behalf of small-request data divided by the bytes
+// those requests carried. It returns 0 when no small writes occurred.
+func (s Stats) AvgRequestWAF() float64 {
+	if s.SmallHostBytes == 0 {
+		return 0
+	}
+	return float64(s.SmallFlashBytes) / float64(s.SmallHostBytes)
+}
+
+// OverallWAF returns total flash bytes programmed over host bytes written.
+func (s Stats) OverallWAF() float64 {
+	host := s.HostSectorsWritten * s.SectorBytes
+	if host == 0 {
+		return 0
+	}
+	return float64(s.Device.BytesWritten) / float64(host)
+}
+
+// String renders the headline counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("writes=%d reads=%d small=%d rmw=%d gc=%d erases=%d reqWAF=%.3f",
+		s.HostWriteReqs, s.HostReadReqs, s.SmallWriteReqs, s.RMWOps,
+		s.GCInvocations, s.Device.Erases, s.AvgRequestWAF())
+}

@@ -1,0 +1,424 @@
+// Package fullpage implements the coarse-grained-mapping (CGM) full-page
+// store: logical pages map one-to-one onto physical pages, every program
+// writes a whole page, and writes smaller than a page pay a
+// read-modify-write. It is used directly by cgmFTL and as the full-page
+// region of subFTL (paper §4: "the full-page region is managed in exactly
+// the same way as the CGM-based FTLs").
+package fullpage
+
+import (
+	"fmt"
+
+	"espftl/internal/ftl"
+	"espftl/internal/mapping"
+	"espftl/internal/nand"
+)
+
+// Store is a CGM region over a shared block manager. All methods are
+// in units of logical pages (LPN) and sector indices within a page.
+type Store struct {
+	dev   *nand.Device
+	man   *ftl.Manager
+	ver   *ftl.Versions
+	stats *ftl.Stats
+	role  ftl.Role
+
+	table *mapping.CoarseTable
+	rmap  []int64  // PPN -> LPN (valid only if table agrees)
+	masks []uint64 // LPN -> bitmask of live sectors within the page
+
+	pageSecs int
+
+	// Append points are striped so consecutive page programs land on
+	// different chips and overlap on the timeline (the multi-channel
+	// parallelism the paper's platform provides). host and gc each rotate
+	// over their own stripe.
+	host stripe
+	gc   stripe
+
+	reserve   int // free-pool floor that triggers GC
+	maxBlocks int // role quota (0 = unlimited)
+	blocks    int // blocks currently held by this role
+
+	// reclaim, when set, is tried before GC to free a block some other
+	// way (subFTL reclaims empty subpage-region blocks — the paper's
+	// dynamic block-role conversion). It reports whether a block was
+	// returned to the pool.
+	reclaim func() bool
+}
+
+// SetReclaim installs the cross-region reclaim hook.
+func (s *Store) SetReclaim(fn func() bool) { s.reclaim = fn }
+
+// appendPoint is one open block being filled sequentially, pinned to a
+// preferred chip so the stripe covers the device's parallelism.
+type appendPoint struct {
+	block  nand.BlockID
+	cursor int
+	set    bool
+	chip   int
+}
+
+// stripe is a rotating set of append points.
+type stripe struct {
+	points []appendPoint
+	next   int
+}
+
+func newStripe(width, chips int) stripe {
+	if width < 1 {
+		width = 1
+	}
+	s := stripe{points: make([]appendPoint, width)}
+	for i := range s.points {
+		s.points[i].chip = i * chips / width
+	}
+	return s
+}
+
+// openBlocks counts currently held blocks in the stripe.
+func (s *stripe) openBlocks() int {
+	n := 0
+	for i := range s.points {
+		if s.points[i].set {
+			n++
+		}
+	}
+	return n
+}
+
+// New builds a store over logicalPages pages. reserve is the free-pool
+// floor below which host allocations trigger GC; maxBlocks caps how many
+// blocks the role may hold (0 = no cap). The version tracker must cover
+// logicalPages*pageSectors sectors.
+func New(dev *nand.Device, man *ftl.Manager, ver *ftl.Versions, stats *ftl.Stats, role ftl.Role, logicalPages int64, reserve, maxBlocks int) (*Store, error) {
+	g := dev.Geometry()
+	if g.SubpagesPerPage > 64 {
+		return nil, fmt.Errorf("fullpage: %d subpages per page exceeds the 64-bit sector mask", g.SubpagesPerPage)
+	}
+	if logicalPages <= 0 {
+		return nil, fmt.Errorf("fullpage: logicalPages = %d", logicalPages)
+	}
+	if ver.Size() < logicalPages*int64(g.SubpagesPerPage) {
+		return nil, fmt.Errorf("fullpage: version tracker covers %d sectors, need %d", ver.Size(), logicalPages*int64(g.SubpagesPerPage))
+	}
+	hostWidth := g.Chips()
+	// The GC stripe allocates blocks without running GC first (that would
+	// recurse), so its width must stay within the reserve that guarantees
+	// those allocations succeed.
+	gcWidth := g.Chips()
+	if cap := reserve - 4; gcWidth > cap {
+		gcWidth = cap
+	}
+	if gcWidth < 1 {
+		gcWidth = 1
+	}
+	if maxBlocks > 0 {
+		// Keep open blocks well under the quota so GC always has full
+		// blocks to victimize.
+		if cap := maxBlocks / 4; hostWidth > cap {
+			hostWidth = cap
+		}
+		if cap := maxBlocks / 4; gcWidth > cap {
+			gcWidth = cap
+		}
+	}
+	s := &Store{
+		dev:       dev,
+		man:       man,
+		ver:       ver,
+		stats:     stats,
+		role:      role,
+		table:     mapping.NewCoarseTable(logicalPages),
+		rmap:      make([]int64, g.TotalPages()),
+		masks:     make([]uint64, logicalPages),
+		pageSecs:  g.SubpagesPerPage,
+		host:      newStripe(hostWidth, g.Chips()),
+		gc:        newStripe(gcWidth, g.Chips()),
+		reserve:   reserve,
+		maxBlocks: maxBlocks,
+	}
+	for i := range s.rmap {
+		s.rmap[i] = mapping.None
+	}
+	return s, nil
+}
+
+// LogicalPages returns the store's logical page count.
+func (s *Store) LogicalPages() int64 { return s.table.Size() }
+
+// Blocks returns how many blocks the role currently holds.
+func (s *Store) Blocks() int { return s.blocks }
+
+// MappingBytes returns the coarse table footprint plus the per-page masks.
+func (s *Store) MappingBytes() int64 { return s.table.MemoryBytes() + int64(len(s.masks))*8 }
+
+// fullMask is the bitmask with one bit per sector of a page.
+func (s *Store) fullMask() uint64 { return (uint64(1) << s.pageSecs) - 1 }
+
+// Mask returns the live-sector bitmask of a logical page.
+func (s *Store) Mask(lpn int64) uint64 { return s.masks[lpn] }
+
+// Mapped reports whether lpn currently has a physical page.
+func (s *Store) Mapped(lpn int64) bool { return s.table.Lookup(lpn) != mapping.None }
+
+// ensureCapacity runs GC until the role can take one more block: the free
+// pool is above the reserve and the role quota has slack.
+func (s *Store) ensureCapacity() error {
+	for s.man.FreeCount() <= s.reserve || (s.maxBlocks > 0 && s.blocks >= s.maxBlocks) {
+		if s.reclaim != nil && s.man.FreeCount() <= s.reserve && s.reclaim() {
+			continue
+		}
+		if err := s.CollectOnce(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allocPage returns the next physical page, rotating across the stripe's
+// append points so consecutive programs hit different chips. forGC selects
+// the GC destination stripe, which must never itself trigger GC (the
+// reserve guarantees blocks are available).
+func (s *Store) allocPage(forGC bool) (nand.PageID, error) {
+	g := s.dev.Geometry()
+	st := &s.host
+	if forGC {
+		st = &s.gc
+	}
+	ap := &st.points[st.next]
+	st.next = (st.next + 1) % len(st.points)
+	if ap.set && ap.cursor >= g.PagesPerBlock {
+		s.man.MarkFull(ap.block)
+		ap.set = false
+	}
+	if !ap.set {
+		if !forGC {
+			if err := s.ensureCapacity(); err != nil {
+				return 0, err
+			}
+		}
+		b, ok := s.man.AllocOnChip(s.role, ap.chip)
+		if !ok {
+			return 0, fmt.Errorf("fullpage: free pool exhausted (role %v)", s.role)
+		}
+		s.blocks++
+		ap.block, ap.set, ap.cursor = b, true, 0
+	}
+	p := g.PageOf(ap.block, ap.cursor)
+	ap.cursor++
+	return p, nil
+}
+
+// programPage writes the live sectors of lpn (per its mask) to a fresh
+// physical page and updates the mapping. merged supplies stamps for slots
+// recovered from the old copy during an RMW; nil means all live slots take
+// their current host version.
+func (s *Store) programPage(lpn int64, forGC bool) error {
+	p, err := s.allocPage(forGC)
+	if err != nil {
+		return err
+	}
+	g := s.dev.Geometry()
+	stamps := make([]nand.Stamp, s.pageSecs)
+	mask := s.masks[lpn]
+	for slot := 0; slot < s.pageSecs; slot++ {
+		if mask&(1<<slot) == 0 {
+			stamps[slot] = nand.Padding
+			continue
+		}
+		lsn := lpn*int64(s.pageSecs) + int64(slot)
+		stamps[slot] = nand.Stamp{LSN: lsn, Version: s.ver.Current(lsn)}
+	}
+	if _, err := s.dev.ProgramPage(p, stamps); err != nil {
+		return err
+	}
+	old := s.table.Update(lpn, int64(p))
+	s.rmap[p] = lpn
+	newBlk := g.BlockOfPage(p)
+	s.man.AddValid(newBlk, 1)
+	if old != mapping.None {
+		s.man.AddValid(g.BlockOfPage(nand.PageID(old)), -1)
+	}
+	return nil
+}
+
+// WriteSectors services a host (or eviction) write of the given sector
+// slots within lpn. The caller must already have bumped the versions of
+// the written sectors. When the write does not cover every live sector of
+// the page and an old copy exists, the old page is read first — the
+// read-modify-write the paper blames for the CGM scheme's losses.
+// attrSmallBytes is added to the small-write flash attribution (the
+// caller decides the accounting; see Stats.SmallFlashBytes).
+func (s *Store) WriteSectors(lpn int64, slots []int, attrSmallBytes int64) error {
+	if len(slots) == 0 {
+		return fmt.Errorf("fullpage: empty write to lpn %d", lpn)
+	}
+	var newMask uint64
+	for _, slot := range slots {
+		if slot < 0 || slot >= s.pageSecs {
+			return fmt.Errorf("fullpage: slot %d out of range", slot)
+		}
+		newMask |= 1 << slot
+	}
+	old := s.table.Lookup(lpn)
+	oldLive := s.masks[lpn] &^ newMask
+	if old != mapping.None && oldLive != 0 {
+		// RMW: recover the sectors this write does not replace.
+		_, errs, err := s.dev.ReadPage(nand.PageID(old))
+		if err != nil {
+			return err
+		}
+		for slot := 0; slot < s.pageSecs; slot++ {
+			if oldLive&(1<<slot) != 0 && errs[slot] != nil {
+				return fmt.Errorf("fullpage: RMW lost sector %d of lpn %d: %w", slot, lpn, errs[slot])
+			}
+		}
+		s.stats.RMWOps++
+	}
+	s.masks[lpn] |= newMask
+	s.stats.SmallFlashBytes += attrSmallBytes
+	return s.programPage(lpn, false)
+}
+
+// ReadSectors services a host read of the given sector slots within lpn.
+// Unmapped pages and dead slots read as zeroes without touching flash;
+// mapped pages cost one page read, and every returned stamp is verified
+// against the host version (integrity check).
+func (s *Store) ReadSectors(lpn int64, slots []int) error {
+	old := s.table.Lookup(lpn)
+	if old == mapping.None {
+		return nil
+	}
+	live := s.masks[lpn]
+	any := false
+	for _, slot := range slots {
+		if live&(1<<slot) != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	stamps, errs, err := s.dev.ReadPage(nand.PageID(old))
+	if err != nil {
+		return err
+	}
+	for _, slot := range slots {
+		if live&(1<<slot) == 0 {
+			continue
+		}
+		if errs[slot] != nil {
+			return fmt.Errorf("fullpage: read lpn %d slot %d: %w", lpn, slot, errs[slot])
+		}
+		lsn := lpn*int64(s.pageSecs) + int64(slot)
+		want := nand.Stamp{LSN: lsn, Version: s.ver.Current(lsn)}
+		if stamps[slot] != want {
+			return fmt.Errorf("fullpage: integrity violation at lsn %d: got %v, want %v", lsn, stamps[slot], want)
+		}
+	}
+	return nil
+}
+
+// TrimSectors drops the given sector slots of lpn. When no live sector
+// remains the mapping is released.
+func (s *Store) TrimSectors(lpn int64, slots []int) {
+	for _, slot := range slots {
+		s.masks[lpn] &^= 1 << slot
+	}
+	if s.masks[lpn] == 0 {
+		if old := s.table.Invalidate(lpn); old != mapping.None {
+			s.man.AddValid(s.dev.Geometry().BlockOfPage(nand.PageID(old)), -1)
+		}
+	}
+}
+
+// CollectOnce performs one GC pass: select the fullest-free victim of the
+// role, relocate its valid pages to the GC append stripe, and recycle it.
+// Open (append-point) blocks are never victims: Victim only considers
+// blocks in the full state.
+func (s *Store) CollectOnce() error {
+	victim, ok := s.man.Victim(s.role, nil)
+	if !ok {
+		return fmt.Errorf("fullpage: GC has no victim (role %v, %d blocks, %d free)", s.role, s.blocks, s.man.FreeCount())
+	}
+	s.stats.GCInvocations++
+	g := s.dev.Geometry()
+	for pi := 0; pi < g.PagesPerBlock && s.man.Valid(victim) > 0; pi++ {
+		p := g.PageOf(victim, pi)
+		lpn := s.rmap[p]
+		if lpn == mapping.None || s.table.Lookup(lpn) != int64(p) {
+			continue // stale copy
+		}
+		// Relocate: read the old page, then rewrite the live sectors.
+		_, errs, err := s.dev.ReadPage(p)
+		if err != nil {
+			return err
+		}
+		for slot := 0; slot < s.pageSecs; slot++ {
+			if s.masks[lpn]&(1<<slot) != 0 && errs[slot] != nil {
+				return fmt.Errorf("fullpage: GC lost sector %d of lpn %d: %w", slot, lpn, errs[slot])
+			}
+		}
+		if err := s.programPage(lpn, true); err != nil {
+			return err
+		}
+		// Attribute relocation of small-origin sectors to the request WAF.
+		for slot := 0; slot < s.pageSecs; slot++ {
+			if s.masks[lpn]&(1<<slot) == 0 {
+				continue
+			}
+			lsn := lpn*int64(s.pageSecs) + int64(slot)
+			s.stats.GCMovedSectors++
+			if s.ver.SmallOrigin(lsn) {
+				s.stats.SmallFlashBytes += int64(g.SubpageBytes)
+			}
+		}
+	}
+	if err := s.man.Recycle(victim); err != nil {
+		return err
+	}
+	s.blocks--
+	return nil
+}
+
+// Check verifies the store's internal invariants.
+func (s *Store) Check() error {
+	g := s.dev.Geometry()
+	perBlock := make(map[nand.BlockID]int)
+	mapped := 0
+	for lpn := int64(0); lpn < s.table.Size(); lpn++ {
+		ppn := s.table.Lookup(lpn)
+		if ppn == mapping.None {
+			if s.masks[lpn] != 0 {
+				return fmt.Errorf("fullpage: lpn %d has live mask %b but no mapping", lpn, s.masks[lpn])
+			}
+			continue
+		}
+		mapped++
+		if s.masks[lpn] == 0 {
+			return fmt.Errorf("fullpage: lpn %d mapped with empty mask", lpn)
+		}
+		if s.rmap[ppn] != lpn {
+			return fmt.Errorf("fullpage: rmap[%d] = %d, want %d", ppn, s.rmap[ppn], lpn)
+		}
+		perBlock[g.BlockOfPage(nand.PageID(ppn))]++
+	}
+	if mapped != s.table.Mapped() {
+		return fmt.Errorf("fullpage: table reports %d mapped, found %d", s.table.Mapped(), mapped)
+	}
+	for b := 0; b < g.TotalBlocks(); b++ {
+		id := nand.BlockID(b)
+		if s.man.State(id) == ftl.StateFree || s.man.Role(id) != s.role {
+			if perBlock[id] != 0 {
+				return fmt.Errorf("fullpage: block %d holds %d valid pages but is not a live %v block", id, perBlock[id], s.role)
+			}
+			continue
+		}
+		if got, want := s.man.Valid(id), perBlock[id]; got != want {
+			return fmt.Errorf("fullpage: block %d valid = %d, want %d", id, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package ftl
+
+import (
+	"fmt"
+
+	"espftl/internal/nand"
+)
+
+// Role is the dynamic purpose of a block. In subFTL the role is "decided
+// at the program time, not at the design time" (paper §4.2): any free
+// block can become a subpage-region or full-page-region block when
+// allocated, which is also how region wear imbalance is leveled.
+type Role uint8
+
+// Block roles.
+const (
+	RoleNone Role = iota // free, unassigned
+	RoleFull             // full-page region (or the only region in cgm/fgm)
+	RoleSub              // subpage region
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleNone:
+		return "none"
+	case RoleFull:
+		return "full"
+	case RoleSub:
+		return "sub"
+	}
+	return fmt.Sprintf("Role(%d)", uint8(r))
+}
+
+// BlockState is the lifecycle state of a block.
+type BlockState uint8
+
+// Block lifecycle states.
+const (
+	StateFree BlockState = iota // erased, in the free pool
+	StateOpen                   // allocated, still being filled
+	StateFull                   // filled; GC candidate
+)
+
+// blockMeta is the manager's per-block record.
+type blockMeta struct {
+	state BlockState
+	role  Role
+	// valid counts live logical units in the block; the unit is the
+	// owning FTL's choice (sectors, pages or subpages) but must be used
+	// consistently.
+	valid int
+}
+
+// Manager owns block lifecycle for an FTL: a wear-aware free pool kept as
+// one min-heap per chip (least worn block allocated first — dynamic wear
+// leveling — while allocation can target a chip, which is how the FTLs'
+// append stripes spread load over every channel and way), per-block
+// validity accounting, and greedy victim selection.
+type Manager struct {
+	dev  *nand.Device
+	meta []blockMeta
+	// free[chip] is a binary min-heap of that chip's free blocks keyed by
+	// erase count.
+	free  [][]nand.BlockID
+	total int
+	// rr rotates untargeted allocations across chips so wear ties do not
+	// pile work onto chip 0.
+	rr int
+}
+
+// NewManager returns a manager over every block of the device, all free.
+func NewManager(dev *nand.Device) *Manager {
+	g := dev.Geometry()
+	n := g.TotalBlocks()
+	m := &Manager{
+		dev:  dev,
+		meta: make([]blockMeta, n),
+		free: make([][]nand.BlockID, g.Chips()),
+	}
+	for b := 0; b < n; b++ {
+		chip := g.ChipOf(nand.BlockID(b))
+		m.free[chip] = append(m.free[chip], nand.BlockID(b))
+	}
+	m.total = n
+	return m
+}
+
+func (m *Manager) less(a, b nand.BlockID) bool {
+	ea, eb := m.dev.EraseCount(a), m.dev.EraseCount(b)
+	if ea != eb {
+		return ea < eb
+	}
+	return a < b
+}
+
+func (m *Manager) siftUp(chip, i int) {
+	h := m.free[chip]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.less(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (m *Manager) siftDown(chip, i int) {
+	h := m.free[chip]
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && m.less(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < n && m.less(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// FreeCount returns the number of blocks in the free pool.
+func (m *Manager) FreeCount() int { return m.total }
+
+// FreeOnChip returns the free-block count of one chip.
+func (m *Manager) FreeOnChip(chip int) int { return len(m.free[chip]) }
+
+func (m *Manager) popChip(chip int, role Role) (nand.BlockID, bool) {
+	h := m.free[chip]
+	if len(h) == 0 {
+		return 0, false
+	}
+	b := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	m.free[chip] = h[:last]
+	if last > 0 {
+		m.siftDown(chip, 0)
+	}
+	m.total--
+	m.meta[b] = blockMeta{state: StateOpen, role: role}
+	return b, true
+}
+
+// Alloc pops the least-worn free block device-wide and opens it with the
+// given role; wear ties rotate across chips. The second result is false
+// when the pool is empty.
+func (m *Manager) Alloc(role Role) (nand.BlockID, bool) {
+	best := -1
+	n := len(m.free)
+	for i := 0; i < n; i++ {
+		chip := (m.rr + i) % n
+		if len(m.free[chip]) == 0 {
+			continue
+		}
+		if best < 0 || m.less(m.free[chip][0], m.free[best][0]) {
+			best = chip
+		}
+	}
+	m.rr = (m.rr + 1) % n
+	if best < 0 {
+		return 0, false
+	}
+	return m.popChip(best, role)
+}
+
+// AllocOnChip pops the least-worn free block of the given chip, falling
+// back to any chip when that one is exhausted. Append stripes use it to
+// keep one open block per chip.
+func (m *Manager) AllocOnChip(role Role, chip int) (nand.BlockID, bool) {
+	if chip >= 0 && chip < len(m.free) {
+		if b, ok := m.popChip(chip, role); ok {
+			return b, true
+		}
+	}
+	return m.Alloc(role)
+}
+
+// MarkFull transitions an open block to the full (GC-candidate) state.
+func (m *Manager) MarkFull(b nand.BlockID) {
+	if m.meta[b].state != StateOpen {
+		panic(fmt.Sprintf("ftl: MarkFull on block %d in state %d", b, m.meta[b].state))
+	}
+	m.meta[b].state = StateFull
+}
+
+// Recycle erases a block (which must hold no valid units) and returns it
+// to the free pool.
+func (m *Manager) Recycle(b nand.BlockID) error {
+	if m.meta[b].valid != 0 {
+		return fmt.Errorf("ftl: recycling block %d with %d valid units", b, m.meta[b].valid)
+	}
+	if m.meta[b].state == StateFree {
+		return fmt.Errorf("ftl: recycling free block %d", b)
+	}
+	if _, err := m.dev.Erase(b); err != nil {
+		return err
+	}
+	m.meta[b] = blockMeta{state: StateFree}
+	chip := m.dev.Geometry().ChipOf(b)
+	m.free[chip] = append(m.free[chip], b)
+	m.siftUp(chip, len(m.free[chip])-1)
+	m.total++
+	return nil
+}
+
+// State, Role and Valid expose per-block records.
+func (m *Manager) State(b nand.BlockID) BlockState { return m.meta[b].state }
+func (m *Manager) Role(b nand.BlockID) Role        { return m.meta[b].role }
+func (m *Manager) Valid(b nand.BlockID) int        { return m.meta[b].valid }
+
+// AddValid adjusts the valid-unit count of a block.
+func (m *Manager) AddValid(b nand.BlockID, delta int) {
+	v := m.meta[b].valid + delta
+	if v < 0 {
+		panic(fmt.Sprintf("ftl: block %d valid count went negative", b))
+	}
+	m.meta[b].valid = v
+}
+
+// Victim returns the full block of the given role with the fewest valid
+// units (greedy GC policy; subFTL's §4.2 policy is the same selection).
+// Blocks in exclude are skipped. The second result is false when no full
+// block of that role exists.
+func (m *Manager) Victim(role Role, exclude map[nand.BlockID]bool) (nand.BlockID, bool) {
+	best := nand.BlockID(-1)
+	bestValid := int(^uint(0) >> 1)
+	for b := range m.meta {
+		id := nand.BlockID(b)
+		if m.meta[b].state != StateFull || m.meta[b].role != role || exclude[id] {
+			continue
+		}
+		if m.meta[b].valid < bestValid {
+			best, bestValid = id, m.meta[b].valid
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// CountByRole returns how many non-free blocks currently carry each role,
+// for region-occupancy accounting.
+func (m *Manager) CountByRole() map[Role]int {
+	out := make(map[Role]int)
+	for b := range m.meta {
+		if m.meta[b].state != StateFree {
+			out[m.meta[b].role]++
+		}
+	}
+	return out
+}
+
+// WearSpread returns the min and max erase counts across all blocks, the
+// wear-leveling quality metric.
+func (m *Manager) WearSpread() (min, max int) {
+	n := m.dev.Geometry().TotalBlocks()
+	if n == 0 {
+		return 0, 0
+	}
+	min = m.dev.EraseCount(0)
+	max = min
+	for b := 1; b < n; b++ {
+		e := m.dev.EraseCount(nand.BlockID(b))
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return min, max
+}
+
+// TotalValid sums valid units over all blocks of a role.
+func (m *Manager) TotalValid(role Role) int {
+	sum := 0
+	for b := range m.meta {
+		if m.meta[b].role == role && m.meta[b].state != StateFree {
+			sum += m.meta[b].valid
+		}
+	}
+	return sum
+}

@@ -1,0 +1,172 @@
+package ftl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"espftl/internal/nand"
+	"espftl/internal/sim"
+)
+
+// The manager must behave like a simple reference model under any
+// interleaving of allocations, validity changes and recycles: no block is
+// ever handed out twice, FreeCount is exact, roles stick until recycle,
+// and per-chip allocation really lands on the requested chip while it has
+// free blocks.
+func TestManagerModelProperty(t *testing.T) {
+	type op struct {
+		Kind   uint8 // 0 alloc, 1 allocOnChip, 2 markFull+recycle, 3 addValid
+		Chip   uint8
+		Sub    bool
+		Amount uint8
+	}
+	f := func(ops []op) bool {
+		cfg := nand.DefaultConfig()
+		cfg.Geometry = nand.Geometry{
+			Channels:        2,
+			ChipsPerChannel: 2,
+			BlocksPerChip:   8,
+			PagesPerBlock:   4,
+			SubpagesPerPage: 4,
+			SubpageBytes:    4096,
+		}
+		dev, err := nand.NewDevice(cfg, sim.NewClock(0))
+		if err != nil {
+			return false
+		}
+		m := NewManager(dev)
+		g := dev.Geometry()
+		total := g.TotalBlocks()
+
+		held := make(map[nand.BlockID]Role) // blocks we hold (open or full)
+		valid := make(map[nand.BlockID]int)
+		var order []nand.BlockID
+
+		for _, o := range ops {
+			role := RoleFull
+			if o.Sub {
+				role = RoleSub
+			}
+			switch o.Kind % 4 {
+			case 0, 1:
+				var b nand.BlockID
+				var ok bool
+				if o.Kind%4 == 1 {
+					chip := int(o.Chip) % g.Chips()
+					before := m.FreeOnChip(chip)
+					b, ok = m.AllocOnChip(role, chip)
+					if ok && before > 0 && g.ChipOf(b) != chip {
+						return false // chip had free blocks but alloc strayed
+					}
+				} else {
+					b, ok = m.Alloc(role)
+				}
+				if !ok {
+					if len(held) != total {
+						return false // pool empty while model says otherwise
+					}
+					continue
+				}
+				if _, dup := held[b]; dup {
+					return false // double allocation
+				}
+				if m.State(b) != StateOpen || m.Role(b) != role {
+					return false
+				}
+				held[b] = role
+				order = append(order, b)
+			case 2:
+				if len(order) == 0 {
+					continue
+				}
+				b := order[0]
+				order = order[1:]
+				// Clear validity, then recycle through the full state.
+				m.AddValid(b, -valid[b])
+				valid[b] = 0
+				if m.State(b) == StateOpen {
+					m.MarkFull(b)
+				}
+				if err := m.Recycle(b); err != nil {
+					return false
+				}
+				delete(held, b)
+				if m.State(b) != StateFree || m.Role(b) != RoleNone {
+					return false
+				}
+			case 3:
+				if len(order) == 0 {
+					continue
+				}
+				b := order[int(o.Amount)%len(order)]
+				m.AddValid(b, 1)
+				valid[b]++
+			}
+			if m.FreeCount() != total-len(held) {
+				return false
+			}
+		}
+		// Model/impl validity agreement across the board.
+		for b, v := range valid {
+			if m.Valid(b) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Wear-aware allocation preference: after uneven recycling, fresh blocks
+// are preferred over worn ones on every chip.
+func TestManagerWearPreferenceProperty(t *testing.T) {
+	f := func(wearSeed uint16) bool {
+		cfg := nand.DefaultConfig()
+		cfg.Geometry = nand.Geometry{
+			Channels:        1,
+			ChipsPerChannel: 1,
+			BlocksPerChip:   8,
+			PagesPerBlock:   4,
+			SubpagesPerPage: 4,
+			SubpageBytes:    4096,
+		}
+		dev, err := nand.NewDevice(cfg, sim.NewClock(0))
+		if err != nil {
+			return false
+		}
+		m := NewManager(dev)
+		rng := sim.NewRNG(uint64(wearSeed) + 1)
+		// Wear some blocks by alloc/recycle cycling.
+		for i := 0; i < 20; i++ {
+			b, ok := m.Alloc(RoleFull)
+			if !ok {
+				return false
+			}
+			if rng.Bool(0.5) {
+				m.MarkFull(b)
+			}
+			if err := m.Recycle(b); err != nil {
+				return false
+			}
+		}
+		// Drain the pool: erase counts must come out non-decreasing.
+		prev := -1
+		for {
+			b, ok := m.Alloc(RoleFull)
+			if !ok {
+				break
+			}
+			e := dev.EraseCount(b)
+			if e < prev {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package ftl
+
+import "fmt"
+
+// Versions tracks, per logical sector, the host write version and whether
+// the most recent host write was part of a small request. The version
+// feeds the integrity stamps (a read must return the newest version); the
+// origin bit feeds the paper's small-write request-WAF attribution.
+type Versions struct {
+	version []uint32
+	small   []bool
+}
+
+// NewVersions returns a tracker for n logical sectors, all at version 0
+// (never written).
+func NewVersions(n int64) *Versions {
+	return &Versions{version: make([]uint32, n), small: make([]bool, n)}
+}
+
+// Size returns the number of tracked sectors.
+func (v *Versions) Size() int64 { return int64(len(v.version)) }
+
+// Bump records a host write of lsn, returning the new version. smallReq
+// records whether the write belonged to a small request.
+func (v *Versions) Bump(lsn int64, smallReq bool) uint32 {
+	v.version[lsn]++
+	v.small[lsn] = smallReq
+	return v.version[lsn]
+}
+
+// Current returns the newest host version of lsn (0 = never written).
+func (v *Versions) Current(lsn int64) uint32 { return v.version[lsn] }
+
+// SmallOrigin reports whether lsn's latest data came from a small request.
+func (v *Versions) SmallOrigin(lsn int64) bool { return v.small[lsn] }
+
+// Clear resets lsn to never-written (after a trim).
+func (v *Versions) Clear(lsn int64) {
+	v.version[lsn] = 0
+	v.small[lsn] = false
+}
+
+// CheckRange validates a host-addressed range against the tracker size.
+func (v *Versions) CheckRange(lsn int64, sectors int) error {
+	if lsn < 0 || sectors <= 0 || lsn+int64(sectors) > v.Size() {
+		return fmt.Errorf("ftl: range [%d,+%d) outside logical space of %d sectors", lsn, sectors, v.Size())
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package mapping
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashTableBasics(t *testing.T) {
+	h := NewHashTable(100)
+	if h.Len() != 0 {
+		t.Fatalf("fresh Len = %d", h.Len())
+	}
+	if _, ok := h.Get(42); ok {
+		t.Fatal("Get on empty table found something")
+	}
+	if err := h.Put(42, 1000); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := h.Get(42)
+	if !ok || v != 1000 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if err := h.Put(42, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Get(42); v != 2000 {
+		t.Fatalf("overwrite Get = %d", v)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d", h.Len())
+	}
+	old, ok := h.Delete(42)
+	if !ok || old != 2000 {
+		t.Fatalf("Delete = %d,%v", old, ok)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len after delete = %d", h.Len())
+	}
+	if _, ok := h.Delete(42); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestHashTableCapacityPow2(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		h := NewHashTable(n)
+		c := h.Cap()
+		if c&(c-1) != 0 {
+			t.Fatalf("Cap(%d) = %d not a power of two", n, c)
+		}
+		if c < n {
+			t.Fatalf("Cap(%d) = %d below requested", n, c)
+		}
+	}
+}
+
+func TestHashTableFull(t *testing.T) {
+	h := NewHashTable(4) // capacity 8
+	var err error
+	inserted := 0
+	for k := int64(0); k < 100; k++ {
+		if err = h.Put(k, k); err != nil {
+			break
+		}
+		inserted++
+	}
+	if !errors.Is(err, ErrHashFull) {
+		t.Fatalf("table never filled: err=%v", err)
+	}
+	if inserted != h.Cap()-1 {
+		t.Fatalf("inserted %d, want %d (one slot kept empty)", inserted, h.Cap()-1)
+	}
+	// All inserted keys still readable at full occupancy.
+	for k := int64(0); k < int64(inserted); k++ {
+		if v, ok := h.Get(k); !ok || v != k {
+			t.Fatalf("Get(%d) = %d,%v at full occupancy", k, v, ok)
+		}
+	}
+	// Deleting frees a slot for reuse (via tombstone).
+	h.Delete(0)
+	if err := h.Put(500, 500); err != nil {
+		t.Fatalf("Put after delete: %v", err)
+	}
+}
+
+func TestHashTableTombstoneReuse(t *testing.T) {
+	h := NewHashTable(16)
+	for k := int64(0); k < 10; k++ {
+		if err := h.Put(k, k*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := int64(0); k < 10; k++ {
+		h.Delete(k)
+	}
+	// Churn far more keys than capacity through the table; tombstone reuse
+	// must keep this working indefinitely.
+	for k := int64(100); k < 1000; k++ {
+		if err := h.Put(k, k); err != nil {
+			t.Fatalf("Put(%d): %v (tombstones not reused)", k, err)
+		}
+		if v, ok := h.Get(k); !ok || v != k {
+			t.Fatalf("Get(%d) after churn = %d,%v", k, v, ok)
+		}
+		h.Delete(k)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len after churn = %d", h.Len())
+	}
+}
+
+func TestHashTableRange(t *testing.T) {
+	h := NewHashTable(32)
+	want := map[int64]int64{1: 10, 2: 20, 3: 30}
+	for k, v := range want {
+		if err := h.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make(map[int64]int64)
+	h.Range(func(k, v int64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early stop.
+	count := 0
+	h.Range(func(k, v int64) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early-stop Range visited %d", count)
+	}
+}
+
+func TestHashTableProbeStats(t *testing.T) {
+	h := NewHashTable(1000)
+	for k := int64(0); k < 800; k++ {
+		if err := h.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := int64(0); k < 800; k++ {
+		h.Get(k)
+	}
+	if ap := h.AverageProbes(); ap < 1 || ap > 3 {
+		t.Fatalf("AverageProbes = %v, want small (1..3) at this load", ap)
+	}
+	if lf := h.LoadFactor(); lf <= 0 || lf >= 1 {
+		t.Fatalf("LoadFactor = %v", lf)
+	}
+	if NewHashTable(8).AverageProbes() != 0 {
+		t.Fatal("fresh table AverageProbes != 0")
+	}
+}
+
+func TestHashTableMemoryBytes(t *testing.T) {
+	h := NewHashTable(100)
+	if got := h.MemoryBytes(); got != int64(h.Cap())*17 {
+		t.Fatalf("MemoryBytes = %d, want %d", got, h.Cap()*17)
+	}
+}
+
+// Property: the hash table behaves exactly like a map[int64]int64 under
+// random puts, deletes and gets, including with adversarially clustered
+// keys (small key space forces collisions).
+func TestHashTableModelProperty(t *testing.T) {
+	f := func(ops []struct {
+		Key uint8
+		Val uint16
+		Del bool
+	}) bool {
+		h := NewHashTable(64)
+		model := make(map[int64]int64)
+		for _, op := range ops {
+			k := int64(op.Key % 64)
+			if op.Del {
+				gotV, gotOK := h.Delete(k)
+				wantV, wantOK := model[k]
+				if gotOK != wantOK || (gotOK && gotV != wantV) {
+					return false
+				}
+				delete(model, k)
+			} else {
+				if err := h.Put(k, int64(op.Val)); err != nil {
+					return false // 64 distinct keys can never fill cap>=80
+				}
+				model[k] = int64(op.Val)
+			}
+		}
+		if h.Len() != len(model) {
+			return false
+		}
+		for k := int64(0); k < 64; k++ {
+			gotV, gotOK := h.Get(k)
+			wantV, wantOK := model[k]
+			if gotOK != wantOK || (gotOK && gotV != wantV) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

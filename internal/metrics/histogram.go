@@ -1,0 +1,133 @@
+// Package metrics provides the small measurement structures the
+// experiment harness uses beyond plain counters: a log-bucketed duration
+// histogram for request-latency percentiles.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Histogram is a log-bucketed histogram of durations. Buckets grow
+// geometrically (factor 2^(1/4) ≈ 19 % per bucket) from 1 µs, giving
+// better-than-±10 % percentile resolution over nanoseconds-to-hours with a
+// few hundred buckets and O(1) recording.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+const (
+	histBase         = time.Microsecond
+	bucketsPerOctave = 4
+	histBuckets      = 44 * bucketsPerOctave // covers up to ~2^44 µs ≈ 200 days
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, histBuckets), min: math.MaxInt64}
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d < histBase {
+		return 0
+	}
+	// log2(d/base) * bucketsPerOctave
+	idx := int(math.Log2(float64(d)/float64(histBase)) * bucketsPerOctave)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the lower bound of bucket i.
+func bucketLow(i int) time.Duration {
+	return time.Duration(float64(histBase) * math.Pow(2, float64(i)/bucketsPerOctave))
+}
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.total++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Percentile returns the value at or below which the given fraction of
+// observations fall (p in [0,1]); resolution is the bucket width (±~10 %).
+// It returns 0 when empty.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min()
+	}
+	if p >= 1 {
+		return h.max
+	}
+	target := uint64(p * float64(h.total))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			// Report the bucket's geometric center, clamped to extremes.
+			v := time.Duration(float64(bucketLow(i)) * math.Pow(2, 0.5/bucketsPerOctave))
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.total, h.Mean(), h.Percentile(0.50), h.Percentile(0.99), h.max)
+}

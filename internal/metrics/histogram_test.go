@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"espftl/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zeroed: %v", h)
+	}
+	if h.Percentile(0.5) != 0 {
+		t.Fatal("empty percentile non-zero")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		h.Record(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Fatalf("extremes: %v %v", h.Min(), h.Max())
+	}
+	p50 := h.Percentile(0.5)
+	if p50 < time.Millisecond || p50 > 3*time.Millisecond {
+		t.Fatalf("p50 = %v outside observed range", p50)
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-time.Second)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatalf("negative record: min=%v count=%d", h.Min(), h.Count())
+	}
+}
+
+func TestHistogramEdgesPercentile(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5 * time.Millisecond)
+	if h.Percentile(0) != 5*time.Millisecond || h.Percentile(1) != 5*time.Millisecond {
+		t.Fatalf("single-value percentiles: %v %v", h.Percentile(0), h.Percentile(1))
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	s := h.String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Property: percentiles are within ~±20% of the exact empirical quantiles
+// for arbitrary data in the supported range, and are monotone in p.
+func TestHistogramAccuracyProperty(t *testing.T) {
+	f := func(seed uint16, n uint8) bool {
+		rng := sim.NewRNG(uint64(seed) + 1)
+		count := int(n)%200 + 20
+		h := NewHistogram()
+		var xs []time.Duration
+		for i := 0; i < count; i++ {
+			// Spread over ~5 decades.
+			d := time.Duration(rng.Int63n(int64(10*time.Second))) + time.Microsecond
+			xs = append(xs, d)
+			h.Record(d)
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		prev := time.Duration(0)
+		for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+			got := h.Percentile(p)
+			if got < prev {
+				return false // not monotone
+			}
+			prev = got
+			idx := int(p*float64(count)) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			exact := xs[idx]
+			ratio := float64(got) / float64(exact)
+			if ratio < 0.7 || ratio > 1.45 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mean matches the true mean exactly (it is tracked, not
+// bucketed), and Count/extremes always agree with the data.
+func TestHistogramExactAggregatesProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		h := NewHistogram()
+		var sum time.Duration
+		min := time.Duration(math.MaxInt64)
+		max := time.Duration(0)
+		for _, v := range raw {
+			d := time.Duration(v)
+			h.Record(d)
+			sum += d
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		if len(raw) == 0 {
+			return h.Count() == 0
+		}
+		return h.Count() == uint64(len(raw)) &&
+			h.Mean() == sum/time.Duration(len(raw)) &&
+			h.Min() == min && h.Max() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package nand
+
+import (
+	"espftl/internal/sim"
+)
+
+// subpage is the persistent state of one subpage since the last erase of
+// its block.
+type subpage struct {
+	// programmed is set once the subpage has been written in some pass.
+	programmed bool
+	// destroyed is set when a later ESP pass on the same page corrupts
+	// this subpage's content beyond the ECC limit.
+	destroyed bool
+	// npp is the subpage's N^k_pp type: the number of program passes the
+	// page had received before this subpage was programmed.
+	npp NppType
+	// programmedAt is the virtual time of the program, for retention aging.
+	programmedAt sim.Time
+	// stamp is the integrity fingerprint of the stored payload.
+	stamp Stamp
+}
+
+// page is the persistent state of one physical page.
+type page struct {
+	// passes counts program operations since the last erase. A full-page
+	// program counts as one pass; each ESP subpage program is one pass.
+	passes uint8
+	subs   []subpage
+}
+
+// block is the persistent state of one erase block.
+type block struct {
+	eraseCount int
+	pages      []page
+}
+
+// chip models one NAND die: an array of blocks with ESP-aware program
+// semantics. The chip is purely functional state; timing lives in Device.
+type chip struct {
+	geo    Geometry
+	blocks []block
+}
+
+func newChip(geo Geometry) *chip {
+	c := &chip{geo: geo, blocks: make([]block, geo.BlocksPerChip)}
+	for b := range c.blocks {
+		c.blocks[b].pages = make([]page, geo.PagesPerBlock)
+		for p := range c.blocks[b].pages {
+			c.blocks[b].pages[p].subs = make([]subpage, geo.SubpagesPerPage)
+		}
+	}
+	return c
+}
+
+// erase resets every page of the block and bumps its wear counter.
+func (c *chip) erase(localBlock int) {
+	blk := &c.blocks[localBlock]
+	blk.eraseCount++
+	for p := range blk.pages {
+		pg := &blk.pages[p]
+		pg.passes = 0
+		for s := range pg.subs {
+			pg.subs[s] = subpage{}
+		}
+	}
+}
+
+// programPage writes all subpages of an erased page in one pass. Every
+// subpage becomes N⁰pp-type. Returns ErrReprogram if any subpage of the
+// page has been programmed since the last erase.
+func (c *chip) programPage(localBlock, pageIdx int, stamps []Stamp, at sim.Time) error {
+	pg := &c.blocks[localBlock].pages[pageIdx]
+	if pg.passes != 0 {
+		return ErrReprogram
+	}
+	pg.passes = 1
+	for s := range pg.subs {
+		st := Padding
+		if s < len(stamps) {
+			st = stamps[s]
+		}
+		pg.subs[s] = subpage{
+			programmed:   true,
+			npp:          0,
+			programmedAt: at,
+			stamp:        st,
+		}
+	}
+	return nil
+}
+
+// programSubpages performs one ESP pass: it writes the given set of
+// not-yet-programmed subpages (the SBPI scheme selects bit lines
+// individually, so a pass can carry any subset) and destroys the content
+// of every previously programmed subpage of the page (cell-to-cell
+// coupling and program disturbance, paper §3.2). Every subpage written in
+// the pass gets the same N^k_pp type: the number of passes that preceded
+// this one.
+func (c *chip) programSubpages(localBlock, pageIdx int, subs []int, stamps []Stamp, at sim.Time) error {
+	pg := &c.blocks[localBlock].pages[pageIdx]
+	for _, sub := range subs {
+		if pg.subs[sub].programmed {
+			return ErrReprogram
+		}
+	}
+	inPass := make(map[int]bool, len(subs))
+	for _, sub := range subs {
+		inPass[sub] = true
+	}
+	for s := range pg.subs {
+		if !inPass[s] && pg.subs[s].programmed {
+			pg.subs[s].destroyed = true
+		}
+	}
+	for i, sub := range subs {
+		st := Padding
+		if i < len(stamps) {
+			st = stamps[i]
+		}
+		pg.subs[sub] = subpage{
+			programmed:   true,
+			npp:          NppType(pg.passes),
+			programmedAt: at,
+			stamp:        st,
+		}
+	}
+	pg.passes++
+	return nil
+}
+
+// readSubpage returns the stamp stored in a subpage, enforcing the
+// reliability model: erased and ESP-destroyed subpages are unreadable, and
+// data older than its Npp-type retention capability (on this block's wear)
+// fails with an uncorrectable ECC error.
+func (c *chip) readSubpage(localBlock, pageIdx, sub int, now sim.Time, model *RetentionModel) (Stamp, NppType, error) {
+	blk := &c.blocks[localBlock]
+	sp := &blk.pages[pageIdx].subs[sub]
+	if !sp.programmed {
+		return Stamp{}, 0, ErrNotProgrammed
+	}
+	if sp.destroyed {
+		return Stamp{}, sp.npp, ErrDestroyed
+	}
+	age := AgeOf(sp.programmedAt, now)
+	if !model.Correctable(sp.npp, age, blk.eraseCount) {
+		return Stamp{}, sp.npp, ErrUncorrectable
+	}
+	return sp.stamp, sp.npp, nil
+}
+
+// SubpageInfo is a read-only snapshot of device-side subpage state, used by
+// tests and by introspection tooling. FTLs keep their own metadata and do
+// not consult it on the data path.
+type SubpageInfo struct {
+	Programmed   bool
+	Destroyed    bool
+	Npp          NppType
+	ProgrammedAt sim.Time
+	Stamp        Stamp
+}
+
+func (c *chip) subpageInfo(localBlock, pageIdx, sub int) SubpageInfo {
+	sp := &c.blocks[localBlock].pages[pageIdx].subs[sub]
+	return SubpageInfo{
+		Programmed:   sp.programmed,
+		Destroyed:    sp.destroyed,
+		Npp:          sp.npp,
+		ProgrammedAt: sp.programmedAt,
+		Stamp:        sp.stamp,
+	}
+}

@@ -1,0 +1,370 @@
+package nand
+
+import (
+	"fmt"
+
+	"espftl/internal/sim"
+)
+
+// Config assembles a Device.
+type Config struct {
+	Geometry  Geometry
+	Latency   LatencyModel
+	Retention RetentionModel
+	// EnableSubpageRead turns on the paper's §7 future-work extension:
+	// reads of a single subpage at the (faster) ReadSubpage latency.
+	// When off, every read senses the full page.
+	EnableSubpageRead bool
+	// DisableRetentionErrors turns the retention model into pure
+	// bookkeeping: reads never fail with ErrUncorrectable. Used by
+	// ablation experiments that quantify how often an FTL *would* have
+	// lost data.
+	DisableRetentionErrors bool
+}
+
+// DefaultConfig returns the paper-calibrated device configuration.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:  DefaultGeometry,
+		Latency:   DefaultLatency,
+		Retention: DefaultRetention,
+	}
+}
+
+// Counters aggregates device-level operation counts, the raw material for
+// WAF and lifetime statistics.
+type Counters struct {
+	PageReads     int64
+	SubpageReads  int64
+	PagePrograms  int64
+	SubPrograms   int64
+	Erases        int64
+	BytesWritten  int64 // bytes physically programmed (subpage programs count S_sub)
+	BytesRead     int64
+	ReadFailures  int64 // uncorrectable / destroyed / unprogrammed reads
+	RetentionHits int64 // subset of ReadFailures caused by retention expiry
+}
+
+// Device is the timed multi-channel NAND subsystem. All operations are
+// driven by a shared virtual clock: an op is admitted at the earliest time
+// its chip (and channel bus) can take it, and the clock advances to that
+// admission time, which models bounded command queuing without a full
+// event simulator.
+//
+// Device is not safe for concurrent use; the simulator is single-threaded
+// by design so that runs are exactly reproducible.
+type Device struct {
+	cfg      Config
+	clock    *sim.Clock
+	chips    []*chip
+	chipTL   []*sim.Timeline
+	chanTL   []*sim.Timeline
+	counters Counters
+}
+
+// NewDevice builds a device from cfg, attached to the given clock. The
+// clock may be shared with the FTL and workload layers.
+func NewDevice(cfg Config, clock *sim.Clock) (*Device, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Latency.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Retention.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		clock = sim.NewClock(0)
+	}
+	d := &Device{cfg: cfg, clock: clock}
+	n := cfg.Geometry.Chips()
+	d.chips = make([]*chip, n)
+	d.chipTL = make([]*sim.Timeline, n)
+	for i := 0; i < n; i++ {
+		d.chips[i] = newChip(cfg.Geometry)
+		d.chipTL[i] = sim.NewTimeline(fmt.Sprintf("chip%d", i))
+	}
+	d.chanTL = make([]*sim.Timeline, cfg.Geometry.Channels)
+	for i := range d.chanTL {
+		d.chanTL[i] = sim.NewTimeline(fmt.Sprintf("chan%d", i))
+	}
+	return d, nil
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.cfg.Geometry }
+
+// Retention returns the device's retention model.
+func (d *Device) Retention() *RetentionModel { return &d.cfg.Retention }
+
+// Latency returns the device's latency model.
+func (d *Device) Latency() LatencyModel { return d.cfg.Latency }
+
+// Clock returns the shared virtual clock.
+func (d *Device) Clock() *sim.Clock { return d.clock }
+
+// Counters returns a snapshot of the operation counters.
+func (d *Device) Counters() Counters { return d.counters }
+
+// SubpageReadEnabled reports whether the subpage-read extension is on.
+func (d *Device) SubpageReadEnabled() bool { return d.cfg.EnableSubpageRead }
+
+// DrainTime returns the virtual time at which every chip and channel has
+// finished all admitted work — the completion horizon used to compute
+// throughput.
+func (d *Device) DrainTime() sim.Time {
+	t := sim.MaxFree(d.chipTL)
+	if c := sim.MaxFree(d.chanTL); c > t {
+		t = c
+	}
+	if now := d.clock.Now(); now > t {
+		t = now
+	}
+	return t
+}
+
+// chipFor resolves a block to its chip and channel timelines.
+func (d *Device) chipFor(b BlockID) (*chip, *sim.Timeline, *sim.Timeline) {
+	ci := d.cfg.Geometry.ChipOf(b)
+	return d.chips[ci], d.chipTL[ci], d.chanTL[d.cfg.Geometry.ChannelOf(b)]
+}
+
+// admitWrite reserves the channel bus (for xfer) and the chip (for cell
+// time), serialized in that order: data moves over the bus first, then the
+// cell operation runs. It returns the chip phase's start and the op's end.
+//
+// The shared clock is NOT advanced: it tracks host/workload time only
+// (think time, trace idle gaps), while queueing is fully captured by the
+// per-resource timelines. Ops admitted while the clock stands still pack
+// the timelines back-to-back, which is exactly the throughput (saturated
+// queue) operating point the paper's IOPS experiments measure.
+func (d *Device) admitWrite(chTL, chipTL *sim.Timeline, xfer, cell sim.Duration) (start, end sim.Time) {
+	now := d.clock.Now()
+	_, xEnd := chTL.Reserve(now, xfer)
+	cStart, cEnd := chipTL.Reserve(xEnd, cell)
+	return cStart, cEnd
+}
+
+// admitRead reserves the chip for the cell sensing plus the outbound data
+// transfer. The transfer is folded into the chip occupation rather than
+// reserved on the channel timeline: channel reservations must be issued in
+// admission order for the single-pointer timelines to pack correctly, and
+// a read's transfer slot is only known after its (late) cell completion.
+// The approximation costs the channel model a few percent of idle
+// over-accounting and nothing else — the chip, not the bus, is the
+// bottleneck at these latencies.
+func (d *Device) admitRead(chTL, chipTL *sim.Timeline, cell, xfer sim.Duration) (start, end sim.Time) {
+	_ = chTL
+	now := d.clock.Now()
+	cStart, cEnd := chipTL.Reserve(now, cell+xfer)
+	return cStart, cEnd
+}
+
+func (d *Device) checkPage(p PageID) error {
+	if !d.cfg.Geometry.ValidPage(p) {
+		return ErrBadAddress
+	}
+	return nil
+}
+
+// Erase erases block b. It returns the admission-to-completion interval of
+// the operation on the chip timeline.
+func (d *Device) Erase(b BlockID) (sim.Time, error) {
+	if !d.cfg.Geometry.ValidBlock(b) {
+		return 0, &OpError{Op: "erase", Block: b, Sub: -1, Err: ErrBadAddress}
+	}
+	ch, chipTL, _ := d.chipFor(b)
+	now := d.clock.Now()
+	_, end := chipTL.Reserve(now, d.cfg.Latency.EraseBlock)
+	ch.erase(d.cfg.Geometry.LocalBlock(b))
+	d.counters.Erases++
+	return end, nil
+}
+
+// ProgramPage writes a full page in one pass. stamps supplies one stamp
+// per subpage slot; missing entries are padding. The page must be fully
+// erased.
+func (d *Device) ProgramPage(p PageID, stamps []Stamp) (sim.Time, error) {
+	if err := d.checkPage(p); err != nil {
+		return 0, &OpError{Op: "program", Block: d.cfg.Geometry.BlockOfPage(p), Page: d.cfg.Geometry.PageIndex(p), Sub: -1, Err: err}
+	}
+	g := d.cfg.Geometry
+	b := g.BlockOfPage(p)
+	ch, chipTL, chanTL := d.chipFor(b)
+	xfer := d.cfg.Latency.Transfer(g.PageBytes())
+	start, end := d.admitWrite(chanTL, chipTL, xfer, d.cfg.Latency.ProgramPage)
+	if err := ch.programPage(g.LocalBlock(b), g.PageIndex(p), stamps, start); err != nil {
+		return 0, &OpError{Op: "program", Block: b, Page: g.PageIndex(p), Sub: -1, Err: err}
+	}
+	d.counters.PagePrograms++
+	d.counters.BytesWritten += int64(g.PageBytes())
+	return end, nil
+}
+
+// ProgramSubpage performs one erase-free subpage program (ESP) of a
+// single subpage slot; see ProgramSubpageRun.
+func (d *Device) ProgramSubpage(p PageID, sub int, stamp Stamp) (sim.Time, error) {
+	return d.ProgramSubpageRun(p, sub, []Stamp{stamp})
+}
+
+// ProgramSubpageRun performs one erase-free program pass (ESP) writing
+// len(stamps) consecutive subpage slots of page p starting at firstSub.
+// The SBPI scheme selects bit lines individually (paper Fig. 3), so one
+// pass may carry several subpages; its latency interpolates between the
+// 1-subpage and full-page program times. The pass destroys the content of
+// every previously programmed subpage of the page outside the run, and
+// every slot in the run must be unprogrammed since the last erase.
+func (d *Device) ProgramSubpageRun(p PageID, firstSub int, stamps []Stamp) (sim.Time, error) {
+	g := d.cfg.Geometry
+	k := len(stamps)
+	if err := d.checkPage(p); err != nil || firstSub < 0 || k < 1 || firstSub+k > g.SubpagesPerPage {
+		return 0, &OpError{Op: "subprogram", Block: g.BlockOfPage(p), Page: g.PageIndex(p), Sub: firstSub, Err: ErrBadAddress}
+	}
+	b := g.BlockOfPage(p)
+	ch, chipTL, chanTL := d.chipFor(b)
+	xfer := d.cfg.Latency.Transfer(k * g.SubpageBytes)
+	cell := d.cfg.Latency.ProgramSubpages(k, g.SubpagesPerPage)
+	start, end := d.admitWrite(chanTL, chipTL, xfer, cell)
+	subs := make([]int, k)
+	for i := range subs {
+		subs[i] = firstSub + i
+	}
+	if err := ch.programSubpages(g.LocalBlock(b), g.PageIndex(p), subs, stamps, start); err != nil {
+		return 0, &OpError{Op: "subprogram", Block: b, Page: g.PageIndex(p), Sub: firstSub, Err: err}
+	}
+	d.counters.SubPrograms++
+	d.counters.BytesWritten += int64(k) * int64(g.SubpageBytes)
+	return end, nil
+}
+
+// ReadSubpage reads one subpage's stamp, applying the reliability model.
+// Without the subpage-read extension the full page is sensed (page read
+// latency and full-page transfer); with it, only the subpage's share moves.
+func (d *Device) ReadSubpage(s SubpageID) (Stamp, error) {
+	g := d.cfg.Geometry
+	if !g.ValidSubpage(s) {
+		return Stamp{}, &OpError{Op: "read", Block: -1, Sub: g.SubIndex(s), Err: ErrBadAddress}
+	}
+	p := g.PageOfSubpage(s)
+	sub := g.SubIndex(s)
+	b := g.BlockOfPage(p)
+	ch, chipTL, chanTL := d.chipFor(b)
+
+	cell := d.cfg.Latency.ReadPage
+	bytes := g.PageBytes()
+	if d.cfg.EnableSubpageRead {
+		cell = d.cfg.Latency.ReadSubpage
+		bytes = g.SubpageBytes
+	}
+	start, _ := d.admitRead(chanTL, chipTL, cell, d.cfg.Latency.Transfer(bytes))
+	d.counters.BytesRead += int64(bytes)
+	if d.cfg.EnableSubpageRead {
+		d.counters.SubpageReads++
+	} else {
+		d.counters.PageReads++
+	}
+
+	stamp, _, err := ch.readSubpage(g.LocalBlock(b), g.PageIndex(p), sub, start, &d.cfg.Retention)
+	if err != nil {
+		if d.cfg.DisableRetentionErrors && err == ErrUncorrectable {
+			d.counters.RetentionHits++
+			// Bookkeeping mode: surface the data anyway.
+			info := ch.subpageInfo(g.LocalBlock(b), g.PageIndex(p), sub)
+			return info.Stamp, nil
+		}
+		d.counters.ReadFailures++
+		if err == ErrUncorrectable {
+			d.counters.RetentionHits++
+		}
+		return Stamp{}, &OpError{Op: "read", Block: b, Page: g.PageIndex(p), Sub: sub, Err: err}
+	}
+	return stamp, nil
+}
+
+// ReadPage reads all subpages of a page. Slots that are erased, destroyed
+// or expired are returned as padding stamps alongside a nil error only if
+// at least the addressing was valid; per-slot failures are reported in the
+// errs slice (index-aligned), since an FTL doing a read-modify-write needs
+// the readable slots even when others are gone.
+func (d *Device) ReadPage(p PageID) ([]Stamp, []error, error) {
+	g := d.cfg.Geometry
+	if err := d.checkPage(p); err != nil {
+		return nil, nil, &OpError{Op: "read", Block: g.BlockOfPage(p), Page: 0, Sub: -1, Err: err}
+	}
+	b := g.BlockOfPage(p)
+	ch, chipTL, chanTL := d.chipFor(b)
+	start, _ := d.admitRead(chanTL, chipTL, d.cfg.Latency.ReadPage, d.cfg.Latency.Transfer(g.PageBytes()))
+	d.counters.PageReads++
+	d.counters.BytesRead += int64(g.PageBytes())
+
+	stamps := make([]Stamp, g.SubpagesPerPage)
+	errs := make([]error, g.SubpagesPerPage)
+	lb, pi := g.LocalBlock(b), g.PageIndex(p)
+	for sub := 0; sub < g.SubpagesPerPage; sub++ {
+		st, _, err := ch.readSubpage(lb, pi, sub, start, &d.cfg.Retention)
+		if err != nil {
+			if d.cfg.DisableRetentionErrors && err == ErrUncorrectable {
+				d.counters.RetentionHits++
+				stamps[sub] = ch.subpageInfo(lb, pi, sub).Stamp
+				continue
+			}
+			if err != ErrNotProgrammed {
+				d.counters.ReadFailures++
+			}
+			if err == ErrUncorrectable {
+				d.counters.RetentionHits++
+			}
+			stamps[sub] = Padding
+			errs[sub] = &OpError{Op: "read", Block: b, Page: pi, Sub: sub, Err: err}
+			continue
+		}
+		stamps[sub] = st
+	}
+	return stamps, errs, nil
+}
+
+// EraseCount returns the wear (erase cycles) of block b.
+func (d *Device) EraseCount(b BlockID) int {
+	ch, _, _ := d.chipFor(b)
+	return ch.blocks[d.cfg.Geometry.LocalBlock(b)].eraseCount
+}
+
+// PagePasses returns how many program passes page p has received since its
+// block's last erase.
+func (d *Device) PagePasses(p PageID) int {
+	g := d.cfg.Geometry
+	b := g.BlockOfPage(p)
+	ch, _, _ := d.chipFor(b)
+	return int(ch.blocks[g.LocalBlock(b)].pages[g.PageIndex(p)].passes)
+}
+
+// SubpageInfo returns a read-only snapshot of device-side subpage state.
+// It is an introspection hook for tests and tools, not a data-path API.
+func (d *Device) SubpageInfo(s SubpageID) SubpageInfo {
+	g := d.cfg.Geometry
+	p := g.PageOfSubpage(s)
+	b := g.BlockOfPage(p)
+	ch, _, _ := d.chipFor(b)
+	return ch.subpageInfo(g.LocalBlock(b), g.PageIndex(p), g.SubIndex(s))
+}
+
+// ChipOps returns per-chip operation counts, for load-balance diagnostics.
+func (d *Device) ChipOps() []int64 {
+	out := make([]int64, len(d.chipTL))
+	for i, tl := range d.chipTL {
+		out[i] = tl.Ops()
+	}
+	return out
+}
+
+// ChipUtilization returns per-chip busy fractions over the horizon ending
+// at DrainTime, for parallelism diagnostics.
+func (d *Device) ChipUtilization() []float64 {
+	horizon := d.DrainTime()
+	out := make([]float64, len(d.chipTL))
+	for i, tl := range d.chipTL {
+		out[i] = tl.Utilization(horizon)
+	}
+	return out
+}

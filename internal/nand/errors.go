@@ -1,0 +1,62 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned by device operations. Callers match them with
+// errors.Is; the concrete errors carry address and cause detail.
+var (
+	// ErrBadAddress reports an address outside the device geometry.
+	ErrBadAddress = errors.New("nand: address out of range")
+	// ErrReprogram reports an attempt to program a subpage (or full page
+	// overlapping one) that is already programmed without an intervening
+	// erase — forbidden even under ESP, because re-programming a
+	// programmed cell destroys it (paper §3.2).
+	ErrReprogram = errors.New("nand: subpage already programmed since last erase")
+	// ErrNotProgrammed reports a read of an erased (never programmed)
+	// subpage.
+	ErrNotProgrammed = errors.New("nand: subpage not programmed")
+	// ErrDestroyed reports a read of a subpage whose content was destroyed
+	// by a later ESP pass on the same page.
+	ErrDestroyed = errors.New("nand: subpage destroyed by later subpage program")
+	// ErrUncorrectable reports a read whose raw bit error rate exceeded
+	// the ECC correction capability (retention expiry or wear-out).
+	ErrUncorrectable = errors.New("nand: uncorrectable ECC error")
+	// ErrSubpageReadDisabled reports a subpage read on a device built
+	// without the subpage-read extension.
+	ErrSubpageReadDisabled = errors.New("nand: subpage read not enabled on this device")
+)
+
+// OpError is the concrete error type for failed device operations.
+type OpError struct {
+	// Op names the failed operation ("read", "program", "subprogram",
+	// "erase").
+	Op string
+	// Block, Page, Sub locate the failure; Sub is -1 for whole-page and
+	// whole-block operations.
+	Block BlockID
+	Page  int
+	Sub   int
+	// Err is the sentinel cause.
+	Err error
+	// Detail optionally elaborates (e.g. the normalized BER at failure).
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *OpError) Error() string {
+	loc := fmt.Sprintf("block %d page %d", e.Block, e.Page)
+	if e.Sub >= 0 {
+		loc += fmt.Sprintf(" sub %d", e.Sub)
+	}
+	msg := fmt.Sprintf("nand %s %s: %v", e.Op, loc, e.Err)
+	if e.Detail != "" {
+		msg += " (" + e.Detail + ")"
+	}
+	return msg
+}
+
+// Unwrap exposes the sentinel cause for errors.Is.
+func (e *OpError) Unwrap() error { return e.Err }

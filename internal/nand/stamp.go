@@ -1,0 +1,35 @@
+package nand
+
+import "fmt"
+
+// Stamp is the integrity fingerprint the simulator stores in place of a
+// subpage's 4-KB payload. It is sufficient to detect every corruption an
+// FTL bug can cause — lost updates, stale reads, mis-mapped relocations —
+// without the memory cost of real data: a read that returns the wrong
+// (LSN, Version) pair is exactly a read that would have returned wrong
+// bytes.
+type Stamp struct {
+	// LSN is the logical sector number the payload belongs to, or
+	// PaddingLSN for filler written to complete a partial page.
+	LSN int64
+	// Version is the host-side write counter of that LSN at program time.
+	Version uint32
+}
+
+// PaddingLSN marks a subpage slot that carries no logical data (written as
+// padding in a partial full-page program, or never assigned).
+const PaddingLSN int64 = -1
+
+// Padding is the stamp for a slot with no logical content.
+var Padding = Stamp{LSN: PaddingLSN}
+
+// IsPadding reports whether the stamp carries no logical data.
+func (s Stamp) IsPadding() bool { return s.LSN == PaddingLSN }
+
+// String formats the stamp for error messages.
+func (s Stamp) String() string {
+	if s.IsPadding() {
+		return "pad"
+	}
+	return fmt.Sprintf("lsn=%d v%d", s.LSN, s.Version)
+}

@@ -1,0 +1,78 @@
+// Package sim provides the discrete virtual-time substrate used by the SSD
+// simulator: a monotonic virtual clock plus per-resource busy timelines that
+// model contention on chips and channel buses.
+//
+// The simulator is not event driven in the classic sense; instead every
+// flash operation reserves an interval on the timeline of each resource it
+// occupies, and the host-visible elapsed time is the maximum completion time
+// across all resources. This "timeline accounting" model is sufficient for
+// throughput-shaped experiments (IOPS, GC counts) and keeps the simulator
+// deterministic and fast.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the start of
+// the simulation. It is deliberately distinct from time.Time: simulations
+// never consult the wall clock.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = time.Duration
+
+// Common virtual durations.
+const (
+	Microsecond = Time(1000)
+	Millisecond = Time(1000 * 1000)
+	Second      = Time(1000 * 1000 * 1000)
+	Day         = 24 * 3600 * Second
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the virtual time as a duration from simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// Clock is the simulation-wide virtual clock. The zero value is a clock at
+// time zero, ready to use.
+//
+// The clock only moves forward; Advance with a negative duration panics
+// because it always indicates a simulator bug (an operation completing
+// before it started).
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock starting at the given origin.
+func NewClock(origin Time) *Clock { return &Clock{now: origin} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *Clock) Advance(d Duration) Time {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: clock advanced by negative duration %v", d))
+	}
+	c.now += Time(d)
+	return c.now
+}
+
+// AdvanceTo moves the clock to t if t is in the future; otherwise the clock
+// is unchanged. It returns the (possibly unchanged) current time.
+func (c *Clock) AdvanceTo(t Time) Time {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(0)
+	c.Advance(time.Microsecond)
+	if got := c.Now(); got != Microsecond {
+		t.Fatalf("Now() = %v, want %v", got, Microsecond)
+	}
+	c.Advance(2 * time.Microsecond)
+	if got := c.Now(); got != 3*Microsecond {
+		t.Fatalf("Now() = %v, want %v", got, 3*Microsecond)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock(0).Advance(-time.Nanosecond)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock(100)
+	if got := c.AdvanceTo(50); got != 100 {
+		t.Fatalf("AdvanceTo(past) = %v, want 100 (no-op)", got)
+	}
+	if got := c.AdvanceTo(250); got != 250 {
+		t.Fatalf("AdvanceTo(250) = %v, want 250", got)
+	}
+	if got := c.Now(); got != 250 {
+		t.Fatalf("Now() = %v, want 250", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(1000)
+	b := a.Add(500 * time.Nanosecond)
+	if b != 1500 {
+		t.Fatalf("Add = %v, want 1500", b)
+	}
+	if d := b.Sub(a); d != 500*time.Nanosecond {
+		t.Fatalf("Sub = %v, want 500ns", d)
+	}
+	if s := Second.Seconds(); s != 1.0 {
+		t.Fatalf("Seconds = %v, want 1.0", s)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (2 * Millisecond).String(); got != "2ms" {
+		t.Fatalf("String = %q, want 2ms", got)
+	}
+}
+
+// Property: the clock is monotone non-decreasing under any sequence of
+// Advance/AdvanceTo calls with non-negative arguments.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewClock(0)
+		prev := c.Now()
+		for i, s := range steps {
+			var now Time
+			if i%2 == 0 {
+				now = c.Advance(time.Duration(s))
+			} else {
+				now = c.AdvanceTo(Time(s))
+			}
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import "fmt"
+
+// Timeline tracks when a serially-used resource (a NAND chip, a channel
+// bus) becomes free. Operations reserve intervals; overlapping requests are
+// queued behind the current occupant, which models the resource's natural
+// serialization without a full event queue.
+type Timeline struct {
+	name string
+	// freeAt is the first instant at which the resource is idle.
+	freeAt Time
+	// busy accumulates total occupied time, for utilization reporting.
+	busy Duration
+	// ops counts reservations.
+	ops int64
+}
+
+// NewTimeline returns a timeline for a named resource, idle from time zero.
+func NewTimeline(name string) *Timeline { return &Timeline{name: name} }
+
+// Name returns the resource name given at construction.
+func (tl *Timeline) Name() string { return tl.name }
+
+// FreeAt returns the first instant the resource is idle.
+func (tl *Timeline) FreeAt() Time { return tl.freeAt }
+
+// Busy returns the cumulative time the resource has been occupied.
+func (tl *Timeline) Busy() Duration { return tl.busy }
+
+// Ops returns the number of reservations made on the resource.
+func (tl *Timeline) Ops() int64 { return tl.ops }
+
+// Reserve books the resource for duration d starting no earlier than
+// earliest. It returns the interval actually granted: start is
+// max(earliest, FreeAt) and end is start+d. The resource is busy until end
+// afterwards.
+func (tl *Timeline) Reserve(earliest Time, d Duration) (start, end Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative reservation %v on %s", d, tl.name))
+	}
+	start = earliest
+	if tl.freeAt > start {
+		start = tl.freeAt
+	}
+	end = start.Add(d)
+	tl.freeAt = end
+	tl.busy += d
+	tl.ops++
+	return start, end
+}
+
+// Utilization reports busy time as a fraction of the elapsed horizon. A
+// horizon of zero reports zero utilization.
+func (tl *Timeline) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(tl.busy) / float64(horizon)
+}
+
+// Reset returns the timeline to idle at time zero, clearing statistics.
+func (tl *Timeline) Reset() {
+	tl.freeAt = 0
+	tl.busy = 0
+	tl.ops = 0
+}
+
+// MaxFree returns the latest FreeAt across the given timelines, i.e. the
+// time at which all of them have drained. A nil or empty slice yields zero.
+func MaxFree(tls []*Timeline) Time {
+	var m Time
+	for _, tl := range tls {
+		if tl.FreeAt() > m {
+			m = tl.FreeAt()
+		}
+	}
+	return m
+}

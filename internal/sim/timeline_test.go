@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimelineReserveSequential(t *testing.T) {
+	tl := NewTimeline("chip0")
+	s, e := tl.Reserve(0, 100*time.Nanosecond)
+	if s != 0 || e != 100 {
+		t.Fatalf("first reserve = [%v,%v], want [0,100]", s, e)
+	}
+	// A request arriving at t=10 must queue behind the first.
+	s, e = tl.Reserve(10, 50*time.Nanosecond)
+	if s != 100 || e != 150 {
+		t.Fatalf("queued reserve = [%v,%v], want [100,150]", s, e)
+	}
+	// A request arriving after the resource drained starts immediately.
+	s, e = tl.Reserve(1000, 25*time.Nanosecond)
+	if s != 1000 || e != 1025 {
+		t.Fatalf("idle reserve = [%v,%v], want [1000,1025]", s, e)
+	}
+}
+
+func TestTimelineBusyAccounting(t *testing.T) {
+	tl := NewTimeline("bus")
+	tl.Reserve(0, 40*time.Nanosecond)
+	tl.Reserve(0, 60*time.Nanosecond)
+	if got := tl.Busy(); got != 100*time.Nanosecond {
+		t.Fatalf("Busy = %v, want 100ns", got)
+	}
+	if got := tl.Ops(); got != 2 {
+		t.Fatalf("Ops = %d, want 2", got)
+	}
+	if u := tl.Utilization(200); u != 0.5 {
+		t.Fatalf("Utilization = %v, want 0.5", u)
+	}
+	if u := tl.Utilization(0); u != 0 {
+		t.Fatalf("Utilization(0) = %v, want 0", u)
+	}
+}
+
+func TestTimelineReset(t *testing.T) {
+	tl := NewTimeline("chip")
+	tl.Reserve(0, time.Microsecond)
+	tl.Reset()
+	if tl.FreeAt() != 0 || tl.Busy() != 0 || tl.Ops() != 0 {
+		t.Fatalf("Reset left state: freeAt=%v busy=%v ops=%d", tl.FreeAt(), tl.Busy(), tl.Ops())
+	}
+}
+
+func TestTimelineNegativeReservePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Reserve did not panic")
+		}
+	}()
+	NewTimeline("x").Reserve(0, -time.Nanosecond)
+}
+
+func TestMaxFree(t *testing.T) {
+	a, b, c := NewTimeline("a"), NewTimeline("b"), NewTimeline("c")
+	a.Reserve(0, 10*time.Nanosecond)
+	b.Reserve(0, 30*time.Nanosecond)
+	c.Reserve(0, 20*time.Nanosecond)
+	if got := MaxFree([]*Timeline{a, b, c}); got != 30 {
+		t.Fatalf("MaxFree = %v, want 30", got)
+	}
+	if got := MaxFree(nil); got != 0 {
+		t.Fatalf("MaxFree(nil) = %v, want 0", got)
+	}
+}
+
+// Property: reservations never overlap and never start before the
+// requested earliest time; busy time equals the sum of all durations.
+func TestTimelineNoOverlapProperty(t *testing.T) {
+	f := func(reqs []struct {
+		Arrive uint16
+		Dur    uint8
+	}) bool {
+		tl := NewTimeline("p")
+		var prevEnd Time
+		var total time.Duration
+		for _, q := range reqs {
+			d := time.Duration(q.Dur)
+			s, e := tl.Reserve(Time(q.Arrive), d)
+			if s < Time(q.Arrive) || s < prevEnd || e != s.Add(d) {
+				return false
+			}
+			prevEnd = e
+			total += d
+		}
+		return tl.Busy() == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

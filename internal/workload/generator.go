@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+
+	"espftl/internal/sim"
+)
+
+// Profile parameterizes the synthetic generator. The two headline knobs
+// are the paper's r_small and r_synch; the rest model the secondary
+// workload properties the paper's analysis leans on (alignment of large
+// writes, sequentiality, and the higher update frequency of small writes).
+type Profile struct {
+	// Name identifies the profile in reports.
+	Name string
+	// SmallRatio is r_small: the fraction of write requests smaller than a
+	// full page.
+	SmallRatio float64
+	// SyncRatio is r_synch: the fraction of small writes that are
+	// synchronous (must be flushed immediately, missing buffer merging).
+	SyncRatio float64
+	// ReadRatio is the fraction of I/O requests that are reads.
+	ReadRatio float64
+	// SmallSizes are the candidate lengths (in sectors, all < N_sub) of
+	// small writes, drawn uniformly.
+	SmallSizes []int
+	// LargeSizes are the candidate lengths (in sectors, multiples of
+	// N_sub or not) of large writes, drawn uniformly.
+	LargeSizes []int
+	// LargeAlignedProb is the probability that a large write starts on a
+	// full-page boundary. Misaligned large writes are what the paper's
+	// footnote 1 blames for the CGM scheme's losses even at r_small = 0.
+	LargeAlignedProb float64
+	// LargeSeqProb is the probability that a large write continues
+	// sequentially after the previous one (log-structured flushes such as
+	// Cassandra SSTable writes are nearly fully sequential).
+	LargeSeqProb float64
+	// HotSpace and HotAccess give small writes their locality: HotAccess
+	// of them land in the first HotSpace fraction of the address space.
+	HotSpace, HotAccess float64
+	// Zipf, when in (0,1), replaces the hot/cold mixture with a Zipfian
+	// draw of that skew for small writes.
+	Zipf float64
+}
+
+// Validate reports a descriptive error for out-of-range parameters.
+func (p Profile) Validate() error {
+	inUnit := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("workload: profile %s: %s = %v outside [0,1]", p.Name, name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"SmallRatio", p.SmallRatio},
+		{"SyncRatio", p.SyncRatio},
+		{"ReadRatio", p.ReadRatio},
+		{"LargeAlignedProb", p.LargeAlignedProb},
+		{"LargeSeqProb", p.LargeSeqProb},
+		{"HotSpace", p.HotSpace},
+		{"HotAccess", p.HotAccess},
+	} {
+		if err := inUnit(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if p.Zipf != 0 && (p.Zipf <= 0 || p.Zipf >= 1) {
+		return fmt.Errorf("workload: profile %s: Zipf = %v outside (0,1)", p.Name, p.Zipf)
+	}
+	if p.SmallRatio > 0 && len(p.SmallSizes) == 0 {
+		return fmt.Errorf("workload: profile %s: small writes requested but no SmallSizes", p.Name)
+	}
+	if p.SmallRatio < 1 && len(p.LargeSizes) == 0 {
+		return fmt.Errorf("workload: profile %s: large writes requested but no LargeSizes", p.Name)
+	}
+	return nil
+}
+
+// Synthetic is the deterministic profile-driven generator.
+type Synthetic struct {
+	prof     Profile
+	rng      *sim.RNG
+	sectors  int64 // addressable logical space in sectors
+	pageSecs int   // sectors per full page (N_sub)
+	small    interface{ Next() int64 }
+	seqNext  int64 // cursor for sequential large writes
+}
+
+// NewSynthetic builds a generator over a logical space of the given number
+// of sectors, with pageSectors sectors per full page, seeded
+// deterministically.
+func NewSynthetic(prof Profile, sectors int64, pageSectors int, seed uint64) (*Synthetic, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if sectors < int64(2*pageSectors) {
+		return nil, fmt.Errorf("workload: logical space of %d sectors too small", sectors)
+	}
+	for _, s := range prof.SmallSizes {
+		if s <= 0 || s >= pageSectors {
+			return nil, fmt.Errorf("workload: small size %d not in (0,%d)", s, pageSectors)
+		}
+	}
+	for _, s := range prof.LargeSizes {
+		if s < pageSectors {
+			return nil, fmt.Errorf("workload: large size %d below page size %d", s, pageSectors)
+		}
+	}
+	g := &Synthetic{prof: prof, rng: sim.NewRNG(seed), sectors: sectors, pageSecs: pageSectors}
+	if prof.Zipf > 0 {
+		g.small = NewZipf(sim.NewRNG(seed^0xabcdef), sectors, prof.Zipf)
+	} else {
+		g.small = NewHotCold(sim.NewRNG(seed^0xabcdef), sectors, prof.HotSpace, prof.HotAccess)
+	}
+	return g, nil
+}
+
+// Name implements Generator.
+func (g *Synthetic) Name() string { return g.prof.Name }
+
+// Next implements Generator.
+func (g *Synthetic) Next() Request {
+	if g.rng.Bool(g.prof.ReadRatio) {
+		return g.nextRead()
+	}
+	if g.rng.Bool(g.prof.SmallRatio) {
+		return g.nextSmallWrite()
+	}
+	return g.nextLargeWrite()
+}
+
+func (g *Synthetic) nextSmallWrite() Request {
+	size := g.prof.SmallSizes[g.rng.Intn(len(g.prof.SmallSizes))]
+	lsn := g.small.Next()
+	if lsn+int64(size) > g.sectors {
+		lsn = g.sectors - int64(size)
+	}
+	return Request{
+		Op:      OpWrite,
+		LSN:     lsn,
+		Sectors: size,
+		Sync:    g.rng.Bool(g.prof.SyncRatio),
+	}
+}
+
+func (g *Synthetic) nextLargeWrite() Request {
+	size := g.prof.LargeSizes[g.rng.Intn(len(g.prof.LargeSizes))]
+	var lsn int64
+	if g.rng.Bool(g.prof.LargeSeqProb) && g.seqNext+int64(size) <= g.sectors {
+		lsn = g.seqNext
+	} else {
+		lsn = g.rng.Int63n(g.sectors - int64(size) + 1)
+		if g.rng.Bool(g.prof.LargeAlignedProb) {
+			lsn -= lsn % int64(g.pageSecs)
+		} else if lsn%int64(g.pageSecs) == 0 {
+			// Force misalignment by one sector.
+			lsn++
+			if lsn+int64(size) > g.sectors {
+				lsn -= int64(g.pageSecs)
+				if lsn < 0 {
+					lsn = 1
+				}
+			}
+		}
+	}
+	g.seqNext = lsn + int64(size)
+	// Large writes are overwhelmingly asynchronous in the workloads the
+	// paper studies; sync large writes would not change any FTL's
+	// behaviour (they are flushed whole either way).
+	return Request{Op: OpWrite, LSN: lsn, Sectors: size}
+}
+
+func (g *Synthetic) nextRead() Request {
+	// Reads follow the same locality as small writes: re-reading recently
+	// written data is the common case in the mail/OLTP workloads.
+	size := 1
+	if len(g.prof.SmallSizes) > 0 {
+		size = g.prof.SmallSizes[g.rng.Intn(len(g.prof.SmallSizes))]
+	}
+	lsn := g.small.Next()
+	if lsn+int64(size) > g.sectors {
+		lsn = g.sectors - int64(size)
+	}
+	return Request{Op: OpRead, LSN: lsn, Sectors: size}
+}
+
+// SweepProfile returns the Sysbench-style synthetic profile the paper uses
+// for its Fig. 2 motivation sweep, with explicit r_small and r_synch.
+func SweepProfile(rSmall, rSynch float64) Profile {
+	return Profile{
+		Name:             fmt.Sprintf("sweep(rsmall=%.2f,rsynch=%.2f)", rSmall, rSynch),
+		SmallRatio:       rSmall,
+		SyncRatio:        rSynch,
+		ReadRatio:        0,
+		SmallSizes:       []int{1, 2, 3},
+		LargeSizes:       []int{4, 8},
+		LargeAlignedProb: 0.5,
+		LargeSeqProb:     0.3,
+		// The motivation sweep uses deliberately weak locality: the
+		// paper's Fig. 2 isolates r_small and r_synch, so the generator
+		// must not let buffer absorption or GC locality mask them.
+		HotSpace:  0.05,
+		HotAccess: 0.5,
+	}
+}

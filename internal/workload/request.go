@@ -1,0 +1,100 @@
+// Package workload models host I/O for the simulator: the request type,
+// deterministic synthetic generators parameterized by the paper's two
+// workload knobs (r_small, the ratio of small writes to total writes, and
+// r_synch, the ratio of synchronous small writes to small writes), and
+// profiles calibrated to the five benchmarks of the paper's evaluation
+// (Sysbench, Varmail, Postmark, YCSB-on-Cassandra, TPC-C).
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Op is the request kind.
+type Op uint8
+
+// Request kinds. Advance is a pseudo-request that moves virtual time
+// forward without I/O; traces use it to encode idle periods, which matter
+// for retention experiments.
+const (
+	OpWrite Op = iota
+	OpRead
+	OpTrim
+	OpAdvance
+)
+
+// String names the op for traces and error messages.
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "W"
+	case OpRead:
+		return "R"
+	case OpTrim:
+		return "T"
+	case OpAdvance:
+		return "A"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Request is one host command. Addresses are in logical sectors of
+// S_sub bytes (4 KB by default), matching the paper's assumption that
+// request sizes are multiples of the subpage size.
+type Request struct {
+	Op Op
+	// LSN is the first logical sector; unused for OpAdvance.
+	LSN int64
+	// Sectors is the transfer length; unused for OpAdvance.
+	Sectors int
+	// Sync marks a synchronous write that must bypass buffer merging.
+	Sync bool
+	// Gap is the idle time encoded by OpAdvance.
+	Gap time.Duration
+}
+
+// String formats the request in the text-trace syntax.
+func (r Request) String() string {
+	if r.Op == OpAdvance {
+		return fmt.Sprintf("A %d", r.Gap.Nanoseconds())
+	}
+	s := fmt.Sprintf("%s %d %d", r.Op, r.LSN, r.Sectors)
+	if r.Op == OpWrite {
+		if r.Sync {
+			s += " S"
+		} else {
+			s += " -"
+		}
+	}
+	return s
+}
+
+// Validate reports a descriptive error for malformed requests.
+func (r Request) Validate() error {
+	switch r.Op {
+	case OpAdvance:
+		if r.Gap < 0 {
+			return fmt.Errorf("workload: negative advance %v", r.Gap)
+		}
+		return nil
+	case OpWrite, OpRead, OpTrim:
+		if r.LSN < 0 {
+			return fmt.Errorf("workload: negative LSN %d", r.LSN)
+		}
+		if r.Sectors <= 0 {
+			return fmt.Errorf("workload: non-positive length %d", r.Sectors)
+		}
+		return nil
+	}
+	return fmt.Errorf("workload: unknown op %d", r.Op)
+}
+
+// Generator produces a deterministic request stream.
+type Generator interface {
+	// Next returns the next request. The stream is unbounded; callers
+	// decide how many requests constitute a run.
+	Next() Request
+	// Name identifies the generator in reports.
+	Name() string
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"math"
+
+	"espftl/internal/sim"
+)
+
+// Zipf draws values in [0, n) with the Zipfian skew used throughout the
+// storage-workload literature (and by YCSB itself): the k-th most popular
+// item has probability proportional to 1/k^theta. The implementation is
+// the Gray et al. "quick and portable" method, which needs only two
+// precomputed constants and no tables, so working sets of millions of
+// sectors cost nothing to set up.
+type Zipf struct {
+	rng   *sim.RNG
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// NewZipf returns a Zipfian sampler over [0, n) with skew theta in (0, 1).
+// theta → 0 approaches uniform; 0.99 is the YCSB default. It panics for
+// n <= 0 or theta outside (0, 1), which always indicates a configuration
+// bug.
+func NewZipf(rng *sim.RNG, n int64, theta float64) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf over non-positive range")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("workload: Zipf theta must be in (0,1)")
+	}
+	z := &Zipf{rng: rng, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+// For large n it switches to the integral approximation, which is accurate
+// to a fraction of a percent from n ~ 1e4 and keeps construction O(1)-ish.
+func zeta(n int64, theta float64) float64 {
+	const exact = 10000
+	if n <= exact {
+		sum := 0.0
+		for i := int64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	head := zeta(exact, theta)
+	// ∫_{exact}^{n} x^-theta dx
+	tail := (math.Pow(float64(n), 1-theta) - math.Pow(float64(exact), 1-theta)) / (1 - theta)
+	return head + tail
+}
+
+// Next draws the next value. Rank 0 is the most popular item; callers that
+// do not want spatial clustering of hot items should scramble the result.
+func (z *Zipf) Next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v < 0 {
+		v = 0
+	}
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// HotCold draws values in [0, n) from a classic hot/cold mixture: a
+// fraction hotAccess of draws land uniformly in the first hotSpace
+// fraction of the range, the rest land uniformly in the remainder. The
+// 80/20-style mixture is the locality model the paper's data-placement
+// argument relies on (small writes have higher update frequency).
+type HotCold struct {
+	rng       *sim.RNG
+	n         int64
+	hotN      int64
+	hotAccess float64
+}
+
+// NewHotCold builds the mixture. hotSpace and hotAccess must be in [0, 1].
+func NewHotCold(rng *sim.RNG, n int64, hotSpace, hotAccess float64) *HotCold {
+	if n <= 0 {
+		panic("workload: HotCold over non-positive range")
+	}
+	if hotSpace < 0 || hotSpace > 1 || hotAccess < 0 || hotAccess > 1 {
+		panic("workload: HotCold fractions must be in [0,1]")
+	}
+	hotN := int64(float64(n) * hotSpace)
+	if hotN < 1 {
+		hotN = 1
+	}
+	if hotN > n {
+		hotN = n
+	}
+	return &HotCold{rng: rng, n: n, hotN: hotN, hotAccess: hotAccess}
+}
+
+// Next draws the next value.
+func (h *HotCold) Next() int64 {
+	if h.rng.Bool(h.hotAccess) || h.hotN == h.n {
+		return h.rng.Int63n(h.hotN)
+	}
+	return h.hotN + h.rng.Int63n(h.n-h.hotN)
+}
