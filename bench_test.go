@@ -67,6 +67,10 @@ func BenchmarkAblationHotCold(b *testing.B) { benchFigure(b, experiment.Ablation
 // BenchmarkAblationRetention exercises the retention-management ablation.
 func BenchmarkAblationRetention(b *testing.B) { benchFigure(b, experiment.AblationRetention) }
 
+// BenchmarkAblationFaultRecovery measures the recovery cost under the
+// default fault profile vs the fault-free device.
+func BenchmarkAblationFaultRecovery(b *testing.B) { benchFigure(b, experiment.AblationFaultRecovery) }
+
 // BenchmarkExtSubpageRead measures the §7 subpage-read extension.
 func BenchmarkExtSubpageRead(b *testing.B) { benchFigure(b, experiment.ExtSubpageRead) }
 

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"espftl/internal/experiment"
+	"espftl/internal/fault"
 	"espftl/internal/trace"
 	"espftl/internal/workload"
 )
@@ -39,6 +40,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	subFrac := flag.Float64("subregion", 0.20, "subFTL subpage-region fraction")
 	subread := flag.Bool("subread", false, "enable the subpage-read device extension")
+	faults := flag.Bool("faults", false, "arm the fault injector (default profile) and the recovery stack")
+	faultSeed := flag.Uint64("fault-seed", 42, "fault injector seed (deterministic per seed)")
+	faultRead := flag.Float64("fault-read", -1, "read-disturb probability per subpage sense (-1 = profile default)")
+	faultProgram := flag.Float64("fault-program", -1, "program-failure probability per program op (-1 = profile default)")
+	faultErase := flag.Float64("fault-erase", -1, "erase-failure probability per erase op (-1 = profile default)")
+	faultFactory := flag.Float64("fault-factory", -1, "factory-bad block fraction (-1 = profile default)")
 	flag.Parse()
 
 	cfg := experiment.RunConfig{
@@ -51,22 +58,31 @@ func main() {
 	if *full {
 		cfg.Geometry = experiment.ExperimentGeometry
 	}
+	if *faults {
+		p := fault.DefaultProfile(*faultSeed)
+		if *faultRead >= 0 {
+			p.ReadDisturbProb = *faultRead
+		}
+		if *faultProgram >= 0 {
+			p.ProgramFailProb = *faultProgram
+		}
+		if *faultErase >= 0 {
+			p.EraseFailProb = *faultErase
+		}
+		if *faultFactory >= 0 {
+			p.FactoryBadFrac = *faultFactory
+		}
+		cfg.FaultProfile = &p
+	}
 	switch {
 	case *tracePath != "":
 		f, err := os.Open(*tracePath)
 		if err != nil {
 			fatal(err)
 		}
-		reqs, err := trace.ReadBinary(f)
+		reqs, err := trace.ReadAny(f)
 		if err != nil {
-			// Retry as text.
-			if _, serr := f.Seek(0, 0); serr != nil {
-				fatal(serr)
-			}
-			reqs, err = trace.ReadText(f)
-			if err != nil {
-				fatal(fmt.Errorf("trace %s: %w", *tracePath, err))
-			}
+			fatal(fmt.Errorf("trace %s: %w", *tracePath, err))
 		}
 		f.Close()
 		// Fail early with guidance when the trace addresses more space
@@ -113,6 +129,15 @@ func main() {
 	fmt.Printf("  mapping memory    %.1f KiB\n", float64(s.MappingBytes)/1024)
 	fmt.Printf("  flash programs    %d full / %d subpage passes, %d page reads\n",
 		s.Device.PagePrograms, s.Device.SubPrograms, s.Device.PageReads)
+	if *faults {
+		fmt.Printf("  recovery          %d retries over %d reads (%d exhausted), %d program-fail moves, %d scrub rewrites\n",
+			s.Device.ReadRetries, s.Device.RetriedReads, s.Device.RetryFailures, s.ProgramFailMoves, s.ScrubRewrites)
+		fmt.Printf("  bad blocks        %d retired (factory + grown), %d erase failures, %d read failures\n",
+			s.GrownBadBlocks, s.Device.EraseFailures, s.Device.ReadFailures)
+		if res.RetryHist != nil && res.RetryHist.Count() > 0 {
+			fmt.Printf("  retries/read      %s\n", res.RetryHist)
+		}
+	}
 }
 
 // logicalSpace mirrors the harness's sizing rule for the drive a config

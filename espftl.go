@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"espftl/internal/core"
+	"espftl/internal/ecc"
+	"espftl/internal/fault"
 	"espftl/internal/ftl"
 	"espftl/internal/ftl/cgm"
 	"espftl/internal/ftl/fgm"
@@ -52,6 +54,20 @@ type Geometry = nand.Geometry
 // Stats re-exports the FTL statistics snapshot.
 type Stats = ftl.Stats
 
+// FaultProfile re-exports the fault injector's probability profile; use
+// fault.DefaultProfile-style values via DefaultFaultProfile.
+type FaultProfile = fault.Profile
+
+// ErrReadOnly is returned by Write once grown bad blocks have consumed the
+// drive's spare capacity: reads keep working, writes are refused instead of
+// wedging garbage collection.
+var ErrReadOnly = ftl.ErrReadOnly
+
+// DefaultFaultProfile returns a realistic deterministic fault profile for
+// the given seed (read disturbs, program/erase failures, factory-bad
+// blocks).
+func DefaultFaultProfile(seed uint64) FaultProfile { return fault.DefaultProfile(seed) }
+
 // Config assembles a simulated SSD.
 type Config struct {
 	// FTL picks the translation layer; default SubFTL.
@@ -73,6 +89,10 @@ type Config struct {
 	// OpportunisticFill lets fgmFTL top up partial sync flushes with
 	// staged async sectors (an extension over the paper's baseline).
 	OpportunisticFill bool
+	// Fault, when non-nil, arms the device's deterministic fault injector
+	// with this profile and enables the read-retry recovery path. Nil
+	// keeps the fault-free device, bit-identical to earlier releases.
+	Fault *FaultProfile
 }
 
 // SSD is a simulated flash drive: a timed NAND device under one FTL.
@@ -95,6 +115,15 @@ func New(cfg Config) (*SSD, error) {
 	devCfg := nand.DefaultConfig()
 	devCfg.Geometry = cfg.Geometry
 	devCfg.EnableSubpageRead = cfg.EnableSubpageRead
+	if cfg.Fault != nil {
+		inj, err := fault.NewInjector(*cfg.Fault)
+		if err != nil {
+			return nil, err
+		}
+		devCfg.Fault = inj
+		rm := ecc.DefaultRetry
+		devCfg.Retry = &rm
+	}
 	clock := sim.NewClock(0)
 	dev, err := nand.NewDevice(devCfg, clock)
 	if err != nil {

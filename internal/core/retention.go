@@ -18,7 +18,7 @@ func (f *FTL) scrubRetention(now sim.Time) error {
 	var old []entry
 	threshold := f.cfg.RetentionThreshold
 	f.hash.Range(func(lsn, spn int64) bool {
-		if nand.AgeOf(f.writtenAt[spn], now) > threshold {
+		if nand.AgeOf(f.writtenAt[spn], now) > threshold || f.nearExpiry(spn, now) {
 			old = append(old, entry{lsn, spn})
 		}
 		return true
@@ -29,7 +29,8 @@ func (f *FTL) scrubRetention(now sim.Time) error {
 		if !ok || spn != e.spn {
 			continue
 		}
-		if nand.AgeOf(f.writtenAt[spn], now) <= threshold {
+		overThreshold := nand.AgeOf(f.writtenAt[spn], now) > threshold
+		if !overThreshold && !f.nearExpiry(spn, now) {
 			continue
 		}
 		if f.stale(e.lsn, spn) {
@@ -39,9 +40,27 @@ func (f *FTL) scrubRetention(now sim.Time) error {
 		if err := f.evictToFull(e.lsn, spn); err != nil {
 			return err
 		}
-		f.stats.RetentionMoves++
+		if overThreshold {
+			f.stats.RetentionMoves++
+		} else {
+			f.stats.ScrubRewrites++
+		}
 	}
 	return nil
+}
+
+// nearExpiry reports whether the subpage at spn will cross its physical
+// retention capability — on its block's current wear — within the next two
+// scrub intervals. The two-interval margin guarantees the rewrite lands
+// before the data turns uncorrectable even if one scrub pass is missed.
+// On lightly worn blocks the capability comfortably exceeds the 15-day
+// threshold, so this only fires ahead of the threshold near end of life.
+func (f *FTL) nearExpiry(spn int64, now sim.Time) bool {
+	g := f.dev.Geometry()
+	info := f.dev.SubpageInfo(nand.SubpageID(spn))
+	blk := g.BlockOfPage(g.PageOfSubpage(nand.SubpageID(spn)))
+	capability := f.dev.Retention().RetentionCapability(info.Npp, f.dev.EraseCount(blk))
+	return nand.AgeOf(f.writtenAt[spn], now)+2*f.cfg.ScrubInterval > capability
 }
 
 // OldestSubpageAge reports the age of the oldest live subpage-region data,
@@ -100,6 +119,13 @@ func (f *FTL) Check() error {
 	subCount := 0
 	for b := 0; b < g.TotalBlocks(); b++ {
 		id := nand.BlockID(b)
+		if f.man.State(id) == ftl.StateBad {
+			// Retired and drained: no live data, no region bookkeeping.
+			if perBlock[id] != 0 {
+				return fmt.Errorf("core: retired block %d holds %d live subpages", id, perBlock[id])
+			}
+			continue
+		}
 		if f.man.State(id) != ftl.StateFree && f.man.Role(id) == ftl.RoleSub {
 			subCount++
 			if got, want := f.man.Valid(id), perBlock[id]; got != want {

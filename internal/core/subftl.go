@@ -194,6 +194,13 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 	}
 	f.full = store
 	store.SetReclaim(f.reclaimEmptySubBlock)
+	// Degrade to read-only once grown-bad blocks eat the spare capacity
+	// down to the minimum the FTL needs to keep writing: enough blocks for
+	// the logical space, the GC reserve, the open stripe, and a minimal
+	// subpage region.
+	secPerBlock := int64(g.SubpagesPerPage * g.PagesPerBlock)
+	dataBlocks := int((cfg.LogicalSectors + secPerBlock - 1) / secPerBlock)
+	f.man.SetCapacityFloor(dataBlocks + cfg.GCReserveBlocks + len(f.actives) + 3)
 	return f, nil
 }
 
@@ -221,6 +228,11 @@ func (f *FTL) reclaimEmptySubBlock() bool {
 		}
 		f.meta[id] = subBlock{}
 		f.subBlocks--
+		if f.man.State(id) == ftl.StateBad {
+			// The block was retired while empty; it is out of the region
+			// but gave nothing back to the pool. Keep looking.
+			continue
+		}
 		f.stats.RegionReclaims++
 		return true
 	}
@@ -285,6 +297,9 @@ func (f *FTL) dropFullCopy(lsn int64) {
 func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
 	if err := f.ver.CheckRange(lsn, sectors); err != nil {
 		return err
+	}
+	if f.man.ReadOnly() {
+		return ftl.ErrReadOnly
 	}
 	f.stats.HostWriteReqs++
 	f.stats.HostSectorsWritten += int64(sectors)
@@ -462,6 +477,7 @@ func (f *FTL) Stats() ftl.Stats {
 	s := f.stats
 	s.MappingBytes = f.full.MappingBytes() + f.hash.MemoryBytes()
 	s.SectorBytes = int64(f.dev.Geometry().SubpageBytes)
+	s.GrownBadBlocks = int64(f.man.BadCount())
 	s.Device = f.dev.Counters()
 	return s
 }

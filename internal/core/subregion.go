@@ -1,12 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"espftl/internal/ftl"
 	"espftl/internal/mapping"
 	"espftl/internal/nand"
 )
+
+// maxProgramReplays bounds how many fresh blocks a single pass may burn
+// through on consecutive injected program failures before the error is
+// surfaced instead of retried.
+const maxProgramReplays = 8
 
 // initSubBlock prepares bookkeeping for a block entering the subpage
 // region at round 0.
@@ -340,12 +346,32 @@ func (f *FTL) subPass(lsns []int64, attrPerSector int64) (int, error) {
 		mb.cursor++
 		return n, nil
 	}
-	if _, err := f.dev.ProgramSubpageRun(p, r, stamps); err != nil {
-		return 0, err
+	for attempt := 0; ; attempt++ {
+		_, err := f.dev.ProgramSubpageRun(p, r, stamps)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, nand.ErrProgramFail) || attempt >= maxProgramReplays {
+			return 0, err
+		}
+		// The pass aborted: its fresh copies and the shifted survivors'
+		// old cells are gone, but every payload is still in RAM (stamps).
+		// Retire the block, pull it out of the stripe, and replay the
+		// whole pass at round 0 of a fresh block.
+		p, mb, pi, r, err = f.relocateFailedPass(p)
+		if err != nil {
+			return 0, err
+		}
 	}
-	// Remap the shifted survivors.
+	// Remap the shifted survivors. After a replay on a fresh block the
+	// survivors changed blocks, so their valid counts move too.
+	newBlk := g.BlockOfPage(p)
 	for i, sv := range shift {
 		newSpn := int64(g.SubpageOf(p, r+i))
+		if oldBlk := g.BlockOfPage(g.PageOfSubpage(nand.SubpageID(sv.spn))); oldBlk != newBlk {
+			f.man.AddValid(oldBlk, -1)
+			f.man.AddValid(newBlk, 1)
+		}
 		f.rmapSub[sv.spn] = mapping.None
 		f.rmapSub[newSpn] = sv.lsn
 		if err := f.hash.Put(sv.lsn, newSpn); err != nil {
@@ -369,6 +395,61 @@ func (f *FTL) subPass(lsns []int64, attrPerSector int64) (int, error) {
 	mb.nextIdx[pi] = uint8(r + len(stamps))
 	mb.cursor++
 	return n, nil
+}
+
+// relocateFailedPass recovers from an injected program failure on page p:
+// the block is retired (grown bad), its stripe slot freed, and a fresh
+// subpage-region block allocated and installed in its place. It returns
+// the replay target — page 0 of the fresh block at round 0.
+func (f *FTL) relocateFailedPass(p nand.PageID) (nand.PageID, *subBlock, int, int, error) {
+	g := f.dev.Geometry()
+	fb := g.BlockOfPage(p)
+	slot := -1
+	for i := range f.actives {
+		if f.activeOK[i] && f.actives[i] == fb {
+			slot = i
+			f.activeOK[i] = false
+		}
+	}
+	if f.gcDestSet && fb == f.gcDest {
+		f.gcDestSet = false
+	}
+	f.man.Retire(fb)
+	f.stats.ProgramFailMoves++
+	chip := 0
+	if slot >= 0 {
+		chip = slot * g.Chips() / len(f.actives)
+	}
+	nb, err := f.allocSubBlock(chip)
+	if err != nil {
+		return 0, nil, 0, 0, err
+	}
+	f.initSubBlock(nb)
+	if slot >= 0 {
+		f.actives[slot], f.activeOK[slot] = nb, true
+	}
+	return g.PageOf(nb, 0), &f.meta[nb], 0, 0, nil
+}
+
+// allocSubBlock allocates a fresh subpage-region block for failure
+// recovery, reclaiming or collecting from the full-page region when the
+// pool is at its reserve. The region quota is deliberately not consulted:
+// the retired block still counts against it until GC drains it, and
+// recovery must not deadlock on that transient.
+func (f *FTL) allocSubBlock(chip int) (nand.BlockID, error) {
+	for guard := 0; guard < 64; guard++ {
+		if f.man.FreeCount() <= f.cfg.GCReserveBlocks && !f.reclaimEmptySubBlock() {
+			if err := f.full.CollectOnce(); err != nil {
+				return 0, err
+			}
+		}
+		if f.man.FreeCount() > f.cfg.GCReserveBlocks {
+			if b, ok := f.man.AllocOnChip(ftl.RoleSub, chip); ok {
+				return b, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("core: cannot allocate a replacement subpage block: %s", f.debugState())
 }
 
 // subWriteRun writes the given sectors into the subpage region using as
@@ -445,29 +526,43 @@ func (f *FTL) evictToFull(lsn, spn int64) error {
 // block as one pass.
 func (f *FTL) gcMoveGroup(survs []survivor, pageStamps []nand.Stamp) error {
 	g := f.dev.Geometry()
-	if f.gcDestSet && f.meta[f.gcDest].cursor >= g.PagesPerBlock {
-		// Destination filled its round 0: it rejoins the region as a
-		// normal (advance-capable) block.
-		f.gcDestSet = false
-	}
-	if !f.gcDestSet {
-		b, ok := f.man.Alloc(ftl.RoleSub)
-		if !ok {
-			return fmt.Errorf("core: no free block for subpage GC destination")
-		}
-		f.initSubBlock(b)
-		f.gcDest, f.gcDestSet = b, true
-	}
-	mb := &f.meta[f.gcDest]
-	pi := mb.cursor
-	mb.cursor++
-	dp := g.PageOf(f.gcDest, pi)
 	stamps := make([]nand.Stamp, len(survs))
 	for i, sv := range survs {
 		stamps[i] = pageStamps[sv.slot]
 	}
-	if _, err := f.dev.ProgramSubpageRun(dp, 0, stamps); err != nil {
-		return err
+	var mb *subBlock
+	var pi int
+	var dp nand.PageID
+	for attempt := 0; ; attempt++ {
+		if f.gcDestSet && f.meta[f.gcDest].cursor >= g.PagesPerBlock {
+			// Destination filled its round 0: it rejoins the region as a
+			// normal (advance-capable) block.
+			f.gcDestSet = false
+		}
+		if !f.gcDestSet {
+			b, ok := f.man.Alloc(ftl.RoleSub)
+			if !ok {
+				return fmt.Errorf("core: no free block for subpage GC destination")
+			}
+			f.initSubBlock(b)
+			f.gcDest, f.gcDestSet = b, true
+		}
+		mb = &f.meta[f.gcDest]
+		pi = mb.cursor
+		mb.cursor++
+		dp = g.PageOf(f.gcDest, pi)
+		_, err := f.dev.ProgramSubpageRun(dp, 0, stamps)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, nand.ErrProgramFail) || attempt >= maxProgramReplays {
+			return err
+		}
+		// The source copies on the victim are untouched; retire the
+		// destination (grown bad) and replay onto a fresh one.
+		f.man.Retire(f.gcDest)
+		f.gcDestSet = false
+		f.stats.ProgramFailMoves++
 	}
 	mb.nextIdx[pi] = uint8(len(stamps))
 	for i, sv := range survs {

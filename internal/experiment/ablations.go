@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"espftl/internal/fault"
 	"espftl/internal/workload"
 )
 
@@ -144,6 +145,47 @@ func AblationRetention(o Options) (*Table, error) {
 	}
 	t.Note("failure = uncorrectable ECC error on read; the no-management run aborts at its first loss")
 	t.Note("the §4.3 scrub trades a trickle of migrations for zero retention losses")
+	return t, nil
+}
+
+// AblationFaultRecovery quantifies the cost of the NAND error-recovery
+// stack: the same Varmail run fault-free and with the default fault
+// profile armed (transient read disturbs, program/erase failures,
+// factory-bad blocks). With recovery on, every injected fault is absorbed
+// by retries and relocations — no uncorrectable read reaches the host.
+func AblationFaultRecovery(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "abl-fault",
+		Title:   "NAND fault injection and recovery cost (Varmail)",
+		Columns: []string{"device", "IOPS", "request WAF", "read retries", "program-fail moves", "bad blocks", "read failures"},
+	}
+	for _, faulty := range []bool{false, true} {
+		cfg := RunConfig{
+			Kind:     KindSub,
+			Geometry: o.Geometry,
+			Requests: o.Requests,
+			Profile:  workload.Varmail(),
+			Seed:     o.Seed,
+		}
+		name := "fault-free"
+		if faulty {
+			name = "default fault profile"
+			p := fault.DefaultProfile(o.Seed + 99)
+			cfg.FaultProfile = &p
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("abl-fault faulty=%v: %w", faulty, err)
+		}
+		t.AddRow(name, fmt.Sprintf("%.0f", res.IOPS()),
+			f3(res.Stats.AvgRequestWAF()),
+			fmt.Sprintf("%d", res.Stats.Device.ReadRetries),
+			fmt.Sprintf("%d", res.Stats.ProgramFailMoves),
+			fmt.Sprintf("%d", res.Stats.GrownBadBlocks),
+			fmt.Sprintf("%d", res.Stats.Device.ReadFailures))
+	}
+	t.Note("read failure = uncorrectable error surfaced to the FTL after retries; recovery turns faults into latency and write amplification instead")
 	return t, nil
 }
 
@@ -300,6 +342,7 @@ func All() []struct {
 		{"abl-region", AblationRegionRatio, "subpage-region size sweep"},
 		{"abl-hotcold", AblationHotCold, "hot/cold GC separation on/off"},
 		{"abl-retention", AblationRetention, "retention management on/off"},
+		{"abl-fault", AblationFaultRecovery, "fault injection and recovery cost"},
 		{"ext-subread", ExtSubpageRead, "subpage-read future-work extension"},
 		{"ext-lifetime", ExtLifetime, "projected lifetime from erase rates"},
 		{"ext-latency", ExtLatency, "per-request service-demand percentiles"},

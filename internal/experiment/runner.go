@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"espftl/internal/core"
+	"espftl/internal/ecc"
+	"espftl/internal/fault"
 	"espftl/internal/ftl"
 	"espftl/internal/ftl/cgm"
 	"espftl/internal/ftl/fgm"
@@ -86,6 +88,12 @@ type RunConfig struct {
 	DisableRetention  bool    // subFTL ablation
 	OpportunisticFill bool    // fgmFTL extension
 	EnableSubpageRead bool    // device extension (paper §7 future work)
+
+	// FaultProfile, when non-nil, arms the device's fault injector with
+	// this profile and enables the stepped read-retry recovery path.
+	// Nil keeps the fault-free device, bit-identical to runs before the
+	// injector existed.
+	FaultProfile *fault.Profile
 }
 
 // withDefaults fills zero fields.
@@ -134,6 +142,9 @@ type Result struct {
 	// Latency holds per-request completion-horizon extensions when
 	// RunConfig.MeasureLatency was set.
 	Latency *metrics.Histogram
+	// RetryHist is the device's retries-per-read histogram over the whole
+	// run (nil without fault injection).
+	RetryHist *metrics.IntHistogram
 }
 
 // IOPS returns measured requests per virtual second.
@@ -192,6 +203,15 @@ func Run(cfg RunConfig) (*Result, error) {
 	devCfg := nand.DefaultConfig()
 	devCfg.Geometry = cfg.Geometry
 	devCfg.EnableSubpageRead = cfg.EnableSubpageRead
+	if cfg.FaultProfile != nil {
+		inj, err := fault.NewInjector(*cfg.FaultProfile)
+		if err != nil {
+			return nil, err
+		}
+		devCfg.Fault = inj
+		rm := ecc.DefaultRetry
+		devCfg.Retry = &rm
+	}
 	clock := sim.NewClock(0)
 	dev, err := nand.NewDevice(devCfg, clock)
 	if err != nil {
@@ -250,6 +270,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	res.Stats = f.Stats().Sub(before)
 	res.ChipUtil = dev.ChipUtilization()
 	res.ChipOps = dev.ChipOps()
+	if cfg.FaultProfile != nil {
+		res.RetryHist = dev.RetryHistogram()
+	}
 	if sub, ok := f.(*core.FTL); ok {
 		res.SubRegionValid = sub.RegionValid()
 		res.SubRegionBlocks = sub.SubRegionBlocks()

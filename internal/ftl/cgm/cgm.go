@@ -54,6 +54,11 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 		return nil, err
 	}
 	f.store = store
+	// Degrade to read-only once grown-bad blocks eat the spare capacity
+	// down to the minimum the FTL needs to keep writing: enough blocks for
+	// the logical space, the GC reserve, and the open append points.
+	dataBlocks := int((cfg.LogicalSectors/ps + int64(g.PagesPerBlock) - 1) / int64(g.PagesPerBlock))
+	f.man.SetCapacityFloor(dataBlocks + cfg.GCReserveBlocks + 2*g.Chips())
 	return f, nil
 }
 
@@ -90,6 +95,9 @@ func (f *FTL) forEachPage(lsn int64, sectors int, fn func(lpn int64, slots []int
 func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
 	if err := f.ver.CheckRange(lsn, sectors); err != nil {
 		return err
+	}
+	if f.man.ReadOnly() {
+		return ftl.ErrReadOnly
 	}
 	_ = sync
 	f.stats.HostWriteReqs++
@@ -150,6 +158,7 @@ func (f *FTL) Stats() ftl.Stats {
 	s := f.stats
 	s.MappingBytes = f.store.MappingBytes()
 	s.SectorBytes = int64(f.dev.Geometry().SubpageBytes)
+	s.GrownBadBlocks = int64(f.man.BadCount())
 	s.Device = f.dev.Counters()
 	return s
 }

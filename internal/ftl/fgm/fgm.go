@@ -7,6 +7,7 @@
 package fgm
 
 import (
+	"errors"
 	"fmt"
 
 	"espftl/internal/buffer"
@@ -14,6 +15,11 @@ import (
 	"espftl/internal/mapping"
 	"espftl/internal/nand"
 )
+
+// maxProgramReplays bounds how many fresh blocks a single write may burn
+// through on consecutive injected program failures before the error is
+// surfaced instead of retried.
+const maxProgramReplays = 8
 
 // Config parameterizes fgmFTL.
 type Config struct {
@@ -102,6 +108,12 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 	for i := range f.rmap {
 		f.rmap[i] = mapping.None
 	}
+	// Degrade to read-only once grown-bad blocks eat the spare capacity
+	// down to the minimum the FTL needs to keep writing: enough blocks for
+	// the logical space, the GC reserve, and the open append points.
+	secPerBlock := int64(g.SubpagesPerPage * g.PagesPerBlock)
+	dataBlocks := int((cfg.LogicalSectors + secPerBlock - 1) / secPerBlock)
+	f.man.SetCapacityFloor(dataBlocks + cfg.GCReserveBlocks + len(f.host.points) + len(f.gc.points))
 	return f, nil
 }
 
@@ -146,10 +158,6 @@ func (f *FTL) programPacked(lsns []int64, forGC bool) error {
 	if len(lsns) == 0 || len(lsns) > f.pageSecs {
 		return fmt.Errorf("fgm: packing %d sectors into a %d-sector page", len(lsns), f.pageSecs)
 	}
-	p, err := f.allocPage(forGC)
-	if err != nil {
-		return err
-	}
 	g := f.dev.Geometry()
 	stamps := make([]nand.Stamp, f.pageSecs)
 	for slot := range stamps {
@@ -158,20 +166,51 @@ func (f *FTL) programPacked(lsns []int64, forGC bool) error {
 	for slot, lsn := range lsns {
 		stamps[slot] = nand.Stamp{LSN: lsn, Version: f.ver.Current(lsn)}
 	}
-	if _, err := f.dev.ProgramPage(p, stamps); err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		p, err := f.allocPage(forGC)
+		if err != nil {
+			return err
+		}
+		if _, err := f.dev.ProgramPage(p, stamps); err != nil {
+			// A program failure destroys only the fresh copy; the mapping
+			// still points at the old one, so replay on a new block and
+			// retire the failed one (grown bad).
+			if errors.Is(err, nand.ErrProgramFail) && attempt < maxProgramReplays {
+				f.retireFailed(g.BlockOfPage(p), forGC)
+				f.stats.ProgramFailMoves++
+				continue
+			}
+			return err
+		}
+		blk := g.BlockOfPage(p)
+		for slot, lsn := range lsns {
+			spn := int64(g.SubpageOf(p, slot))
+			old := f.table.Update(lsn, spn)
+			f.rmap[spn] = lsn
+			f.man.AddValid(blk, 1)
+			if old != mapping.None {
+				f.man.AddValid(g.BlockOfPage(g.PageOfSubpage(nand.SubpageID(old))), -1)
+			}
+		}
+		return nil
 	}
-	blk := g.BlockOfPage(p)
-	for slot, lsn := range lsns {
-		spn := int64(g.SubpageOf(p, slot))
-		old := f.table.Update(lsn, spn)
-		f.rmap[spn] = lsn
-		f.man.AddValid(blk, 1)
-		if old != mapping.None {
-			f.man.AddValid(g.BlockOfPage(g.PageOfSubpage(nand.SubpageID(old))), -1)
+}
+
+// retireFailed retires the append block a program failure hit and drops it
+// from its stripe so the replay allocates a fresh block. The block's state
+// moves to full; GC later drains whatever live sectors it already held and
+// parks it in StateBad.
+func (f *FTL) retireFailed(b nand.BlockID, forGC bool) {
+	f.man.Retire(b)
+	st := &f.host
+	if forGC {
+		st = &f.gc
+	}
+	for i := range st.points {
+		if st.points[i].set && st.points[i].block == b {
+			st.points[i].set = false
 		}
 	}
-	return nil
 }
 
 // flushGroup writes one buffer flush group to flash, splitting it into
@@ -209,6 +248,9 @@ func (f *FTL) flushGroup(lsns []int64) error {
 func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
 	if err := f.ver.CheckRange(lsn, sectors); err != nil {
 		return err
+	}
+	if f.man.ReadOnly() {
+		return ftl.ErrReadOnly
 	}
 	f.stats.HostWriteReqs++
 	f.stats.HostSectorsWritten += int64(sectors)
@@ -360,6 +402,7 @@ func (f *FTL) Stats() ftl.Stats {
 	s := f.stats
 	s.MappingBytes = f.table.MemoryBytes()
 	s.SectorBytes = int64(f.dev.Geometry().SubpageBytes)
+	s.GrownBadBlocks = int64(f.man.BadCount())
 	s.Device = f.dev.Counters()
 	return s
 }

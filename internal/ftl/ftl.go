@@ -7,10 +7,16 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
 	"espftl/internal/nand"
 )
+
+// ErrReadOnly reports a write to an FTL whose spare capacity has been
+// exhausted by bad blocks: the device degrades to read-only service
+// rather than wedging inside garbage collection.
+var ErrReadOnly = errors.New("ftl: device degraded to read-only (spare capacity exhausted by bad blocks)")
 
 // FTL is the host-facing interface of a flash translation layer. All
 // addresses are logical sectors of S_sub bytes. Implementations are
@@ -64,6 +70,13 @@ type Stats struct {
 	BufferAbsorbed int64 // writes absorbed entirely in the write buffer
 	ReadBufferHits int64 // reads served from the write buffer
 
+	// Recovery mechanisms (all zero without fault injection).
+	ProgramFailMoves int64 // writes replayed on a fresh block after a program failure
+	ScrubRewrites    int64 // subFTL: near-expiry subpages rewritten by the scrubber
+	// GrownBadBlocks snapshots the retired-block count (factory plus
+	// grown) at Stats() time; like MappingBytes it is not diffed by Sub.
+	GrownBadBlocks int64
+
 	// MappingBytes is the L2P translation memory footprint.
 	MappingBytes int64
 
@@ -98,6 +111,8 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.RegionReclaims -= prev.RegionReclaims
 	d.BufferAbsorbed -= prev.BufferAbsorbed
 	d.ReadBufferHits -= prev.ReadBufferHits
+	d.ProgramFailMoves -= prev.ProgramFailMoves
+	d.ScrubRewrites -= prev.ScrubRewrites
 	d.Device.PageReads -= prev.Device.PageReads
 	d.Device.SubpageReads -= prev.Device.SubpageReads
 	d.Device.PagePrograms -= prev.Device.PagePrograms
@@ -107,6 +122,11 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.Device.BytesRead -= prev.Device.BytesRead
 	d.Device.ReadFailures -= prev.Device.ReadFailures
 	d.Device.RetentionHits -= prev.Device.RetentionHits
+	d.Device.ReadRetries -= prev.Device.ReadRetries
+	d.Device.RetriedReads -= prev.Device.RetriedReads
+	d.Device.RetryFailures -= prev.Device.RetryFailures
+	d.Device.ProgramFailures -= prev.Device.ProgramFailures
+	d.Device.EraseFailures -= prev.Device.EraseFailures
 	return d
 }
 

@@ -7,12 +7,18 @@
 package fullpage
 
 import (
+	"errors"
 	"fmt"
 
 	"espftl/internal/ftl"
 	"espftl/internal/mapping"
 	"espftl/internal/nand"
 )
+
+// maxProgramReplays bounds how many fresh blocks a single write may burn
+// through on consecutive injected program failures before the error is
+// surfaced instead of retried.
+const maxProgramReplays = 8
 
 // Store is a CGM region over a shared block manager. All methods are
 // in units of logical pages (LPN) and sector indices within a page.
@@ -215,10 +221,6 @@ func (s *Store) allocPage(forGC bool) (nand.PageID, error) {
 // recovered from the old copy during an RMW; nil means all live slots take
 // their current host version.
 func (s *Store) programPage(lpn int64, forGC bool) error {
-	p, err := s.allocPage(forGC)
-	if err != nil {
-		return err
-	}
 	g := s.dev.Geometry()
 	stamps := make([]nand.Stamp, s.pageSecs)
 	mask := s.masks[lpn]
@@ -230,17 +232,47 @@ func (s *Store) programPage(lpn int64, forGC bool) error {
 		lsn := lpn*int64(s.pageSecs) + int64(slot)
 		stamps[slot] = nand.Stamp{LSN: lsn, Version: s.ver.Current(lsn)}
 	}
-	if _, err := s.dev.ProgramPage(p, stamps); err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		p, err := s.allocPage(forGC)
+		if err != nil {
+			return err
+		}
+		if _, err := s.dev.ProgramPage(p, stamps); err != nil {
+			// A program failure destroys only the fresh copy; the mapping
+			// still points at the old one, so replay on a new block and
+			// retire the failed one (grown bad).
+			if errors.Is(err, nand.ErrProgramFail) && attempt < maxProgramReplays {
+				s.retireFailed(g.BlockOfPage(p), forGC)
+				s.stats.ProgramFailMoves++
+				continue
+			}
+			return err
+		}
+		old := s.table.Update(lpn, int64(p))
+		s.rmap[p] = lpn
+		s.man.AddValid(g.BlockOfPage(p), 1)
+		if old != mapping.None {
+			s.man.AddValid(g.BlockOfPage(nand.PageID(old)), -1)
+		}
+		return nil
 	}
-	old := s.table.Update(lpn, int64(p))
-	s.rmap[p] = lpn
-	newBlk := g.BlockOfPage(p)
-	s.man.AddValid(newBlk, 1)
-	if old != mapping.None {
-		s.man.AddValid(g.BlockOfPage(nand.PageID(old)), -1)
+}
+
+// retireFailed retires the append block a program failure hit and drops it
+// from its stripe so the replay allocates a fresh block. The block's state
+// moves to full; GC later drains whatever live pages it already held and
+// parks it in StateBad.
+func (s *Store) retireFailed(b nand.BlockID, forGC bool) {
+	s.man.Retire(b)
+	st := &s.host
+	if forGC {
+		st = &s.gc
 	}
-	return nil
+	for i := range st.points {
+		if st.points[i].set && st.points[i].block == b {
+			st.points[i].set = false
+		}
+	}
 }
 
 // WriteSectors services a host (or eviction) write of the given sector

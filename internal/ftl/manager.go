@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
 	"espftl/internal/nand"
@@ -40,6 +41,7 @@ const (
 	StateFree BlockState = iota // erased, in the free pool
 	StateOpen                   // allocated, still being filled
 	StateFull                   // filled; GC candidate
+	StateBad                    // retired (factory or grown bad); never allocated again
 )
 
 // blockMeta is the manager's per-block record.
@@ -50,6 +52,10 @@ type blockMeta struct {
 	// owning FTL's choice (sectors, pages or subpages) but must be used
 	// consistently.
 	valid int
+	// bad marks a retired block. A bad block that still holds valid data
+	// stays in StateFull until GC drains it; once empty it Recycles into
+	// StateBad instead of returning to the pool.
+	bad bool
 }
 
 // Manager owns block lifecycle for an FTL: a wear-aware free pool kept as
@@ -67,9 +73,15 @@ type Manager struct {
 	// rr rotates untargeted allocations across chips so wear ties do not
 	// pile work onto chip 0.
 	rr int
+	// bad counts retired blocks (factory plus grown); floor, when set, is
+	// the usable-block count below which the manager reports read-only
+	// degradation.
+	bad   int
+	floor int
 }
 
-// NewManager returns a manager over every block of the device, all free.
+// NewManager returns a manager over every block of the device, all free
+// except those the device's fault model marks factory-bad.
 func NewManager(dev *nand.Device) *Manager {
 	g := dev.Geometry()
 	n := g.TotalBlocks()
@@ -79,10 +91,16 @@ func NewManager(dev *nand.Device) *Manager {
 		free: make([][]nand.BlockID, g.Chips()),
 	}
 	for b := 0; b < n; b++ {
-		chip := g.ChipOf(nand.BlockID(b))
-		m.free[chip] = append(m.free[chip], nand.BlockID(b))
+		id := nand.BlockID(b)
+		if dev.FactoryBad(id) {
+			m.meta[b] = blockMeta{state: StateBad, bad: true}
+			m.bad++
+			continue
+		}
+		chip := g.ChipOf(id)
+		m.free[chip] = append(m.free[chip], id)
 	}
-	m.total = n
+	m.total = n - m.bad
 	return m
 }
 
@@ -192,15 +210,30 @@ func (m *Manager) MarkFull(b nand.BlockID) {
 }
 
 // Recycle erases a block (which must hold no valid units) and returns it
-// to the free pool.
+// to the free pool. A block already retired — or whose erase fails, which
+// retires it — transitions to StateBad instead: the caller's drain
+// succeeded, there is just no block to reuse.
 func (m *Manager) Recycle(b nand.BlockID) error {
 	if m.meta[b].valid != 0 {
 		return fmt.Errorf("ftl: recycling block %d with %d valid units", b, m.meta[b].valid)
 	}
-	if m.meta[b].state == StateFree {
+	switch m.meta[b].state {
+	case StateFree:
 		return fmt.Errorf("ftl: recycling free block %d", b)
+	case StateBad:
+		return fmt.Errorf("ftl: recycling retired block %d", b)
+	}
+	if m.meta[b].bad {
+		m.meta[b].state = StateBad
+		return nil
 	}
 	if _, err := m.dev.Erase(b); err != nil {
+		if errors.Is(err, nand.ErrEraseFail) {
+			m.meta[b].bad = true
+			m.meta[b].state = StateBad
+			m.bad++
+			return nil
+		}
 		return err
 	}
 	m.meta[b] = blockMeta{state: StateFree}
@@ -210,6 +243,64 @@ func (m *Manager) Recycle(b nand.BlockID) error {
 	m.total++
 	return nil
 }
+
+// Retire marks b grown-bad: it leaves the free pool permanently and is
+// never allocated again. An open block transitions to full so GC can
+// drain any live data it still holds; once drained, Recycle parks it in
+// StateBad.
+func (m *Manager) Retire(b nand.BlockID) {
+	mt := &m.meta[b]
+	if mt.bad {
+		return
+	}
+	mt.bad = true
+	m.bad++
+	switch mt.state {
+	case StateFree:
+		m.removeFree(b)
+		mt.state = StateBad
+	case StateOpen:
+		mt.state = StateFull
+	}
+}
+
+// removeFree deletes b from its chip's free heap.
+func (m *Manager) removeFree(b nand.BlockID) {
+	chip := m.dev.Geometry().ChipOf(b)
+	h := m.free[chip]
+	for i := range h {
+		if h[i] != b {
+			continue
+		}
+		last := len(h) - 1
+		h[i] = h[last]
+		m.free[chip] = h[:last]
+		if i < last {
+			m.siftDown(chip, i)
+			m.siftUp(chip, i)
+		}
+		m.total--
+		return
+	}
+}
+
+// BadCount returns how many blocks are retired (factory plus grown bad).
+func (m *Manager) BadCount() int { return m.bad }
+
+// Bad reports whether b is retired or pending retirement.
+func (m *Manager) Bad(b nand.BlockID) bool { return m.meta[b].bad }
+
+// SetCapacityFloor sets the usable-block count below which ReadOnly
+// reports degradation. Zero (the default) disables the check.
+func (m *Manager) SetCapacityFloor(n int) { m.floor = n }
+
+// Usable returns the number of non-retired blocks.
+func (m *Manager) Usable() int { return len(m.meta) - m.bad }
+
+// ReadOnly reports whether bad blocks have eaten the spare capacity down
+// to the configured floor. FTLs check it on the write path and degrade to
+// read-only service instead of wedging inside GC.
+func (m *Manager) ReadOnly() bool { return m.floor > 0 && m.Usable() < m.floor }
 
 // State, Role and Valid expose per-block records.
 func (m *Manager) State(b nand.BlockID) BlockState { return m.meta[b].state }

@@ -129,6 +129,17 @@ func (c *chip) programSubpages(localBlock, pageIdx int, subs []int, stamps []Sta
 	return nil
 }
 
+// failProgram models an aborted program operation on the given subpage
+// slots: the cells were partially written, so their content (and nothing
+// else's) is unreadable. The slots keep their programmed/pass bookkeeping —
+// the physical pass did happen — but read back as destroyed.
+func (c *chip) failProgram(localBlock, pageIdx int, subs []int) {
+	pg := &c.blocks[localBlock].pages[pageIdx]
+	for _, sub := range subs {
+		pg.subs[sub].destroyed = true
+	}
+}
+
 // readSubpage returns the stamp stored in a subpage, enforcing the
 // reliability model: erased and ESP-destroyed subpages are unreadable, and
 // data older than its Npp-type retention capability (on this block's wear)

@@ -1,8 +1,12 @@
 package nand
 
 import (
+	"errors"
 	"fmt"
 
+	"espftl/internal/ecc"
+	"espftl/internal/fault"
+	"espftl/internal/metrics"
 	"espftl/internal/sim"
 )
 
@@ -20,6 +24,16 @@ type Config struct {
 	// ablation experiments that quantify how often an FTL *would* have
 	// lost data.
 	DisableRetentionErrors bool
+	// Fault, when non-nil, is consulted on every operation to inject
+	// transient read disturbs, program/erase failures and factory bad
+	// blocks. With Fault and Retry both nil the device takes the exact
+	// fault-free code path, bit-identical to a build without them.
+	Fault *fault.Injector
+	// Retry, when non-nil, enables stepped read-retry: a sense whose BER
+	// exceeds the ECC limit is re-read up to MaxRetries times, each step
+	// relieving part of the raw BER and charging one more cell sense to
+	// the chip timeline.
+	Retry *ecc.RetryModel
 }
 
 // DefaultConfig returns the paper-calibrated device configuration.
@@ -43,6 +57,13 @@ type Counters struct {
 	BytesRead     int64
 	ReadFailures  int64 // uncorrectable / destroyed / unprogrammed reads
 	RetentionHits int64 // subset of ReadFailures caused by retention expiry
+
+	// Recovery-path counters (all zero when fault injection is off).
+	ReadRetries     int64 // read-retry steps performed
+	RetriedReads    int64 // reads recovered by at least one retry step
+	RetryFailures   int64 // reads still uncorrectable after the retry budget
+	ProgramFailures int64 // injected program failures
+	EraseFailures   int64 // injected erase failures
 }
 
 // Device is the timed multi-channel NAND subsystem. All operations are
@@ -60,6 +81,9 @@ type Device struct {
 	chipTL   []*sim.Timeline
 	chanTL   []*sim.Timeline
 	counters Counters
+	// retryHist records read-retry steps per recovered/attempted read
+	// (populated only on the recovery read path).
+	retryHist *metrics.IntHistogram
 }
 
 // NewDevice builds a device from cfg, attached to the given clock. The
@@ -74,10 +98,19 @@ func NewDevice(cfg Config, clock *sim.Clock) (*Device, error) {
 	if err := cfg.Retention.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Retry != nil {
+		if err := cfg.Retry.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	if clock == nil {
 		clock = sim.NewClock(0)
 	}
-	d := &Device{cfg: cfg, clock: clock}
+	buckets := 8
+	if cfg.Retry != nil && cfg.Retry.MaxRetries >= buckets {
+		buckets = cfg.Retry.MaxRetries + 1
+	}
+	d := &Device{cfg: cfg, clock: clock, retryHist: metrics.NewIntHistogram(buckets)}
 	n := cfg.Geometry.Chips()
 	d.chips = make([]*chip, n)
 	d.chipTL = make([]*sim.Timeline, n)
@@ -106,6 +139,19 @@ func (d *Device) Clock() *sim.Clock { return d.clock }
 
 // Counters returns a snapshot of the operation counters.
 func (d *Device) Counters() Counters { return d.counters }
+
+// RetryHistogram returns the distribution of read-retry steps per read.
+// It is only populated on the recovery read path (Fault or Retry set).
+func (d *Device) RetryHistogram() *metrics.IntHistogram { return d.retryHist }
+
+// Injector returns the configured fault injector, nil when faults are off.
+func (d *Device) Injector() *fault.Injector { return d.cfg.Fault }
+
+// FactoryBad reports whether the fault model marks block b bad from the
+// factory. FTLs must never allocate factory-bad blocks.
+func (d *Device) FactoryBad(b BlockID) bool {
+	return d.cfg.Fault != nil && d.cfg.Fault.FactoryBad(int(b))
+}
 
 // SubpageReadEnabled reports whether the subpage-read extension is on.
 func (d *Device) SubpageReadEnabled() bool { return d.cfg.EnableSubpageRead }
@@ -177,7 +223,14 @@ func (d *Device) Erase(b BlockID) (sim.Time, error) {
 	ch, chipTL, _ := d.chipFor(b)
 	now := d.clock.Now()
 	_, end := chipTL.Reserve(now, d.cfg.Latency.EraseBlock)
-	ch.erase(d.cfg.Geometry.LocalBlock(b))
+	lb := d.cfg.Geometry.LocalBlock(b)
+	if inj := d.cfg.Fault; inj != nil && inj.EraseFail(d.cfg.Geometry.ChipOf(b), int(b), ch.blocks[lb].eraseCount) {
+		// The erase aborted: the block keeps its (now untrustworthy)
+		// content and wear count; the FTL retires it as grown bad.
+		d.counters.EraseFailures++
+		return end, &OpError{Op: "erase", Block: b, Sub: -1, Err: ErrEraseFail, Detail: "injected"}
+	}
+	ch.erase(lb)
 	d.counters.Erases++
 	return end, nil
 }
@@ -199,6 +252,15 @@ func (d *Device) ProgramPage(p PageID, stamps []Stamp) (sim.Time, error) {
 	}
 	d.counters.PagePrograms++
 	d.counters.BytesWritten += int64(g.PageBytes())
+	if inj := d.cfg.Fault; inj != nil && inj.ProgramFail(g.ChipOf(b), int(b), d.EraseCount(b)) {
+		all := make([]int, g.SubpagesPerPage)
+		for i := range all {
+			all[i] = i
+		}
+		ch.failProgram(g.LocalBlock(b), g.PageIndex(p), all)
+		d.counters.ProgramFailures++
+		return end, &OpError{Op: "program", Block: b, Page: g.PageIndex(p), Sub: -1, Err: ErrProgramFail, Detail: "injected"}
+	}
 	return end, nil
 }
 
@@ -235,6 +297,11 @@ func (d *Device) ProgramSubpageRun(p PageID, firstSub int, stamps []Stamp) (sim.
 	}
 	d.counters.SubPrograms++
 	d.counters.BytesWritten += int64(k) * int64(g.SubpageBytes)
+	if inj := d.cfg.Fault; inj != nil && inj.ProgramFail(g.ChipOf(b), int(b), d.EraseCount(b)) {
+		ch.failProgram(g.LocalBlock(b), g.PageIndex(p), subs)
+		d.counters.ProgramFailures++
+		return end, &OpError{Op: "subprogram", Block: b, Page: g.PageIndex(p), Sub: firstSub, Err: ErrProgramFail, Detail: "injected"}
+	}
 	return end, nil
 }
 
@@ -265,21 +332,82 @@ func (d *Device) ReadSubpage(s SubpageID) (Stamp, error) {
 		d.counters.PageReads++
 	}
 
-	stamp, _, err := ch.readSubpage(g.LocalBlock(b), g.PageIndex(p), sub, start, &d.cfg.Retention)
+	stamp, retention, err := d.senseSubpage(ch, b, p, sub, start, chipTL, cell)
 	if err != nil {
-		if d.cfg.DisableRetentionErrors && err == ErrUncorrectable {
+		if d.cfg.DisableRetentionErrors && retention && errors.Is(err, ErrUncorrectable) {
 			d.counters.RetentionHits++
 			// Bookkeeping mode: surface the data anyway.
 			info := ch.subpageInfo(g.LocalBlock(b), g.PageIndex(p), sub)
 			return info.Stamp, nil
 		}
 		d.counters.ReadFailures++
-		if err == ErrUncorrectable {
+		if retention && errors.Is(err, ErrUncorrectable) {
 			d.counters.RetentionHits++
 		}
 		return Stamp{}, &OpError{Op: "read", Block: b, Page: g.PageIndex(p), Sub: sub, Err: err}
 	}
 	return stamp, nil
+}
+
+// senseSubpage performs one subpage sense admitted at start, applying the
+// reliability model, injected read disturbs, and stepped read-retry. The
+// retention result reports whether a returned ErrUncorrectable was caused
+// by the retention model itself (as opposed to an injected disturb) — the
+// distinction DisableRetentionErrors bookkeeping needs. Retry steps are
+// charged to the chip timeline at one stepCost each.
+//
+// With Fault and Retry both nil this delegates to the plain chip read,
+// keeping the fault-free path bit-identical to a device without recovery.
+func (d *Device) senseSubpage(ch *chip, b BlockID, p PageID, sub int, start sim.Time, chipTL *sim.Timeline, stepCost sim.Duration) (Stamp, bool, error) {
+	g := d.cfg.Geometry
+	lb, pi := g.LocalBlock(b), g.PageIndex(p)
+	if d.cfg.Fault == nil && d.cfg.Retry == nil {
+		st, _, err := ch.readSubpage(lb, pi, sub, start, &d.cfg.Retention)
+		return st, true, err
+	}
+	blk := &ch.blocks[lb]
+	sp := &blk.pages[pi].subs[sub]
+	if !sp.programmed {
+		return Stamp{}, false, ErrNotProgrammed
+	}
+	if sp.destroyed {
+		return Stamp{}, false, ErrDestroyed
+	}
+	m := &d.cfg.Retention
+	limit := m.NormalizedECCLimit
+	ber := m.NormalizedBER(sp.npp, AgeOf(sp.programmedAt, start), blk.eraseCount)
+	retention := ber > limit
+	if inj := d.cfg.Fault; inj != nil {
+		ber += inj.ReadDisturb(g.ChipOf(b), int(b), blk.eraseCount)
+	}
+	if ber <= limit {
+		d.retryHist.Record(0)
+		return sp.stamp, retention, nil
+	}
+	// Stepped read-retry: re-sense with shifted read reference voltages
+	// until the effective BER decodes or the budget runs out. Each step
+	// occupies the chip for one more cell sense.
+	steps := 0
+	if rm := d.cfg.Retry; rm != nil {
+		eff := ber
+		for steps < rm.MaxRetries && eff > limit {
+			steps++
+			eff = rm.Effective(ber, steps)
+		}
+		if steps > 0 {
+			chipTL.Reserve(start, stepCost*sim.Duration(steps))
+			d.counters.ReadRetries += int64(steps)
+		}
+		d.retryHist.Record(steps)
+		if eff <= limit {
+			d.counters.RetriedReads++
+			return sp.stamp, retention, nil
+		}
+		d.counters.RetryFailures++
+	} else {
+		d.retryHist.Record(0)
+	}
+	return Stamp{}, retention, fmt.Errorf("nand: %d read retries exhausted (normalized BER %.2f, limit %.2f): %w", steps, ber, limit, ErrUncorrectable)
 }
 
 // ReadPage reads all subpages of a page. Slots that are erased, destroyed
@@ -302,17 +430,20 @@ func (d *Device) ReadPage(p PageID) ([]Stamp, []error, error) {
 	errs := make([]error, g.SubpagesPerPage)
 	lb, pi := g.LocalBlock(b), g.PageIndex(p)
 	for sub := 0; sub < g.SubpagesPerPage; sub++ {
-		st, _, err := ch.readSubpage(lb, pi, sub, start, &d.cfg.Retention)
+		st, retention, err := d.senseSubpage(ch, b, p, sub, start, chipTL, d.cfg.Latency.ReadPage)
 		if err != nil {
-			if d.cfg.DisableRetentionErrors && err == ErrUncorrectable {
+			if d.cfg.DisableRetentionErrors && retention && errors.Is(err, ErrUncorrectable) {
 				d.counters.RetentionHits++
 				stamps[sub] = ch.subpageInfo(lb, pi, sub).Stamp
 				continue
 			}
-			if err != ErrNotProgrammed {
+			// Erased and ESP-destroyed slots are expected states of a
+			// partially-valid page (RMW, GC of sub-region blocks), not
+			// failed reads of live data.
+			if !errors.Is(err, ErrNotProgrammed) && !errors.Is(err, ErrDestroyed) {
 				d.counters.ReadFailures++
 			}
-			if err == ErrUncorrectable {
+			if retention && errors.Is(err, ErrUncorrectable) {
 				d.counters.RetentionHits++
 			}
 			stamps[sub] = Padding
@@ -328,6 +459,14 @@ func (d *Device) ReadPage(p PageID) ([]Stamp, []error, error) {
 func (d *Device) EraseCount(b BlockID) int {
 	ch, _, _ := d.chipFor(b)
 	return ch.blocks[d.cfg.Geometry.LocalBlock(b)].eraseCount
+}
+
+// SetEraseCount force-sets the wear of block b: a hook for end-of-life
+// experiments and tests that would otherwise need thousands of simulated
+// erase cycles to reach the interesting wear region.
+func (d *Device) SetEraseCount(b BlockID, n int) {
+	ch, _, _ := d.chipFor(b)
+	ch.blocks[d.cfg.Geometry.LocalBlock(b)].eraseCount = n
 }
 
 // PagePasses returns how many program passes page p has received since its

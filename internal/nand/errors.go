@@ -27,6 +27,13 @@ var (
 	// ErrSubpageReadDisabled reports a subpage read on a device built
 	// without the subpage-read extension.
 	ErrSubpageReadDisabled = errors.New("nand: subpage read not enabled on this device")
+	// ErrProgramFail reports an injected program failure: the pass aborted
+	// mid-flight and destroyed the page's content. The FTL must replay the
+	// write elsewhere and retire the block (grown bad).
+	ErrProgramFail = errors.New("nand: program operation failed")
+	// ErrEraseFail reports an injected erase failure: the block did not
+	// erase and must leave service (grown bad).
+	ErrEraseFail = errors.New("nand: erase operation failed")
 )
 
 // OpError is the concrete error type for failed device operations.

@@ -1,0 +1,70 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestOpErrorFormat(t *testing.T) {
+	cases := []struct {
+		name string
+		err  *OpError
+		want string
+	}{
+		{
+			"subpage with detail",
+			&OpError{Op: "read", Block: 7, Page: 3, Sub: 2, Err: ErrUncorrectable, Detail: "normalized BER 2.71"},
+			"nand read block 7 page 3 sub 2: nand: uncorrectable ECC error (normalized BER 2.71)",
+		},
+		{
+			"whole-block without detail",
+			&OpError{Op: "erase", Block: 4, Page: 0, Sub: -1, Err: ErrEraseFail},
+			"nand erase block 4 page 0: nand: erase operation failed",
+		},
+		{
+			"whole-page program",
+			&OpError{Op: "program", Block: 1, Page: 9, Sub: -1, Err: ErrProgramFail, Detail: "injected"},
+			"nand program block 1 page 9: nand: program operation failed (injected)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.err.Error(); got != tc.want {
+				t.Fatalf("Error() = %q\n        want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestOpErrorUnwrapOneLayer(t *testing.T) {
+	for _, sentinel := range []error{ErrBadAddress, ErrReprogram, ErrNotProgrammed,
+		ErrDestroyed, ErrUncorrectable, ErrProgramFail, ErrEraseFail} {
+		e := &OpError{Op: "read", Block: 0, Sub: -1, Err: sentinel}
+		if !errors.Is(e, sentinel) {
+			t.Fatalf("errors.Is(OpError{%v}, sentinel) = false", sentinel)
+		}
+		if errors.Is(e, ErrSubpageReadDisabled) {
+			t.Fatalf("OpError{%v} matched an unrelated sentinel", sentinel)
+		}
+	}
+}
+
+func TestOpErrorUnwrapTwoLayers(t *testing.T) {
+	// The retry-exhausted path wraps the sentinel in a fmt error inside the
+	// OpError; callers must still reach it through both layers.
+	inner := fmt.Errorf("nand: 5 read retries exhausted (normalized BER 3.10, limit 2.40): %w", ErrUncorrectable)
+	e := &OpError{Op: "read", Block: 2, Page: 1, Sub: 0, Err: inner}
+	if !errors.Is(e, ErrUncorrectable) {
+		t.Fatal("errors.Is did not reach the sentinel through OpError + fmt.Errorf")
+	}
+	// And the opposite nesting: a caller annotating an OpError.
+	outer := fmt.Errorf("gc move: %w", &OpError{Op: "program", Block: 3, Sub: -1, Err: ErrProgramFail})
+	if !errors.Is(outer, ErrProgramFail) {
+		t.Fatal("errors.Is did not reach the sentinel through fmt.Errorf + OpError")
+	}
+	var oe *OpError
+	if !errors.As(outer, &oe) || oe.Block != 3 {
+		t.Fatalf("errors.As failed to recover the OpError: %v", oe)
+	}
+}

@@ -216,6 +216,23 @@ func ReadBinary(r io.Reader) ([]workload.Request, error) {
 	return reqs, nil
 }
 
+// ReadAny detects the trace format by peeking at the first bytes and
+// dispatches to ReadBinary or ReadText. Detection is explicit: a stream
+// that starts with the binary magic IS binary, and its parse errors are
+// surfaced rather than retried as text (a corrupt binary trace almost
+// never parses as text, and silently trying buries the real error).
+func ReadAny(r io.Reader) ([]workload.Request, error) {
+	br := bufio.NewReader(r)
+	hdr, err := br.Peek(len(magic))
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("trace: detecting format: %w", err)
+	}
+	if len(hdr) >= len(magic) && [4]byte(hdr[:4]) == magic {
+		return ReadBinary(br)
+	}
+	return ReadText(br)
+}
+
 // Generate materializes n requests from a generator into a slice, the
 // common path for building trace files with cmd/tracegen.
 func Generate(g workload.Generator, n int) []workload.Request {
