@@ -71,6 +71,10 @@ func BenchmarkAblationRetention(b *testing.B) { benchFigure(b, experiment.Ablati
 // default fault profile vs the fault-free device.
 func BenchmarkAblationFaultRecovery(b *testing.B) { benchFigure(b, experiment.AblationFaultRecovery) }
 
+// BenchmarkAblationScheduler sweeps the host scheduler's queue depth and
+// arbitration grid and reports tail latency.
+func BenchmarkAblationScheduler(b *testing.B) { benchFigure(b, experiment.AblationScheduler) }
+
 // BenchmarkExtSubpageRead measures the §7 subpage-read extension.
 func BenchmarkExtSubpageRead(b *testing.B) { benchFigure(b, experiment.ExtSubpageRead) }
 

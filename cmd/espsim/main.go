@@ -6,6 +6,9 @@
 //	espsim -ftl subFTL -profile varmail -requests 50000
 //	espsim -ftl fgmFTL -rsmall 0.8 -rsynch 1.0
 //	espsim -ftl subFTL -trace workload.bin
+//	espsim -ftl subFTL -profile ycsb -qd 16 -arb read-priority
+//	espsim -ftl subFTL -profile varmail -rate 80000
+//	espsim -abl abl-sched
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 
 	"espftl/internal/experiment"
 	"espftl/internal/fault"
+	"espftl/internal/metrics"
 	"espftl/internal/trace"
 	"espftl/internal/workload"
 )
@@ -46,7 +50,17 @@ func main() {
 	faultProgram := flag.Float64("fault-program", -1, "program-failure probability per program op (-1 = profile default)")
 	faultErase := flag.Float64("fault-erase", -1, "erase-failure probability per erase op (-1 = profile default)")
 	faultFactory := flag.Float64("fault-factory", -1, "factory-bad block fraction (-1 = profile default)")
+	qd := flag.Int("qd", 0, "closed-loop queue depth; > 0 runs the host scheduler (1 = serial-equivalent)")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s; > 0 runs the host scheduler (overrides -qd)")
+	queues := flag.Int("queues", 1, "submission-queue lanes for the host scheduler")
+	arb := flag.String("arb", "fifo", "host-scheduler arbitration: fifo or read-priority")
+	abl := flag.String("abl", "", "run this experiment/ablation table (e.g. abl-sched) and exit")
 	flag.Parse()
+
+	if *abl != "" {
+		runAblation(*abl, *requests, *seed, *full)
+		return
+	}
 
 	cfg := experiment.RunConfig{
 		Kind:              experiment.Kind(*ftlName),
@@ -54,6 +68,10 @@ func main() {
 		Seed:              *seed,
 		SubRegionFrac:     *subFrac,
 		EnableSubpageRead: *subread,
+		QueueDepth:        *qd,
+		ArrivalRate:       *rate,
+		NumQueues:         *queues,
+		Arbitration:       *arb,
 	}
 	if *full {
 		cfg.Geometry = experiment.ExperimentGeometry
@@ -136,8 +154,66 @@ func main() {
 			s.GrownBadBlocks, s.Device.EraseFailures, s.Device.ReadFailures)
 		if res.RetryHist != nil && res.RetryHist.Count() > 0 {
 			fmt.Printf("  retries/read      %s\n", res.RetryHist)
+			fmt.Printf("  retry quantiles   p50=%d p99=%d max=%d\n",
+				res.RetryHist.Quantile(0.50), res.RetryHist.Quantile(0.99), res.RetryHist.Quantile(1))
 		}
 	}
+	if r := res.Sched; r != nil {
+		fmt.Printf("host scheduler (%s, %s)\n", r.Arbiter, loopDesc(*rate, *qd))
+		fmt.Printf("  commands          %d submitted, %d completed, %d background ticks\n",
+			r.Submitted, r.Completed, r.Background)
+		for _, row := range []struct {
+			name string
+			h    interface{ Summary() metrics.Summary }
+		}{
+			{"all", r.HostLat},
+			{"read", r.ReadLat},
+			{"write", r.WriteLat},
+		} {
+			s := row.h.Summary()
+			if s.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-5s latency     p50=%v p95=%v p99=%v p99.9=%v max=%v (n=%d)\n",
+				row.name, s.P50, s.P95, s.P99, s.P999, s.Max, s.Count)
+		}
+		fmt.Printf("  out of order      %d completions, %d reads promoted, %d background deferrals\n",
+			r.OutOfOrder, r.ReadsPromoted, r.BackgroundDeferred)
+		fmt.Printf("  queue depth       mean %.1f, peak %.0f (%d samples)\n",
+			r.QueueDepth.MeanValue(), r.QueueDepth.MaxValue(), r.QueueDepth.Count())
+		fmt.Printf("  chip utilization  mean %.1f%%, peak %.1f%% (%d samples)\n",
+			100*r.ChipUtil.MeanValue(), 100*r.ChipUtil.MaxValue(), r.ChipUtil.Count())
+	}
+}
+
+// loopDesc names the driving discipline for the report header.
+func loopDesc(rate float64, qd int) string {
+	if rate > 0 {
+		return fmt.Sprintf("open loop @ %.0f req/s", rate)
+	}
+	return fmt.Sprintf("closed loop @ QD %d", qd)
+}
+
+// runAblation looks up a registered experiment by ID, runs it at the
+// requested scale and prints its table.
+func runAblation(id string, requests int, seed uint64, full bool) {
+	o := experiment.Options{Requests: requests, Seed: seed}
+	if full {
+		o.Geometry = experiment.ExperimentGeometry
+	}
+	var ids []string
+	for _, e := range experiment.All() {
+		if strings.EqualFold(e.ID, id) {
+			tbl, err := e.Fn(o)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(tbl.String())
+			return
+		}
+		ids = append(ids, e.ID)
+	}
+	fatal(fmt.Errorf("unknown experiment %q; available: %s", id, strings.Join(ids, ", ")))
 }
 
 // logicalSpace mirrors the harness's sizing rule for the drive a config

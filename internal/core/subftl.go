@@ -27,6 +27,7 @@ import (
 	"espftl/internal/mapping"
 	"espftl/internal/nand"
 	"espftl/internal/sim"
+	"espftl/internal/workload"
 )
 
 // Config parameterizes subFTL.
@@ -480,4 +481,24 @@ func (f *FTL) Stats() ftl.Stats {
 	s.GrownBadBlocks = int64(f.man.BadCount())
 	s.Device = f.dev.Counters()
 	return s
+}
+
+// Submit implements ftl.Submitter, the host scheduler's non-blocking
+// issue path.
+func (f *FTL) Submit(r workload.Request, done ftl.CompletionFunc) {
+	ftl.SubmitSync(f, r, done)
+}
+
+// ChipOf implements ftl.ChipProbe: subpage-region residents resolve to
+// their subpage's chip, everything else falls through to the full-page
+// region's mapping; buffered and unmapped sectors report -1.
+func (f *FTL) ChipOf(lsn int64) int {
+	if lsn < 0 || lsn >= f.ver.Size() || f.buf.Contains(lsn) {
+		return -1
+	}
+	if spn, ok := f.hash.Get(lsn); ok {
+		g := f.dev.Geometry()
+		return g.ChipOf(g.BlockOfPage(g.PageOfSubpage(nand.SubpageID(spn))))
+	}
+	return f.full.ChipOf(lsn / int64(f.pageSecs))
 }

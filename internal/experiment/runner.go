@@ -17,6 +17,7 @@ import (
 	"espftl/internal/ftl"
 	"espftl/internal/ftl/cgm"
 	"espftl/internal/ftl/fgm"
+	"espftl/internal/host"
 	"espftl/internal/metrics"
 	"espftl/internal/nand"
 	"espftl/internal/sim"
@@ -94,6 +95,17 @@ type RunConfig struct {
 	// Nil keeps the fault-free device, bit-identical to runs before the
 	// injector existed.
 	FaultProfile *fault.Profile
+
+	// Host-scheduler knobs. QueueDepth > 0 (closed loop) or
+	// ArrivalRate > 0 (open loop, requests per virtual second; takes
+	// precedence) replays the measured phase through the event-driven
+	// multi-queue scheduler in internal/host instead of the serial path.
+	// At QueueDepth 1 with FIFO arbitration the scheduler path is
+	// bit-identical to the serial one.
+	QueueDepth  int
+	NumQueues   int     // submission-queue lanes (default 1)
+	Arbitration string  // "fifo" (default) or "read-priority"
+	ArrivalRate float64 // open-loop offered load, requests per second
 }
 
 // withDefaults fills zero fields.
@@ -145,6 +157,8 @@ type Result struct {
 	// RetryHist is the device's retries-per-read histogram over the whole
 	// run (nil without fault injection).
 	RetryHist *metrics.IntHistogram
+	// Sched is the host-scheduler report (nil on the serial path).
+	Sched *host.Report
 }
 
 // IOPS returns measured requests per virtual second.
@@ -241,7 +255,37 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.MeasureLatency {
 		res.Latency = metrics.NewHistogram()
 	}
-	if cfg.Trace != nil {
+	if cfg.QueueDepth > 0 || cfg.ArrivalRate > 0 {
+		if cfg.Trace != nil {
+			return nil, fmt.Errorf("experiment: the host-scheduler path replays generated workloads only (traces carry idle gaps the closed/open-loop drivers redefine)")
+		}
+		gen, err := workload.NewSynthetic(cfg.Profile, fillSectors, g.SubpagesPerPage, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		res.Profile = cfg.Profile.Name
+		arb, err := host.NewArbiter(cfg.Arbitration)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := host.New(dev, f, host.Config{
+			Queues:    cfg.NumQueues,
+			Arbiter:   arb,
+			TickEvery: cfg.TickEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ArrivalRate > 0 {
+			res.Sched, err = sched.RunOpenLoop(gen, cfg.Requests, cfg.ArrivalRate)
+		} else {
+			res.Sched, err = sched.RunClosedLoop(gen, cfg.Requests, cfg.QueueDepth)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Requests = cfg.Requests
+	} else if cfg.Trace != nil {
 		res.Profile = "trace"
 		if err := ReplayTrace(f, clock, cfg.Trace, cfg.TickEvery); err != nil {
 			return nil, err

@@ -9,6 +9,7 @@ import (
 	"espftl/internal/ftl"
 	"espftl/internal/ftl/fullpage"
 	"espftl/internal/nand"
+	"espftl/internal/workload"
 )
 
 // Config parameterizes cgmFTL.
@@ -165,3 +166,15 @@ func (f *FTL) Stats() ftl.Stats {
 
 // Check implements ftl.FTL.
 func (f *FTL) Check() error { return f.store.Check() }
+
+// Submit implements ftl.Submitter, the host scheduler's non-blocking
+// issue path.
+func (f *FTL) Submit(r workload.Request, done ftl.CompletionFunc) {
+	ftl.SubmitSync(f, r, done)
+}
+
+// ChipOf implements ftl.ChipProbe: the chip holding a sector is the chip
+// of its mapped logical page.
+func (f *FTL) ChipOf(lsn int64) int {
+	return f.store.ChipOf(lsn / int64(f.pageSecs))
+}

@@ -14,6 +14,7 @@ import (
 	"espftl/internal/ftl"
 	"espftl/internal/mapping"
 	"espftl/internal/nand"
+	"espftl/internal/workload"
 )
 
 // maxProgramReplays bounds how many fresh blocks a single write may burn
@@ -440,4 +441,25 @@ func (f *FTL) Check() error {
 		}
 	}
 	return nil
+}
+
+// Submit implements ftl.Submitter, the host scheduler's non-blocking
+// issue path.
+func (f *FTL) Submit(r workload.Request, done ftl.CompletionFunc) {
+	ftl.SubmitSync(f, r, done)
+}
+
+// ChipOf implements ftl.ChipProbe: the chip holding the sector's mapped
+// subpage, or -1 for buffered and unmapped sectors (which never touch a
+// chip on read).
+func (f *FTL) ChipOf(lsn int64) int {
+	if lsn < 0 || lsn >= f.table.Size() || f.buf.Contains(lsn) {
+		return -1
+	}
+	spn := f.table.Lookup(lsn)
+	if spn == mapping.None {
+		return -1
+	}
+	g := f.dev.Geometry()
+	return g.ChipOf(g.BlockOfPage(g.PageOfSubpage(nand.SubpageID(spn))))
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"espftl/internal/nand"
+	"espftl/internal/workload"
 )
 
 // ErrReadOnly reports a write to an FTL whose spare capacity has been
@@ -42,6 +43,51 @@ type FTL interface {
 	// Check verifies internal invariants, returning the first violation.
 	// It is for tests and debugging; it must not change state.
 	Check() error
+}
+
+// CompletionFunc is invoked exactly once when a submitted request has
+// been fully issued to the device, with the error the synchronous path
+// would have returned. In the single-threaded simulator the callback
+// runs before Submit returns; the indirection exists so the host
+// scheduler's dispatch path is shaped like a real driver's and callers
+// never depend on a return value that a future truly-asynchronous FTL
+// would not have.
+type CompletionFunc func(err error)
+
+// Submitter is the non-blocking issue path of an FTL: Submit accepts one
+// host request and reports its outcome through done. The host scheduler
+// prefers this path over the synchronous FTL methods when available.
+type Submitter interface {
+	Submit(r workload.Request, done CompletionFunc)
+}
+
+// ChipProbe lets the host scheduler route reads to per-chip command
+// queues: ChipOf returns the chip currently holding logical sector lsn,
+// or -1 when the sector is unmapped or buffered (in which case the read
+// does not contend for any chip queue slot). The probe must not change
+// FTL state or touch the device.
+type ChipProbe interface {
+	ChipOf(lsn int64) int
+}
+
+// SubmitSync adapts an FTL's synchronous interface to the Submit
+// signature: it issues r via Write/Read/Trim and reports the outcome
+// through done. FTLs embed it to implement Submitter in one line.
+func SubmitSync(f FTL, r workload.Request, done CompletionFunc) {
+	var err error
+	switch r.Op {
+	case workload.OpWrite:
+		err = f.Write(r.LSN, r.Sectors, r.Sync)
+	case workload.OpRead:
+		err = f.Read(r.LSN, r.Sectors)
+	case workload.OpTrim:
+		err = f.Trim(r.LSN, r.Sectors)
+	default:
+		err = fmt.Errorf("ftl: cannot submit op %v", r.Op)
+	}
+	if done != nil {
+		done(err)
+	}
 }
 
 // Stats aggregates the counters the experiments report. Fields that only

@@ -168,6 +168,21 @@ func (s *Store) Mask(lpn int64) uint64 { return s.masks[lpn] }
 // Mapped reports whether lpn currently has a physical page.
 func (s *Store) Mapped(lpn int64) bool { return s.table.Lookup(lpn) != mapping.None }
 
+// ChipOf returns the chip currently holding logical page lpn, or -1 when
+// lpn is out of range or unmapped. It is the store's half of the host
+// scheduler's read-routing probe and must stay side-effect free.
+func (s *Store) ChipOf(lpn int64) int {
+	if lpn < 0 || lpn >= s.table.Size() {
+		return -1
+	}
+	ppn := s.table.Lookup(lpn)
+	if ppn == mapping.None {
+		return -1
+	}
+	g := s.dev.Geometry()
+	return g.ChipOf(g.BlockOfPage(nand.PageID(ppn)))
+}
+
 // ensureCapacity runs GC until the role can take one more block: the free
 // pool is above the reserve and the role quota has slack.
 func (s *Store) ensureCapacity() error {

@@ -1,0 +1,557 @@
+package host
+
+import (
+	"container/heap"
+	"fmt"
+
+	"espftl/internal/ftl"
+	"espftl/internal/nand"
+	"espftl/internal/sim"
+	"espftl/internal/workload"
+)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Queues is the number of submission-queue lanes (default 1).
+	Queues int
+	// Arbiter is the dispatch policy over the per-chip command queues
+	// (default FIFO).
+	Arbiter Arbiter
+	// TickEvery admits one background maintenance command (FTL.Tick)
+	// after every TickEvery host dispatches; 0 disables maintenance.
+	// It mirrors the classic replay's tick cadence, so at queue depth 1
+	// the FTL sees the identical call sequence.
+	TickEvery int
+	// BackgroundDeferLimit bounds how many events a background command
+	// may yield to pending host reads before it is dispatched anyway
+	// (default 512). Scrubbing must eventually run even under read load.
+	BackgroundDeferLimit int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Queues == 0 {
+		c.Queues = 1
+	}
+	if c.Queues < 0 {
+		return c, fmt.Errorf("host: %d submission queues", c.Queues)
+	}
+	if c.Arbiter == nil {
+		c.Arbiter = FIFO{}
+	}
+	if c.TickEvery < 0 {
+		return c, fmt.Errorf("host: negative tick cadence %d", c.TickEvery)
+	}
+	if c.BackgroundDeferLimit == 0 {
+		c.BackgroundDeferLimit = 512
+	}
+	return c, nil
+}
+
+// event is one entry of the central event loop: a command completion or
+// an open-loop arrival.
+type event struct {
+	at  sim.Time
+	ord int64 // deterministic tie-break: push order
+	cmd *Command // nil for arrival events
+	arrive int64 // arrival index when cmd is nil
+}
+
+// eventHeap is a min-heap on (at, ord).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].ord < h[j].ord
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is the event-driven host interface over one device and FTL.
+// A Scheduler runs one workload (RunClosedLoop or RunOpenLoop) and is
+// then spent; build a new one per run. It is not safe for concurrent
+// use — like the rest of the simulator it is single-threaded so that
+// runs are exactly reproducible.
+type Scheduler struct {
+	cfg   Config
+	dev   *nand.Device
+	clock *sim.Clock
+	f     ftl.FTL
+	sub   ftl.Submitter
+	probe ftl.ChipProbe
+
+	now    sim.Time
+	seq    int64
+	evOrd  int64
+	events eventHeap
+
+	chips    int
+	cq       [][]*Command // per-chip FIFO queues; index chips = unrouted
+	chipBusy []bool
+	heads    []*Command
+	bg       *Command // at most one pending background command
+
+	outstanding []*Command // submitted, incomplete host commands
+	pendingHost int        // undispatched host commands
+	pendingReads int       // undispatched host reads
+	inflight    int        // dispatched, incomplete host commands
+
+	hostDispatched int64
+	wrRR           int
+	scratchA       []sim.Time
+	scratchB       []sim.Time
+	busy0          sim.Duration
+	drain0         sim.Time
+
+	rep        *Report
+	ran        bool
+	onDispatch func(*Command)
+}
+
+// SetDispatchHook installs a callback observing every command at the
+// moment it is issued to the FTL, in dispatch order. Tests use it to
+// assert ordering properties (e.g. that the barrier kept a read behind
+// an earlier overlapping write); it must not mutate the command.
+func (s *Scheduler) SetDispatchHook(fn func(*Command)) { s.onDispatch = fn }
+
+// New builds a scheduler over the device's clock. The FTL's non-blocking
+// Submit path is used when it implements ftl.Submitter, and reads are
+// routed to per-chip queues when it implements ftl.ChipProbe; both are
+// optional.
+func New(dev *nand.Device, f ftl.FTL, cfg Config) (*Scheduler, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		cfg:   cfg,
+		dev:   dev,
+		clock: dev.Clock(),
+		f:     f,
+		chips: dev.Geometry().Chips(),
+	}
+	s.sub, _ = f.(ftl.Submitter)
+	s.probe, _ = f.(ftl.ChipProbe)
+	s.cq = make([][]*Command, s.chips+1)
+	s.chipBusy = make([]bool, s.chips)
+	s.heads = make([]*Command, s.chips+1)
+	s.now = s.clock.Now()
+	return s, nil
+}
+
+// RunClosedLoop drives n generated requests at a fixed queue depth: depth
+// requests are outstanding at all times (until the stream drains), and
+// every completion immediately submits the next request. At depth 1 with
+// the FIFO arbiter this is exactly the classic serial replay.
+func (s *Scheduler) RunClosedLoop(gen workload.Generator, n, depth int) (*Report, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("host: queue depth %d (want >= 1)", depth)
+	}
+	if err := s.start(depth); err != nil {
+		return nil, err
+	}
+	submitted := 0
+	for submitted < depth && submitted < n {
+		if err := s.submit(gen.Next()); err != nil {
+			return s.rep, err
+		}
+		submitted++
+	}
+	err := s.loop(func() error {
+		if submitted >= n {
+			return nil
+		}
+		submitted++
+		return s.submit(gen.Next())
+	}, nil)
+	return s.finish(err)
+}
+
+// RunOpenLoop drives n generated requests at a fixed arrival rate
+// (requests per second of virtual time), the offered-load operating
+// point: arrivals do not wait for completions, so an overloaded device
+// shows unbounded queueing delay instead of silently throttling the
+// workload. The shared clock advances with the arrival process.
+func (s *Scheduler) RunOpenLoop(gen workload.Generator, n int, rate float64) (*Report, error) {
+	interarrival, err := arrivalInterval(rate)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.start(0); err != nil {
+		return nil, err
+	}
+	start := s.now
+	if n > 0 {
+		s.pushArrival(start, 0)
+	}
+	err = s.loop(nil, func(idx int64, at sim.Time) error {
+		s.clock.AdvanceTo(at)
+		if err := s.submit(gen.Next()); err != nil {
+			return err
+		}
+		if idx+1 < int64(n) {
+			s.pushArrival(start.Add(sim.Duration(idx+1)*interarrival), idx+1)
+		}
+		return nil
+	})
+	return s.finish(err)
+}
+
+// arrivalInterval validates an open-loop rate and converts it to the
+// interarrival gap. Rates must be positive and finite.
+func arrivalInterval(rate float64) (sim.Duration, error) {
+	if !(rate > 0) || rate > 1e12 {
+		return 0, fmt.Errorf("host: open-loop arrival rate %v (want 0 < rate <= 1e12 req/s)", rate)
+	}
+	d := sim.Duration(float64(sim.Second) / rate)
+	if d <= 0 {
+		d = 1
+	}
+	return d, nil
+}
+
+func (s *Scheduler) start(depth int) error {
+	if s.ran {
+		return fmt.Errorf("host: scheduler already ran; build a new one per run")
+	}
+	s.ran = true
+	s.rep = newReport(s.cfg.Arbiter.Name(), depth, s.cfg.Queues)
+	s.scratchA = s.dev.ResourceFreeTimes(nil)
+	s.scratchB = s.dev.ResourceFreeTimes(nil)
+	s.busy0 = s.dev.TotalChipBusy()
+	s.drain0 = s.dev.DrainTime()
+	return nil
+}
+
+func (s *Scheduler) finish(err error) (*Report, error) {
+	s.sampleSeries()
+	return s.rep, err
+}
+
+// loop is the central event loop. onHostComplete (closed loop) runs after
+// every host completion; onArrive (open loop) runs for each arrival event.
+func (s *Scheduler) loop(onHostComplete func() error, onArrive func(idx int64, at sim.Time) error) error {
+	for {
+		if err := s.dispatchRound(); err != nil {
+			return err
+		}
+		if len(s.events) == 0 {
+			if s.pendingHost > 0 || s.bg != nil {
+				return fmt.Errorf("host: scheduler stalled with %d pending commands and no events", s.pendingHost)
+			}
+			return nil
+		}
+		ev := heap.Pop(&s.events).(event)
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		if ev.cmd != nil {
+			host := ev.cmd.Class != ClassBackground
+			s.complete(ev.cmd)
+			if host && onHostComplete != nil {
+				if err := onHostComplete(); err != nil {
+					return err
+				}
+			}
+		} else if onArrive != nil {
+			if err := onArrive(ev.arrive, ev.at); err != nil {
+				return err
+			}
+		}
+		s.sampleSeries()
+	}
+}
+
+func (s *Scheduler) pushArrival(at sim.Time, idx int64) {
+	heap.Push(&s.events, event{at: at, ord: s.evOrd, arrive: idx})
+	s.evOrd++
+}
+
+// submit accepts one host request: it is sequenced, classified, tagged
+// with its submission-queue lane, and routed to a per-chip command queue.
+func (s *Scheduler) submit(r workload.Request) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if r.Op == workload.OpAdvance {
+		return fmt.Errorf("host: OpAdvance cannot be scheduled; advance the clock between runs")
+	}
+	c := &Command{
+		Seq:         s.seq,
+		Queue:       int(s.seq % int64(s.cfg.Queues)),
+		Req:         r,
+		Arrival:     s.now,
+		DispatchIdx: -1,
+	}
+	s.seq++
+	if r.Op == workload.OpRead {
+		c.Class = ClassRead
+		s.pendingReads++
+	} else {
+		c.Class = ClassWrite
+	}
+	c.Chip = s.route(c)
+	s.cq[c.Chip] = append(s.cq[c.Chip], c)
+	s.outstanding = append(s.outstanding, c)
+	s.pendingHost++
+	s.rep.Submitted++
+	s.rep.PerQueue[c.Queue]++
+	return nil
+}
+
+// route picks the command queue: reads go to the chip currently holding
+// their first sector (per the FTL's mapping probe), writes round-robin
+// across chips as a stand-in for the FTLs' striped allocation, and
+// everything unresolvable goes to the unrouted queue.
+func (s *Scheduler) route(c *Command) int {
+	if c.Class == ClassRead {
+		if s.probe != nil {
+			if ch := s.probe.ChipOf(c.Req.LSN); ch >= 0 && ch < s.chips {
+				return ch
+			}
+		}
+		return s.chips
+	}
+	ch := s.wrRR % s.chips
+	s.wrRR++
+	return ch
+}
+
+// conflicts reports a data hazard between two host commands: overlapping
+// sector ranges where at least one side mutates (write or trim).
+func conflicts(a, b *Command) bool {
+	if a.Class == ClassRead && b.Class == ClassRead {
+		return false
+	}
+	aEnd := a.Req.LSN + int64(a.Req.Sectors)
+	bEnd := b.Req.LSN + int64(b.Req.Sectors)
+	return a.Req.LSN < bEnd && b.Req.LSN < aEnd
+}
+
+// dispatchable applies the scheduler's structural constraints to a
+// command-queue head: its chip must be idle and no earlier-submitted
+// undispatched command may conflict with it (the ordering barrier).
+func (s *Scheduler) dispatchable(c *Command) bool {
+	if c.Chip < s.chips && s.chipBusy[c.Chip] {
+		return false
+	}
+	for _, q := range s.cq {
+		for _, o := range q {
+			if o.Seq >= c.Seq {
+				break // queues are seq-ordered
+			}
+			if conflicts(o, c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dispatchRound issues every currently dispatchable command: host
+// commands first via the arbiter, then at most the pending background
+// command if no host work can go and no host read is waiting (or the
+// background deferral budget ran out).
+func (s *Scheduler) dispatchRound() error {
+	for {
+		for i := range s.cq {
+			if len(s.cq[i]) > 0 {
+				s.heads[i] = s.cq[i][0]
+			} else {
+				s.heads[i] = nil
+			}
+		}
+		if i := s.cfg.Arbiter.Pick(s.heads, s.dispatchable); i >= 0 {
+			c := s.cq[i][0]
+			s.cq[i] = s.cq[i][1:]
+			if err := s.dispatchHost(c); err != nil {
+				return err
+			}
+			continue
+		}
+		if s.bg != nil {
+			if s.pendingReads > 0 && s.bg.deferred < s.cfg.BackgroundDeferLimit {
+				s.bg.deferred++
+				s.rep.BackgroundDeferred++
+				return nil
+			}
+			c := s.bg
+			s.bg = nil
+			if err := s.dispatch(c); err != nil {
+				return err
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+// dispatchHost issues one host command and enqueues the maintenance tick
+// its cadence position owes, mirroring the classic replay's tick points.
+func (s *Scheduler) dispatchHost(c *Command) error {
+	s.pendingHost--
+	if c.Class == ClassRead {
+		s.pendingReads--
+		if s.olderWritePending(c.Seq) {
+			s.rep.ReadsPromoted++
+		}
+	}
+	s.inflight++
+	if err := s.dispatch(c); err != nil {
+		return err
+	}
+	i := s.hostDispatched
+	s.hostDispatched++
+	s.rep.Dispatched++
+	if s.cfg.TickEvery > 0 && i%int64(s.cfg.TickEvery) == 0 && s.bg == nil {
+		s.bg = &Command{Seq: s.seq, Queue: 0, Class: ClassBackground, Chip: s.chips, Arrival: s.now, DispatchIdx: -1}
+		s.seq++
+	}
+	return nil
+}
+
+// olderWritePending reports whether an undispatched write or trim with a
+// smaller sequence number exists — i.e. dispatching seq now overtakes it.
+func (s *Scheduler) olderWritePending(seq int64) bool {
+	for _, q := range s.cq {
+		for _, o := range q {
+			if o.Seq >= seq {
+				break
+			}
+			if o.Class == ClassWrite {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dispatch issues a command to the FTL and derives its completion time
+// from the device's per-resource FreeAt deltas: the command completes
+// when the last resource its transaction occupied drains. A command that
+// touched no resource (a buffer-absorbed write, a buffered or unmapped
+// read) completes instantly.
+func (s *Scheduler) dispatch(c *Command) error {
+	c.Dispatch = s.now
+	c.DispatchIdx = s.hostDispatched + s.rep.Background // total issue order
+	if s.onDispatch != nil {
+		s.onDispatch(c)
+	}
+	if c.Chip < s.chips {
+		s.chipBusy[c.Chip] = true
+	}
+	s.scratchA = s.dev.ResourceFreeTimes(s.scratchA)
+	err := s.issue(c)
+	s.scratchB = s.dev.ResourceFreeTimes(s.scratchB)
+	end := sim.Time(0)
+	for i := range s.scratchB {
+		if s.scratchB[i] != s.scratchA[i] {
+			c.Fanout++
+			if s.scratchB[i] > end {
+				end = s.scratchB[i]
+			}
+		}
+	}
+	if end < c.Arrival {
+		// The work packed before the arrival axis (an idle resource) or
+		// there was none: the command completes upon arrival.
+		end = c.Arrival
+	}
+	c.Complete = end
+	if err != nil {
+		return fmt.Errorf("host: %s command seq %d (%v): %w", c.Class, c.Seq, c.Req, err)
+	}
+	heap.Push(&s.events, event{at: end, ord: s.evOrd, cmd: c})
+	s.evOrd++
+	if c.Class != ClassBackground {
+		wait := c.Dispatch.Sub(c.Arrival)
+		if wait < 0 {
+			wait = 0
+		}
+		if c.Class == ClassRead {
+			s.rep.ReadWait.Record(wait)
+		} else {
+			s.rep.WriteWait.Record(wait)
+		}
+		s.rep.Fanout.Record(c.Fanout)
+	} else {
+		s.rep.Background++
+	}
+	return nil
+}
+
+// issue performs the FTL call: the non-blocking Submit path when the FTL
+// provides one, the synchronous interface otherwise, and Tick for
+// background commands.
+func (s *Scheduler) issue(c *Command) error {
+	if c.Class == ClassBackground {
+		return s.f.Tick()
+	}
+	if s.sub != nil {
+		var err error
+		s.sub.Submit(c.Req, func(e error) { err = e })
+		return err
+	}
+	r := c.Req
+	switch r.Op {
+	case workload.OpWrite:
+		return s.f.Write(r.LSN, r.Sectors, r.Sync)
+	case workload.OpRead:
+		return s.f.Read(r.LSN, r.Sectors)
+	case workload.OpTrim:
+		return s.f.Trim(r.LSN, r.Sectors)
+	}
+	return fmt.Errorf("host: unschedulable op %v", r.Op)
+}
+
+// complete retires a command at the current event time.
+func (s *Scheduler) complete(c *Command) {
+	if c.Class == ClassBackground {
+		s.rep.BackLat.Record(c.latency())
+		return
+	}
+	if c.Chip < s.chips {
+		s.chipBusy[c.Chip] = false
+	}
+	s.inflight--
+	for i, o := range s.outstanding {
+		if o == c {
+			s.outstanding = append(s.outstanding[:i], s.outstanding[i+1:]...)
+			break
+		}
+	}
+	for _, o := range s.outstanding {
+		if o.Seq < c.Seq {
+			s.rep.OutOfOrder++
+			break
+		}
+	}
+	s.rep.Completed++
+	lat := c.latency()
+	s.rep.HostLat.Record(lat)
+	if c.Class == ClassRead {
+		s.rep.ReadLat.Record(lat)
+	} else {
+		s.rep.WriteLat.Record(lat)
+	}
+}
+
+// sampleSeries records the queue-depth and chip-utilization time series
+// at the current event time.
+func (s *Scheduler) sampleSeries() {
+	s.rep.QueueDepth.Record(int64(s.now), float64(s.pendingHost+s.inflight))
+	horizon := s.dev.DrainTime().Sub(s.drain0)
+	if horizon > 0 {
+		busy := s.dev.TotalChipBusy() - s.busy0
+		s.rep.ChipUtil.Record(int64(s.now), float64(busy)/(float64(horizon)*float64(s.chips)))
+	}
+}

@@ -126,6 +126,30 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return h.max
 }
 
+// Quantile is Percentile under the name the rest of the metrics package
+// uses (p in [0,1]).
+func (h *Histogram) Quantile(p float64) time.Duration { return h.Percentile(p) }
+
+// Summary is the fixed set of distribution statistics reports print.
+type Summary struct {
+	Count                    uint64
+	Mean, P50, P95, P99, P999 time.Duration
+	Max                      time.Duration
+}
+
+// Summary computes the report statistics in one pass over the buckets.
+func (h *Histogram) Summary() Summary {
+	return Summary{
+		Count: h.total,
+		Mean:  h.Mean(),
+		P50:   h.Percentile(0.50),
+		P95:   h.Percentile(0.95),
+		P99:   h.Percentile(0.99),
+		P999:  h.Percentile(0.999),
+		Max:   h.Max(),
+	}
+}
+
 // String summarizes the distribution.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",

@@ -56,6 +56,38 @@ func TestHistogramEdgesPercentile(t *testing.T) {
 	}
 }
 
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	if s := h.Summary(); s != (Summary{}) {
+		t.Fatalf("empty Summary = %+v, want zeros", s)
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	if s.P50 != h.Percentile(0.50) || s.P95 != h.Percentile(0.95) ||
+		s.P99 != h.Percentile(0.99) || s.P999 != h.Percentile(0.999) {
+		t.Error("Summary percentiles disagree with Percentile")
+	}
+	// Bucket resolution is ~19 %, so neighbouring percentiles may tie;
+	// monotonicity is non-strict.
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.P999 && s.P999 <= s.Max) {
+		t.Errorf("percentiles not monotone: %+v", s)
+	}
+	if s.P50 >= s.P95 {
+		t.Errorf("P50 %v should fall well below P95 %v for a uniform ramp", s.P50, s.P95)
+	}
+	if s.Max != time.Millisecond {
+		t.Errorf("Max = %v, want 1ms", s.Max)
+	}
+	if h.Quantile(0.5) != h.Percentile(0.5) {
+		t.Error("Quantile alias disagrees with Percentile")
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram()
 	h.Record(time.Millisecond)

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -76,6 +77,33 @@ func (h *IntHistogram) Mean() float64 {
 
 // Max returns the largest observation (0 when empty).
 func (h *IntHistogram) Max() int { return h.max }
+
+// Quantile returns the nearest-rank quantile (p in [0,1]). Values below
+// the overflow bucket are exact; a rank landing in the overflow bucket
+// reports the true maximum. It returns 0 when empty.
+func (h *IntHistogram) Quantile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen uint64
+	for v, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if v == len(h.counts)-1 {
+				return h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
 
 // String renders the non-empty buckets.
 func (h *IntHistogram) String() string {

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is a bounded time series of (timestamp, value) samples. When the
+// retention limit fills up the series decimates itself — every other
+// retained sample is dropped and the sampling stride doubles — so memory
+// stays bounded on arbitrarily long runs while coverage stays uniform
+// over the whole run. Decimation depends only on the observation count,
+// never on the clock, so identical runs retain identical samples.
+type Series struct {
+	max    int
+	stride int64 // record every stride-th offered observation
+	n      int64 // observations offered
+	ts     []int64
+	vs     []float64
+}
+
+// NewSeries returns an empty series retaining at most max samples
+// (minimum 4).
+func NewSeries(max int) *Series {
+	if max < 4 {
+		max = 4
+	}
+	return &Series{max: max, stride: 1}
+}
+
+// Record offers one observation; depending on the current stride it may
+// or may not be retained.
+func (s *Series) Record(t int64, v float64) {
+	keep := s.n%s.stride == 0
+	s.n++
+	if !keep {
+		return
+	}
+	if len(s.ts) == s.max {
+		// Halve retention: keep even-index samples, double the stride.
+		w := 0
+		for i := 0; i < len(s.ts); i += 2 {
+			s.ts[w], s.vs[w] = s.ts[i], s.vs[i]
+			w++
+		}
+		s.ts, s.vs = s.ts[:w], s.vs[:w]
+		s.stride *= 2
+		if (s.n-1)%s.stride != 0 {
+			return
+		}
+	}
+	s.ts = append(s.ts, t)
+	s.vs = append(s.vs, v)
+}
+
+// Len returns the number of retained samples.
+func (s *Series) Len() int { return len(s.ts) }
+
+// Count returns the number of observations offered (retained or not).
+func (s *Series) Count() int64 { return s.n }
+
+// At returns the i-th retained sample.
+func (s *Series) At(i int) (t int64, v float64) { return s.ts[i], s.vs[i] }
+
+// Last returns the most recently retained sample, or zeros when empty.
+func (s *Series) Last() (t int64, v float64) {
+	if len(s.ts) == 0 {
+		return 0, 0
+	}
+	return s.ts[len(s.ts)-1], s.vs[len(s.ts)-1]
+}
+
+// MaxValue returns the largest retained value, or 0 when empty.
+func (s *Series) MaxValue() float64 {
+	m := 0.0
+	for _, v := range s.vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MeanValue returns the mean of the retained values, or 0 when empty.
+func (s *Series) MeanValue() float64 {
+	if len(s.vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vs {
+		sum += v
+	}
+	return sum / float64(len(s.vs))
+}
+
+// String renders a compact sketch: count, mean, max and span.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "samples=%d/%d mean=%.3f max=%.3f", len(s.ts), s.n, s.MeanValue(), s.MaxValue())
+	if len(s.ts) > 0 {
+		fmt.Fprintf(&b, " span=[%d,%d]", s.ts[0], s.ts[len(s.ts)-1])
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import "testing"
+
+func TestSeriesRetainsAllBelowLimit(t *testing.T) {
+	s := NewSeries(8)
+	for i := 0; i < 8; i++ {
+		s.Record(int64(i*10), float64(i))
+	}
+	if s.Len() != 8 || s.Count() != 8 {
+		t.Fatalf("Len=%d Count=%d, want 8/8", s.Len(), s.Count())
+	}
+	if ts, v := s.At(3); ts != 30 || v != 3 {
+		t.Errorf("At(3) = (%d,%v), want (30,3)", ts, v)
+	}
+	if ts, v := s.Last(); ts != 70 || v != 7 {
+		t.Errorf("Last = (%d,%v), want (70,7)", ts, v)
+	}
+}
+
+func TestSeriesDecimation(t *testing.T) {
+	s := NewSeries(8)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		s.Record(int64(i), float64(i))
+	}
+	if s.Count() != n {
+		t.Fatalf("Count = %d, want %d", s.Count(), n)
+	}
+	if s.Len() > 8 {
+		t.Fatalf("Len = %d exceeds retention limit 8", s.Len())
+	}
+	if s.Len() < 4 {
+		t.Fatalf("Len = %d: decimation dropped too much", s.Len())
+	}
+	// Retained timestamps must be strictly increasing and evenly strided.
+	prev, _ := s.At(0)
+	var stride int64
+	for i := 1; i < s.Len(); i++ {
+		ts, v := s.At(i)
+		if ts <= prev {
+			t.Fatalf("timestamps not increasing at %d: %d after %d", i, ts, prev)
+		}
+		if int64(v) != ts {
+			t.Fatalf("sample %d: value %v does not match its timestamp %d", i, v, ts)
+		}
+		if stride == 0 {
+			stride = ts - prev
+		} else if ts-prev != stride {
+			t.Fatalf("uneven stride at %d: %d, want %d", i, ts-prev, stride)
+		}
+		prev = ts
+	}
+}
+
+func TestSeriesDeterministic(t *testing.T) {
+	a, b := NewSeries(16), NewSeries(16)
+	for i := 0; i < 5000; i++ {
+		a.Record(int64(i), float64(i%7))
+		b.Record(int64(i), float64(i%7))
+	}
+	if a.String() != b.String() {
+		t.Fatalf("series diverge:\n%s\n%s", a, b)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("Len %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		at, av := a.At(i)
+		bt, bv := b.At(i)
+		if at != bt || av != bv {
+			t.Fatalf("sample %d differs: (%d,%v) vs (%d,%v)", i, at, av, bt, bv)
+		}
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := NewSeries(8)
+	if s.MaxValue() != 0 || s.MeanValue() != 0 {
+		t.Error("empty series stats not zero")
+	}
+	s.Record(1, 2)
+	s.Record(2, 6)
+	if s.MaxValue() != 6 {
+		t.Errorf("MaxValue = %v, want 6", s.MaxValue())
+	}
+	if s.MeanValue() != 4 {
+		t.Errorf("MeanValue = %v, want 4", s.MeanValue())
+	}
+}

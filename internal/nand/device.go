@@ -497,6 +497,36 @@ func (d *Device) ChipOps() []int64 {
 	return out
 }
 
+// ResourceFreeTimes snapshots the FreeAt of every device resource —
+// chips first, then channel buses — into buf (grown as needed) and
+// returns it. The host scheduler diffs snapshots taken around an FTL
+// call to recover which resources a request's transaction touched and
+// when its slowest fragment drains.
+func (d *Device) ResourceFreeTimes(buf []sim.Time) []sim.Time {
+	n := len(d.chipTL) + len(d.chanTL)
+	if cap(buf) < n {
+		buf = make([]sim.Time, n)
+	}
+	buf = buf[:n]
+	for i, tl := range d.chipTL {
+		buf[i] = tl.FreeAt()
+	}
+	for i, tl := range d.chanTL {
+		buf[len(d.chipTL)+i] = tl.FreeAt()
+	}
+	return buf
+}
+
+// TotalChipBusy returns the cumulative busy time summed over all chips,
+// the numerator of the device-wide utilization time series.
+func (d *Device) TotalChipBusy() sim.Duration {
+	var sum sim.Duration
+	for _, tl := range d.chipTL {
+		sum += tl.Busy()
+	}
+	return sum
+}
+
 // ChipUtilization returns per-chip busy fractions over the horizon ending
 // at DrainTime, for parallelism diagnostics.
 func (d *Device) ChipUtilization() []float64 {

@@ -32,9 +32,17 @@ func (tl *Timeline) Busy() Duration { return tl.busy }
 func (tl *Timeline) Ops() int64 { return tl.ops }
 
 // Reserve books the resource for duration d starting no earlier than
-// earliest. It returns the interval actually granted: start is
-// max(earliest, FreeAt) and end is start+d. The resource is busy until end
-// afterwards.
+// earliest.
+//
+// Granted-start contract: the caller's earliest is a lower bound, not a
+// claim. When an earlier reservation still occupies the resource past
+// earliest, the new reservation is queued behind it — the returned start
+// is max(earliest, FreeAt), end is start+d, and the resource is busy
+// until end afterwards. Callers issuing concurrent (overlapping) work —
+// the host scheduler dispatching to a busy chip, read-retry steps
+// stacked on a sense — must therefore use the *returned* start/end for
+// any derived timing, never the earliest they asked for. Reservations
+// never overlap and never move already-granted intervals.
 func (tl *Timeline) Reserve(earliest Time, d Duration) (start, end Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative reservation %v on %s", d, tl.name))

@@ -73,6 +73,40 @@ func TestMaxFree(t *testing.T) {
 	}
 }
 
+// Regression for the granted-start contract under concurrent issue: when
+// several overlapping requests are issued against the same resource at
+// the same earliest time — exactly what the host scheduler does when it
+// dispatches a burst of commands to one chip while the clock stands
+// still — each reservation must be granted the start *after* the
+// previously granted work, never the earliest the caller asked for, and
+// the grants must tile the timeline without overlap.
+func TestTimelineOverlappingReservationsQueue(t *testing.T) {
+	tl := NewTimeline("chip")
+	durs := []time.Duration{70, 30, 50, 10}
+	var prevEnd Time
+	for i, d := range durs {
+		s, e := tl.Reserve(0, d) // all claim earliest = 0
+		if s != prevEnd {
+			t.Fatalf("reservation %d granted start %v, want %v (queued behind prior work)", i, s, prevEnd)
+		}
+		if e != s.Add(d) {
+			t.Fatalf("reservation %d end %v, want start+%v", i, e, d)
+		}
+		if i > 0 && s == 0 {
+			t.Fatalf("reservation %d was granted the requested start despite the resource being busy", i)
+		}
+		prevEnd = e
+	}
+	if tl.FreeAt() != 160 {
+		t.Fatalf("FreeAt = %v, want 160 (sum of all reservations)", tl.FreeAt())
+	}
+	// A caller whose earliest lands mid-reservation is pushed past it.
+	s, e := tl.Reserve(150, 40)
+	if s != 160 || e != 200 {
+		t.Fatalf("mid-busy reserve = [%v,%v], want [160,200]", s, e)
+	}
+}
+
 // Property: reservations never overlap and never start before the
 // requested earliest time; busy time equals the sum of all durations.
 func TestTimelineNoOverlapProperty(t *testing.T) {

@@ -43,10 +43,15 @@ type Profile struct {
 	Zipf float64
 }
 
-// Validate reports a descriptive error for out-of-range parameters.
+// Validate reports a descriptive error for out-of-range parameters. A
+// profile that validates produces a well-formed request stream: every
+// ratio is a probability (NaN is rejected — it silently fails every
+// comparison and would degenerate the stream), every candidate request
+// size is positive, and a Zipf skew is inside the (0,1) range the
+// bounded Zipfian sampler is defined on.
 func (p Profile) Validate() error {
 	inUnit := func(name string, v float64) error {
-		if v < 0 || v > 1 {
+		if !(v >= 0 && v <= 1) { // negated so NaN fails too
 			return fmt.Errorf("workload: profile %s: %s = %v outside [0,1]", p.Name, name, v)
 		}
 		return nil
@@ -67,8 +72,18 @@ func (p Profile) Validate() error {
 			return err
 		}
 	}
-	if p.Zipf != 0 && (p.Zipf <= 0 || p.Zipf >= 1) {
+	if p.Zipf != 0 && !(p.Zipf > 0 && p.Zipf < 1) {
 		return fmt.Errorf("workload: profile %s: Zipf = %v outside (0,1)", p.Name, p.Zipf)
+	}
+	for _, s := range p.SmallSizes {
+		if s <= 0 {
+			return fmt.Errorf("workload: profile %s: zero-size small request (size %d)", p.Name, s)
+		}
+	}
+	for _, s := range p.LargeSizes {
+		if s <= 0 {
+			return fmt.Errorf("workload: profile %s: zero-size large request (size %d)", p.Name, s)
+		}
 	}
 	if p.SmallRatio > 0 && len(p.SmallSizes) == 0 {
 		return fmt.Errorf("workload: profile %s: small writes requested but no SmallSizes", p.Name)

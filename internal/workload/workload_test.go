@@ -161,6 +161,52 @@ func TestProfileValidate(t *testing.T) {
 	}
 }
 
+// Table-driven construction validation: degenerate profiles must be
+// rejected with an error, never silently produce a degenerate stream.
+func TestProfileValidateTable(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+		ok     bool
+	}{
+		{"baseline", func(p *Profile) {}, true},
+		{"small ratio negative", func(p *Profile) { p.SmallRatio = -0.1 }, false},
+		{"small ratio above one", func(p *Profile) { p.SmallRatio = 1.01 }, false},
+		{"small ratio NaN", func(p *Profile) { p.SmallRatio = nan }, false},
+		{"sync ratio NaN", func(p *Profile) { p.SyncRatio = nan }, false},
+		{"read ratio NaN", func(p *Profile) { p.ReadRatio = nan }, false},
+		{"hot access NaN", func(p *Profile) { p.HotAccess = nan }, false},
+		{"zipf zero means off", func(p *Profile) { p.Zipf = 0 }, true},
+		{"zipf at one", func(p *Profile) { p.Zipf = 1 }, false},
+		{"zipf negative", func(p *Profile) { p.Zipf = -0.5 }, false},
+		{"zipf NaN", func(p *Profile) { p.Zipf = nan }, false},
+		{"zero-size small request", func(p *Profile) { p.SmallSizes = []int{1, 0} }, false},
+		{"negative small request", func(p *Profile) { p.SmallSizes = []int{-3} }, false},
+		{"zero-size large request", func(p *Profile) { p.LargeSizes = []int{0} }, false},
+		{"no small sizes with small writes", func(p *Profile) { p.SmallSizes = nil }, false},
+		{"no large sizes with large writes", func(p *Profile) { p.LargeSizes = nil }, false},
+		{"no small sizes but none requested", func(p *Profile) { p.SmallRatio = 0; p.SmallSizes = nil }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Sysbench()
+			tc.mutate(&p)
+			err := p.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("degenerate profile accepted")
+			}
+			// NewSynthetic must enforce the same contract.
+			if _, err2 := NewSynthetic(p, 100000, 4, 1); !tc.ok && err2 == nil {
+				t.Error("NewSynthetic accepted a degenerate profile")
+			}
+		})
+	}
+}
+
 func TestSyntheticDeterministic(t *testing.T) {
 	mk := func() *Synthetic {
 		g, err := NewSynthetic(Varmail(), 100000, 4, 42)
