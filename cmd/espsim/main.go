@@ -8,6 +8,7 @@
 //	espsim -ftl subFTL -trace workload.bin
 //	espsim -ftl subFTL -profile ycsb -qd 16 -arb read-priority
 //	espsim -ftl subFTL -profile varmail -rate 80000
+//	espsim -ftl subFTL -spo 5000 -spo-torn
 //	espsim -abl abl-sched
 package main
 
@@ -54,6 +55,8 @@ func main() {
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s; > 0 runs the host scheduler (overrides -qd)")
 	queues := flag.Int("queues", 1, "submission-queue lanes for the host scheduler")
 	arb := flag.String("arb", "fifo", "host-scheduler arbitration: fifo or read-priority")
+	spo := flag.Int64("spo", -1, "cut power this many device operations into the measured phase, then remount and report recovery (-1 = off)")
+	spoTorn := flag.Bool("spo-torn", false, "make the power cut tear the in-flight program (with -spo)")
 	abl := flag.String("abl", "", "run this experiment/ablation table (e.g. abl-sched) and exit")
 	flag.Parse()
 
@@ -126,6 +129,28 @@ func main() {
 			fatal(fmt.Errorf("unknown profile %q", *profile))
 		}
 		cfg.Profile = p
+	}
+
+	if *spo >= 0 {
+		res, err := experiment.RunSPO(cfg, *spo, *spoTorn)
+		if err != nil {
+			fatal(err)
+		}
+		m := res.Mount
+		fmt.Printf("%s sudden power off\n", res.Kind)
+		if res.Crashed {
+			cut := "clean cut at op boundary"
+			if res.Torn {
+				cut = "mid-program tear"
+			}
+			fmt.Printf("  power cut         device op %d (%s) after %d requests\n", res.CutOp, cut, res.Requests)
+		} else {
+			fmt.Printf("  power cut         never reached (workload finished after %d requests); clean remount\n", res.Requests)
+		}
+		fmt.Printf("  mount time        %v (single OOB scan, %d pages)\n", m.Duration, m.PagesScanned)
+		fmt.Printf("  recovered         %d live sectors in %d adopted blocks\n", m.LiveSectors, m.BlocksAdopted)
+		fmt.Printf("  discarded         %d stale copies, %d torn subpage slots   maxSeq %d\n", m.StaleSubpages, m.TornPages, m.MaxSeq)
+		return
 	}
 
 	res, err := experiment.Run(cfg)

@@ -33,10 +33,11 @@ func (f *FTL) scrubRetention(now sim.Time) error {
 		if !overThreshold && !f.nearExpiry(spn, now) {
 			continue
 		}
-		if f.stale(e.lsn, spn) {
-			f.dropSubCopy(e.lsn)
-			continue
-		}
+		// Stale entries (newest version still in the write buffer) go
+		// through the same eviction: dropping the copy would leave the
+		// sector with no durable incarnation (see stale), and evictToFull
+		// verifies against verAt — the version physically on flash — so
+		// the check holds for them too.
 		if err := f.evictToFull(e.lsn, spn); err != nil {
 			return err
 		}

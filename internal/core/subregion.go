@@ -39,9 +39,16 @@ func (f *FTL) isActive(id nand.BlockID) bool {
 
 // stale reports whether the flash copy at spn no longer carries lsn's
 // newest version — a fresher copy is staged in the write buffer or is the
-// in-flight write that triggered this relocation. Stale copies are simply
-// dropped: the newer data is in controller RAM and will reach flash on
-// its own path.
+// in-flight write that triggered this relocation. A stale copy must NOT be
+// dropped: the newer data lives only in controller RAM, so until it reaches
+// flash this copy is the sector's newest durable incarnation — destroying
+// its cells (the completed pass or the victim erase that follows every
+// relocation) would turn a power cut into a lost acknowledged write.
+// Relocation therefore evicts stale copies to the full-page region. Like
+// any rewrite, the eviction stamps the sector's current version — the same
+// accepted imprecision as full-page GC over buffered data — so the sector
+// keeps an on-flash incarnation at an acknowledged version until the
+// buffer's own flush path supersedes it.
 func (f *FTL) stale(lsn, spn int64) bool {
 	return f.verAt[spn] != f.ver.Current(lsn)
 }
@@ -67,17 +74,14 @@ type survivor struct {
 	slot     int
 }
 
-// survivorsIn returns the live subpages of page p in slots [0, limit),
-// dropping stale copies on the way.
+// survivorsIn returns the live subpages of page p in slots [0, limit).
+// Stale copies are survivors too (see stale): until their volatile
+// successor lands on flash they carry the sector's durable state.
 func (f *FTL) survivorsIn(p nand.PageID, limit int) []survivor {
 	var out []survivor
 	for s := 0; s < limit; s++ {
 		lsn, spn, ok := f.liveAt(p, s)
 		if !ok {
-			continue
-		}
-		if f.stale(lsn, spn) {
-			f.dropSubCopy(lsn)
 			continue
 		}
 		out = append(out, survivor{lsn: lsn, spn: spn, slot: s})
@@ -295,10 +299,13 @@ func (f *FTL) subPass(lsns []int64, attrPerSector int64) (int, error) {
 	// Hot/cold split: never-updated survivors are evicted (the paper's
 	// §4.2 heuristic — a hot sector is rewritten many times over before
 	// its block comes around, so an un-updated survivor is genuinely
-	// cold); updated survivors shift into this pass.
+	// cold); updated survivors shift into this pass. Stale survivors are
+	// always evicted, hot or not: they must keep a durable incarnation
+	// (see stale), but shifting them would pin soon-dead copies in the
+	// region and let relocation rotate them forever.
 	var shift, evict []survivor
 	for _, sv := range survs {
-		if f.updated[sv.lsn] && !f.cfg.DisableHotColdGC {
+		if !f.stale(sv.lsn, sv.spn) && f.updated[sv.lsn] && !f.cfg.DisableHotColdGC {
 			shift = append(shift, sv)
 		} else {
 			evict = append(evict, sv)
@@ -347,7 +354,7 @@ func (f *FTL) subPass(lsns []int64, attrPerSector int64) (int, error) {
 		return n, nil
 	}
 	for attempt := 0; ; attempt++ {
-		_, err := f.dev.ProgramSubpageRun(p, r, stamps)
+		_, err := f.dev.ProgramSubpageRunTag(p, r, stamps, ftl.TagSub)
 		if err == nil {
 			break
 		}
@@ -551,7 +558,7 @@ func (f *FTL) gcMoveGroup(survs []survivor, pageStamps []nand.Stamp) error {
 		pi = mb.cursor
 		mb.cursor++
 		dp = g.PageOf(f.gcDest, pi)
-		_, err := f.dev.ProgramSubpageRun(dp, 0, stamps)
+		_, err := f.dev.ProgramSubpageRunTag(dp, 0, stamps, ftl.TagSub)
 		if err == nil {
 			break
 		}
@@ -566,9 +573,15 @@ func (f *FTL) gcMoveGroup(survs []survivor, pageStamps []nand.Stamp) error {
 	}
 	mb.nextIdx[pi] = uint8(len(stamps))
 	for i, sv := range survs {
-		if err := f.subPlace(sv.lsn, int64(g.SubpageOf(dp, i))); err != nil {
+		spn := int64(g.SubpageOf(dp, i))
+		if err := f.subPlace(sv.lsn, spn); err != nil {
 			return err
 		}
+		// Relocation preserves the on-flash stamp. For a stale survivor
+		// (newest version still in the write buffer) that stamp is older
+		// than the host version subPlace assumed, and the read path
+		// verifies against what is physically there.
+		f.verAt[spn] = stamps[i].Version
 		// Demote: surviving one GC without a host refresh costs the hot
 		// verdict, so even a region saturated with once-hot data
 		// converges — the next encounter evicts anything the host has
@@ -619,7 +632,10 @@ func (f *FTL) collectSubOnce() error {
 		}
 		var hot []survivor
 		for _, sv := range survs {
-			if f.updated[sv.lsn] && !f.cfg.DisableHotColdGC && !evictAll {
+			// Stale survivors take the eviction path regardless of heat:
+			// dropping them would destroy the sector's only durable
+			// incarnation at the victim erase (see stale).
+			if !f.stale(sv.lsn, sv.spn) && f.updated[sv.lsn] && !f.cfg.DisableHotColdGC && !evictAll {
 				hot = append(hot, sv)
 				continue
 			}

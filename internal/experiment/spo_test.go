@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"testing"
+
+	"espftl/internal/workload"
+)
+
+// TestRunSPO cuts power mid-workload for each FTL on the quick device and
+// checks the recovery mount's report: the scan must cover every page of
+// the geometry exactly once, rebuild the preconditioned working set, and
+// account virtual mount time.
+func TestRunSPO(t *testing.T) {
+	for _, kind := range []Kind{KindCGM, KindFGM, KindSub} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := RunConfig{
+				Kind:     kind,
+				Requests: 2500,
+				Profile:  workload.Varmail(),
+				Seed:     1,
+			}
+			res, err := RunSPO(cfg, 2000, kind == KindSub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Crashed {
+				t.Fatalf("workload finished before the cut: %s", res)
+			}
+			g := cfg.withDefaults().Geometry
+			wantPages := int64(g.TotalBlocks() * g.PagesPerBlock)
+			if res.Mount.PagesScanned != wantPages {
+				t.Errorf("scanned %d pages, want %d (one OOB scan of the whole device)", res.Mount.PagesScanned, wantPages)
+			}
+			if res.Mount.LiveSectors == 0 || res.Mount.BlocksAdopted == 0 {
+				t.Errorf("recovery found nothing: %s", res.Mount)
+			}
+			if res.Mount.Duration <= 0 {
+				t.Errorf("mount time not accounted: %v", res.Mount.Duration)
+			}
+		})
+	}
+}
+
+// TestRunSPOCleanMount exercises the never-reached cut: the run degrades to
+// an orderly shutdown plus remount, and recovery still rebuilds the state.
+func TestRunSPOCleanMount(t *testing.T) {
+	cfg := RunConfig{Kind: KindSub, Requests: 300, Profile: workload.Varmail(), Seed: 1}
+	res, err := RunSPO(cfg, 1<<40, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed {
+		t.Fatalf("cut at 2^40 ops should be unreachable: %s", res)
+	}
+	if res.Mount.LiveSectors == 0 {
+		t.Fatalf("clean remount recovered nothing: %s", res.Mount)
+	}
+}

@@ -147,6 +147,7 @@ type Counts struct {
 	ReadDisturbs int64
 	ProgramFails int64
 	EraseFails   int64
+	PowerLosses  int64
 }
 
 // Injector is the device-facing fault source. It is not safe for
@@ -156,6 +157,17 @@ type Injector struct {
 	rng      *sim.RNG
 	campaign []*Event
 	counts   Counts
+	spo      spoPlan
+}
+
+// spoPlan is one armed sudden-power-off: kill the device at operation
+// index op (or the first op at/after it), optionally tearing the page if
+// that op is a program.
+type spoPlan struct {
+	op    int64
+	torn  bool
+	armed bool
+	fired bool
 }
 
 // NewInjector validates the profile and returns an injector over it.
@@ -264,6 +276,32 @@ func (inj *Injector) EraseFail(chip, block, pe int) bool {
 		return true
 	}
 	return false
+}
+
+// ArmSPO schedules a sudden power-off at device operation index opIndex
+// (0-based over every admitted op, as counted by nand.Device.OpCount).
+// With torn set and the victim op a program, the page is left in the torn
+// (partially programmed) state; otherwise power dies cleanly at the op
+// boundary before any state changes. Re-arming replaces any previous plan.
+// The plan is exact under a fixed seed and workload because the simulator
+// is single-threaded: op index i always denotes the same operation.
+func (inj *Injector) ArmSPO(opIndex int64, torn bool) {
+	inj.spo = spoPlan{op: opIndex, torn: torn, armed: true}
+}
+
+// SPOArmed reports whether an SPO is armed and not yet delivered.
+func (inj *Injector) SPOArmed() bool { return inj.spo.armed && !inj.spo.fired }
+
+// SPO is the device-side hook: it reports whether power dies at this
+// operation index, and whether the op should be left torn. It fires at
+// most once per arming.
+func (inj *Injector) SPO(opIndex int64) (fire, torn bool) {
+	if !inj.spo.armed || inj.spo.fired || opIndex < inj.spo.op {
+		return false, false
+	}
+	inj.spo.fired = true
+	inj.counts.PowerLosses++
+	return true, inj.spo.torn
 }
 
 // FactoryBad reports whether block is bad from the factory. The decision

@@ -167,6 +167,48 @@ func (f *FTL) Stats() ftl.Stats {
 // Check implements ftl.FTL.
 func (f *FTL) Check() error { return f.store.Check() }
 
+// Recover implements ftl.FTL: one OOB scan of the device rebuilds the
+// coarse table, live-sector masks, per-block valid counts and the version
+// tracker. cgmFTL owns every region, so all scanned blocks dispatch to the
+// full-page store.
+func (f *FTL) Recover() (ftl.MountReport, error) {
+	d0 := f.dev.DrainTime()
+	blocks, pages, err := ftl.ScanBlocks(f.dev)
+	if err != nil {
+		return ftl.MountReport{}, err
+	}
+	var torn int64
+	for _, b := range blocks {
+		torn += int64(b.Torn)
+	}
+	sum, err := f.store.Recover(blocks, nil)
+	if err != nil {
+		return ftl.MountReport{}, err
+	}
+	return ftl.MountReport{
+		PagesScanned:  pages,
+		BlocksAdopted: sum.BlocksAdopted,
+		TornPages:     torn,
+		StaleSubpages: sum.Stale,
+		LiveSectors:   sum.LiveSectors,
+		MaxSeq:        sum.MaxSeq,
+		Duration:      f.dev.DrainTime().Sub(d0),
+	}, nil
+}
+
+// VersionOf implements ftl.VersionProber: the version a read of lsn would
+// return, 0 when the sector holds no live data.
+func (f *FTL) VersionOf(lsn int64) uint32 {
+	if lsn < 0 || lsn >= f.ver.Size() {
+		return 0
+	}
+	lpn := lsn / int64(f.pageSecs)
+	if !f.store.Mapped(lpn) || f.store.Mask(lpn)&(1<<(lsn%int64(f.pageSecs))) == 0 {
+		return 0
+	}
+	return f.ver.Current(lsn)
+}
+
 // Submit implements ftl.Submitter, the host scheduler's non-blocking
 // issue path.
 func (f *FTL) Submit(r workload.Request, done ftl.CompletionFunc) {

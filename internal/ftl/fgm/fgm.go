@@ -172,7 +172,7 @@ func (f *FTL) programPacked(lsns []int64, forGC bool) error {
 		if err != nil {
 			return err
 		}
-		if _, err := f.dev.ProgramPage(p, stamps); err != nil {
+		if _, err := f.dev.ProgramPageTag(p, stamps, ftl.TagFine); err != nil {
 			// A program failure destroys only the fresh copy; the mapping
 			// still points at the old one, so replay on a new block and
 			// retire the failed one (grown bad).
@@ -441,6 +441,83 @@ func (f *FTL) Check() error {
 		}
 	}
 	return nil
+}
+
+// Recover implements ftl.FTL: one OOB scan rebuilds the fine-grained table
+// and per-block valid counts. Every valid slot is a per-sector candidate;
+// duplicate LSNs resolve to the highest program sequence number.
+func (f *FTL) Recover() (ftl.MountReport, error) {
+	d0 := f.dev.DrainTime()
+	blocks, pages, err := ftl.ScanBlocks(f.dev)
+	if err != nil {
+		return ftl.MountReport{}, err
+	}
+	g := f.dev.Geometry()
+	type winner struct {
+		spn int64
+		seq uint64
+		ver uint32
+	}
+	win := make(map[int64]winner)
+	rep := ftl.MountReport{PagesScanned: pages}
+	for _, blk := range blocks {
+		rep.TornPages += int64(blk.Torn)
+		if blk.MaxSeq > rep.MaxSeq {
+			rep.MaxSeq = blk.MaxSeq
+		}
+		for pi, slots := range blk.Pages {
+			p := g.PageOf(blk.Block, pi)
+			for slot, sl := range slots {
+				if sl.State != nand.OOBValid || sl.OOB.Stamp.IsPadding() {
+					continue
+				}
+				lsn := sl.OOB.Stamp.LSN
+				if lsn < 0 || lsn >= f.table.Size() {
+					continue // foreign or pre-FTL test data; never adopt
+				}
+				spn := int64(g.SubpageOf(p, slot))
+				if w, ok := win[lsn]; !ok || sl.OOB.Seq > w.seq {
+					if ok {
+						rep.StaleSubpages++
+					}
+					win[lsn] = winner{spn: spn, seq: sl.OOB.Seq, ver: sl.OOB.Stamp.Version}
+				} else {
+					rep.StaleSubpages++
+				}
+			}
+		}
+	}
+	perBlock := make(map[nand.BlockID]int)
+	for lsn, w := range win {
+		// Only the winning copy re-seeds the version tracker: a stale copy
+		// can out-version the winner (trim resets the counter), and the read
+		// path verifies stamps against ver.Current.
+		f.ver.Restore(lsn, w.ver)
+		f.table.Update(lsn, w.spn)
+		f.rmap[w.spn] = lsn
+		perBlock[g.BlockOfPage(g.PageOfSubpage(nand.SubpageID(w.spn)))]++
+		rep.LiveSectors++
+	}
+	for _, blk := range blocks {
+		if err := f.man.Adopt(blk.Block, ftl.RoleFull, perBlock[blk.Block]); err != nil {
+			return rep, err
+		}
+		rep.BlocksAdopted++
+	}
+	rep.Duration = f.dev.DrainTime().Sub(d0)
+	return rep, nil
+}
+
+// VersionOf implements ftl.VersionProber: the version a read of lsn would
+// return, 0 when the sector holds no live data.
+func (f *FTL) VersionOf(lsn int64) uint32 {
+	if lsn < 0 || lsn >= f.table.Size() {
+		return 0
+	}
+	if f.buf.Contains(lsn) || f.table.Lookup(lsn) != mapping.None {
+		return f.ver.Current(lsn)
+	}
+	return 0
 }
 
 // Submit implements ftl.Submitter, the host scheduler's non-blocking

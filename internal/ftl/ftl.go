@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"espftl/internal/nand"
+	"espftl/internal/sim"
 	"espftl/internal/workload"
 )
 
@@ -43,7 +44,65 @@ type FTL interface {
 	// Check verifies internal invariants, returning the first violation.
 	// It is for tests and debugging; it must not change state.
 	Check() error
+	// Recover rebuilds the FTL's RAM state from the device after a power
+	// loss: one OOB scan of every block, no payload reads. It must be
+	// called on a freshly constructed FTL (mount time), before any host
+	// I/O; calling it on a blank device yields an empty report and a
+	// ready, empty FTL.
+	Recover() (MountReport, error)
 }
+
+// MountReport summarizes one Recover pass.
+type MountReport struct {
+	// PagesScanned counts the whole-page OOB senses the scan issued.
+	PagesScanned int64
+	// BlocksAdopted counts non-empty blocks taken over from the pre-crash
+	// state (conservatively adopted as full, GC-eligible blocks).
+	BlocksAdopted int
+	// TornPages counts subpage slots quarantined because power died
+	// mid-program.
+	TornPages int64
+	// StaleSubpages counts valid OOB records that lost duplicate-LPN
+	// resolution (an older generation superseded by a higher sequence
+	// number).
+	StaleSubpages int64
+	// LiveSectors counts logical sectors restored into the mapping.
+	LiveSectors int64
+	// MaxSeq is the highest program sequence number observed.
+	MaxSeq uint64
+	// Duration is the virtual time the mount occupied the device (the
+	// drain-horizon growth caused by the scan).
+	Duration sim.Duration
+}
+
+// String renders the report for tool output.
+func (r MountReport) String() string {
+	return fmt.Sprintf("scanned %d pages, adopted %d blocks, %d live sectors, %d stale, %d torn, maxSeq %d in %v",
+		r.PagesScanned, r.BlocksAdopted, r.LiveSectors, r.StaleSubpages, r.TornPages, r.MaxSeq, r.Duration)
+}
+
+// VersionProber exposes the FTL's view of a sector's recovered version: the
+// version of the live copy a read would return, or 0 when the sector is
+// unmapped. The crash-consistency checker compares it against the reference
+// model's acceptable set.
+type VersionProber interface {
+	VersionOf(lsn int64) uint32
+}
+
+// OOB region tags, stamped into every program so the mount-time scan can
+// dispatch a block to the mapping table that owns it. A round-0 subpage
+// pass is otherwise indistinguishable from a full-page program.
+const (
+	// TagNone marks legacy/untagged programs (direct device-level tests).
+	TagNone uint8 = 0
+	// TagFull marks the page-mapped full-page region (cgmFTL's whole
+	// space; subFTL's full-page region).
+	TagFull uint8 = 1
+	// TagFine marks fgmFTL's packed fine-grain pages.
+	TagFine uint8 = 2
+	// TagSub marks subFTL's ESP subpage region.
+	TagSub uint8 = 3
+)
 
 // CompletionFunc is invoked exactly once when a submitted request has
 // been fully issued to the device, with the error the synchronous path
@@ -173,6 +232,8 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.Device.RetryFailures -= prev.Device.RetryFailures
 	d.Device.ProgramFailures -= prev.Device.ProgramFailures
 	d.Device.EraseFailures -= prev.Device.EraseFailures
+	d.Device.OOBScans -= prev.Device.OOBScans
+	d.Device.TornPrograms -= prev.Device.TornPrograms
 	return d
 }
 

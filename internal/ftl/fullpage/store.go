@@ -9,6 +9,7 @@ package fullpage
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"espftl/internal/ftl"
 	"espftl/internal/mapping"
@@ -252,7 +253,7 @@ func (s *Store) programPage(lpn int64, forGC bool) error {
 		if err != nil {
 			return err
 		}
-		if _, err := s.dev.ProgramPage(p, stamps); err != nil {
+		if _, err := s.dev.ProgramPageTag(p, stamps, ftl.TagFull); err != nil {
 			// A program failure destroys only the fresh copy; the mapping
 			// still points at the old one, so replay on a new block and
 			// retire the failed one (grown bad).
@@ -428,6 +429,106 @@ func (s *Store) CollectOnce() error {
 	}
 	s.blocks--
 	return nil
+}
+
+// RecoverSummary reports the store-level half of a mount.
+type RecoverSummary struct {
+	BlocksAdopted int
+	LiveSectors   int64
+	Stale         int64
+	MaxSeq        uint64
+}
+
+// Recover rebuilds the store's mapping from scanned blocks, which the
+// owning FTL has already dispatched to this region by OOB tag. Duplicate
+// LPNs resolve to the page with the highest program sequence number; every
+// observed version re-seeds the tracker so post-mount writes outrun all
+// on-flash copies. superseded, when non-nil, reports that a copy of lsn
+// newer than seq lives outside this store (subFTL's subpage region) and
+// the slot must not be adopted here. Every scanned block is adopted in the
+// full state — valid-zero blocks become immediate GC victims, so
+// pre-crash garbage self-heals through the normal erase path.
+func (s *Store) Recover(blocks []ftl.ScannedBlock, superseded func(lsn int64, seq uint64) bool) (RecoverSummary, error) {
+	g := s.dev.Geometry()
+	type winner struct {
+		ppn  int64
+		seq  uint64
+		mask uint64
+		vers []uint32
+	}
+	win := make(map[int64]winner)
+	var sum RecoverSummary
+	for _, blk := range blocks {
+		if blk.MaxSeq > sum.MaxSeq {
+			sum.MaxSeq = blk.MaxSeq
+		}
+		for pi, slots := range blk.Pages {
+			p := g.PageOf(blk.Block, pi)
+			lpn := int64(-1)
+			var seq, mask uint64
+			vers := make([]uint32, s.pageSecs)
+			for slot, sl := range slots {
+				if sl.State != nand.OOBValid || sl.OOB.Stamp.IsPadding() {
+					continue
+				}
+				lsn := sl.OOB.Stamp.LSN
+				if lsn < 0 || lsn >= s.ver.Size() || int(lsn%int64(s.pageSecs)) != slot {
+					continue // foreign or pre-FTL test data; never adopt
+				}
+				if superseded != nil && superseded(lsn, sl.OOB.Seq) {
+					sum.Stale++
+					continue
+				}
+				slotLPN := lsn / int64(s.pageSecs)
+				if lpn >= 0 && slotLPN != lpn {
+					continue // slots of one page always share an LPN
+				}
+				lpn = slotLPN
+				if sl.OOB.Seq > seq {
+					seq = sl.OOB.Seq
+				}
+				mask |= 1 << slot
+				vers[slot] = sl.OOB.Stamp.Version
+			}
+			if lpn < 0 || mask == 0 {
+				continue
+			}
+			if w, ok := win[lpn]; !ok || seq > w.seq {
+				if ok {
+					sum.Stale += int64(bits.OnesCount64(w.mask))
+				}
+				win[lpn] = winner{ppn: int64(p), seq: seq, mask: mask, vers: vers}
+			} else {
+				sum.Stale += int64(bits.OnesCount64(mask))
+			}
+		}
+	}
+	for lpn, w := range win {
+		s.table.Update(lpn, w.ppn)
+		s.rmap[w.ppn] = lpn
+		s.masks[lpn] = w.mask
+		sum.LiveSectors += int64(bits.OnesCount64(w.mask))
+		// Only the winning copy re-seeds the version tracker: a stale copy
+		// can out-version the winner (trim resets the counter), and the read
+		// path verifies stamps against ver.Current.
+		for slot := 0; slot < s.pageSecs; slot++ {
+			if w.mask&(1<<slot) != 0 {
+				s.ver.Restore(lpn*int64(s.pageSecs)+int64(slot), w.vers[slot])
+			}
+		}
+	}
+	perBlock := make(map[nand.BlockID]int)
+	for _, w := range win {
+		perBlock[g.BlockOfPage(nand.PageID(w.ppn))]++
+	}
+	for _, blk := range blocks {
+		if err := s.man.Adopt(blk.Block, s.role, perBlock[blk.Block]); err != nil {
+			return sum, err
+		}
+		s.blocks++
+		sum.BlocksAdopted++
+	}
+	return sum, nil
 }
 
 // Check verifies the store's internal invariants.

@@ -209,6 +209,21 @@ func (m *Manager) MarkFull(b nand.BlockID) {
 	m.meta[b].state = StateFull
 }
 
+// Adopt installs a scanned block's state at mount time: the block leaves
+// the free pool and becomes a full (GC-eligible) block of the given role
+// with the given valid count. Recovery never reopens blocks — a block that
+// was open at the crash is adopted as full and its unwritten pages are
+// reclaimed by the next GC cycle — so the invariant "append points only
+// ever target blocks the current epoch opened" survives the mount.
+func (m *Manager) Adopt(b nand.BlockID, role Role, valid int) error {
+	if m.meta[b].state != StateFree {
+		return fmt.Errorf("ftl: adopting block %d in state %d", b, m.meta[b].state)
+	}
+	m.removeFree(b)
+	m.meta[b] = blockMeta{state: StateFull, role: role, valid: valid}
+	return nil
+}
+
 // Recycle erases a block (which must hold no valid units) and returns it
 // to the free pool. A block already retired — or whose erase fails, which
 // retires it — transitions to StateBad instead: the caller's drain

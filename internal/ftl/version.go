@@ -34,6 +34,21 @@ func (v *Versions) Current(lsn int64) uint32 { return v.version[lsn] }
 // SmallOrigin reports whether lsn's latest data came from a small request.
 func (v *Versions) SmallOrigin(lsn int64) bool { return v.small[lsn] }
 
+// Restore raises lsn's version to at least ver, used by mount-time
+// recovery to re-seed the tracker from on-flash stamps. Callers pass only
+// the version of the copy they adopt as live: the read path verifies stamps
+// against Current, and a stale copy can legitimately out-version the winner
+// (a trim resets the counter, so a post-trim rewrite restarts below the
+// orphaned pre-trim copies). Stale copies are harmless — they are never
+// reachable through any rebuilt mapping, and a later crash re-resolves by
+// sequence number, not version. The small-origin bit is not persisted;
+// recovery leaves it cold.
+func (v *Versions) Restore(lsn int64, ver uint32) {
+	if ver > v.version[lsn] {
+		v.version[lsn] = ver
+	}
+}
+
 // Clear resets lsn to never-written (after a trim).
 func (v *Versions) Clear(lsn int64) {
 	v.version[lsn] = 0

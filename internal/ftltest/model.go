@@ -1,0 +1,115 @@
+package ftltest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model is the in-memory reference disk the crash checker compares a
+// recovered FTL against. It tracks, per logical sector, the version
+// interval a crash may legally expose:
+//
+//   - acked is the newest version the host has been acknowledged (the
+//     FTL's Versions counter mirrors it exactly: one bump per write);
+//   - durable is the newest version known to be on flash — raised to acked
+//     by a sync write or a completed flush;
+//   - extra holds versions outside [durable, acked] that a specific
+//     history made legal: the unacknowledged version of a write the power
+//     cut mid-flight (it may or may not have reached flash), and the
+//     pre-trim interval plus zero after a trim (trims are RAM-only in all
+//     three FTLs, so a crash resurrects the trimmed flash copies — or
+//     loses never-flushed data to zero).
+//
+// After recovery, the version of every sector must satisfy Acceptable:
+// durable <= v <= acked, or v in the extra set. Anything else is either a
+// lost acknowledged write (v < durable), invented data (v > acked), or a
+// resurrection the history cannot explain.
+type Model struct {
+	acked   []uint32
+	durable []uint32
+	extra   []map[uint32]struct{}
+}
+
+// NewModel returns a reference disk of the given logical size, all sectors
+// unwritten.
+func NewModel(sectors int64) *Model {
+	return &Model{
+		acked:   make([]uint32, sectors),
+		durable: make([]uint32, sectors),
+		extra:   make([]map[uint32]struct{}, sectors),
+	}
+}
+
+// Sectors returns the logical size.
+func (m *Model) Sectors() int64 { return int64(len(m.acked)) }
+
+func (m *Model) addExtra(lsn int64, v uint32) {
+	if m.extra[lsn] == nil {
+		m.extra[lsn] = make(map[uint32]struct{})
+	}
+	m.extra[lsn][v] = struct{}{}
+}
+
+// Write records an acknowledged write of [lsn, lsn+sectors). A sync write
+// is durable on acknowledgment; an async one may still be buffered.
+func (m *Model) Write(lsn int64, sectors int, sync bool) {
+	for i := int64(0); i < int64(sectors); i++ {
+		m.acked[lsn+i]++
+		if sync {
+			m.durable[lsn+i] = m.acked[lsn+i]
+		}
+	}
+}
+
+// CrashWrite records a write the power cut mid-flight: never acknowledged,
+// but any prefix of its sectors may have reached flash at the next version.
+func (m *Model) CrashWrite(lsn int64, sectors int) {
+	for i := int64(0); i < int64(sectors); i++ {
+		m.addExtra(lsn+i, m.acked[lsn+i]+1)
+	}
+}
+
+// Flush records a completed flush: everything acknowledged is on flash.
+func (m *Model) Flush() {
+	copy(m.durable, m.acked)
+}
+
+// Trim records an acknowledged trim. All three FTLs trim in RAM only, so
+// the orphaned flash copies — any version the pre-trim interval allowed —
+// legally resurrect at the next crash, and a sector whose data never left
+// the buffer legally disappears to zero.
+func (m *Model) Trim(lsn int64, sectors int) {
+	for i := int64(0); i < int64(sectors); i++ {
+		s := lsn + i
+		m.addExtra(s, 0)
+		for v := m.durable[s]; v <= m.acked[s]; v++ {
+			m.addExtra(s, v)
+		}
+		m.acked[s] = 0
+		m.durable[s] = 0
+	}
+}
+
+// Acceptable reports whether a recovered FTL exposing version v for lsn is
+// consistent with the recorded history.
+func (m *Model) Acceptable(lsn int64, v uint32) bool {
+	if m.durable[lsn] <= v && v <= m.acked[lsn] {
+		return true
+	}
+	_, ok := m.extra[lsn][v]
+	return ok
+}
+
+// Describe renders lsn's acceptable set for failure messages.
+func (m *Model) Describe(lsn int64) string {
+	s := fmt.Sprintf("[%d,%d]", m.durable[lsn], m.acked[lsn])
+	if len(m.extra[lsn]) > 0 {
+		vs := make([]int, 0, len(m.extra[lsn]))
+		for v := range m.extra[lsn] {
+			vs = append(vs, int(v))
+		}
+		sort.Ints(vs)
+		s += fmt.Sprintf(" + extra %v", vs)
+	}
+	return s
+}

@@ -1,0 +1,119 @@
+package ftltest
+
+import "testing"
+
+// The model is itself test infrastructure, so it gets its own unit tests:
+// a checker with a wrong reference silently accepts broken recovery.
+
+func TestModelAckedDurableInterval(t *testing.T) {
+	m := NewModel(8)
+
+	// Never written: only version 0 is acceptable.
+	if !m.Acceptable(0, 0) {
+		t.Fatal("fresh sector must accept version 0")
+	}
+	if m.Acceptable(0, 1) {
+		t.Fatal("fresh sector must reject version 1")
+	}
+
+	// Async write: buffered data may be lost (0) or recovered (1).
+	m.Write(0, 1, false)
+	for v, want := range map[uint32]bool{0: true, 1: true, 2: false} {
+		if got := m.Acceptable(0, v); got != want {
+			t.Fatalf("after async write: Acceptable(0,%d) = %v, want %v", v, got, want)
+		}
+	}
+
+	// Sync write: the ack promises durability, 0 and 1 are now stale losses.
+	m.Write(0, 1, true)
+	for v, want := range map[uint32]bool{0: false, 1: false, 2: true, 3: false} {
+		if got := m.Acceptable(0, v); got != want {
+			t.Fatalf("after sync write: Acceptable(0,%d) = %v, want %v", v, got, want)
+		}
+	}
+
+	// Two more async writes widen the interval upward only.
+	m.Write(0, 1, false)
+	m.Write(0, 1, false)
+	for v, want := range map[uint32]bool{1: false, 2: true, 3: true, 4: true, 5: false} {
+		if got := m.Acceptable(0, v); got != want {
+			t.Fatalf("after async churn: Acceptable(0,%d) = %v, want %v", v, got, want)
+		}
+	}
+
+	// Flush pins the floor at the newest acknowledged version.
+	m.Flush()
+	for v, want := range map[uint32]bool{3: false, 4: true, 5: false} {
+		if got := m.Acceptable(0, v); got != want {
+			t.Fatalf("after flush: Acceptable(0,%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestModelCrashWrite(t *testing.T) {
+	m := NewModel(4)
+	m.Write(1, 2, true)
+	// A cut write may expose the unacknowledged next version on any of its
+	// sectors — but nothing beyond it.
+	m.CrashWrite(1, 2)
+	for _, lsn := range []int64{1, 2} {
+		if !m.Acceptable(lsn, 1) || !m.Acceptable(lsn, 2) {
+			t.Fatalf("lsn %d: acked and in-flight versions must be acceptable: %s", lsn, m.Describe(lsn))
+		}
+		if m.Acceptable(lsn, 3) {
+			t.Fatalf("lsn %d: version past the in-flight write accepted", lsn)
+		}
+	}
+	// The neighbouring sector is untouched.
+	if m.Acceptable(3, 1) {
+		t.Fatal("sector outside the cut write accepted a phantom version")
+	}
+}
+
+func TestModelTrimResurrection(t *testing.T) {
+	m := NewModel(4)
+	m.Write(0, 1, true)  // v1 durable
+	m.Write(0, 1, false) // v2 maybe buffered
+	m.Trim(0, 1)
+
+	// Trims are RAM-only: the crash may resurrect any pre-trim version the
+	// interval allowed, or show the trim (0).
+	for v, want := range map[uint32]bool{0: true, 1: true, 2: true, 3: false} {
+		if got := m.Acceptable(0, v); got != want {
+			t.Fatalf("after trim: Acceptable(0,%d) = %v, want %v", v, got, want)
+		}
+	}
+
+	// A post-trim rewrite restarts the counter; v1 now means the new data.
+	m.Write(0, 1, true)
+	if !m.Acceptable(0, 1) {
+		t.Fatal("post-trim rewrite must be acceptable at version 1")
+	}
+	if m.Acceptable(0, 3) {
+		t.Fatal("orphaned version outside the trim extras accepted")
+	}
+}
+
+// TestModelDetectsDivergence feeds the model the classic recovery bugs and
+// asserts each one is flagged: the differential checker is only as strong
+// as the model's ability to say no.
+func TestModelDetectsDivergence(t *testing.T) {
+	m := NewModel(2)
+	m.Write(0, 1, true)
+	m.Write(0, 1, true)
+	m.Flush()
+
+	cases := []struct {
+		name string
+		v    uint32
+	}{
+		{"lost acknowledged write (stale version)", 1},
+		{"dropped sector (zero after sync)", 0},
+		{"invented future version", 3},
+	}
+	for _, c := range cases {
+		if m.Acceptable(0, c.v) {
+			t.Errorf("%s: version %d accepted, want rejected (%s)", c.name, c.v, m.Describe(0))
+		}
+	}
+}

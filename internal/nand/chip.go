@@ -15,10 +15,19 @@ type subpage struct {
 	// npp is the subpage's N^k_pp type: the number of program passes the
 	// page had received before this subpage was programmed.
 	npp NppType
+	// torn is set when power was cut mid-program: the cells hold a partial
+	// charge distribution that is detectably neither erased nor valid (the
+	// "open page" signature real controllers probe for at mount).
+	torn bool
 	// programmedAt is the virtual time of the program, for retention aging.
 	programmedAt sim.Time
 	// stamp is the integrity fingerprint of the stored payload.
 	stamp Stamp
+	// seq is the device-global sequence number of the program operation
+	// that wrote this subpage; all slots of one op share it.
+	seq uint64
+	// tag is the FTL region tag recorded in the OOB at program time.
+	tag uint8
 }
 
 // page is the persistent state of one physical page.
@@ -69,7 +78,7 @@ func (c *chip) erase(localBlock int) {
 // programPage writes all subpages of an erased page in one pass. Every
 // subpage becomes N⁰pp-type. Returns ErrReprogram if any subpage of the
 // page has been programmed since the last erase.
-func (c *chip) programPage(localBlock, pageIdx int, stamps []Stamp, at sim.Time) error {
+func (c *chip) programPage(localBlock, pageIdx int, stamps []Stamp, at sim.Time, seq uint64, tag uint8) error {
 	pg := &c.blocks[localBlock].pages[pageIdx]
 	if pg.passes != 0 {
 		return ErrReprogram
@@ -85,6 +94,8 @@ func (c *chip) programPage(localBlock, pageIdx int, stamps []Stamp, at sim.Time)
 			npp:          0,
 			programmedAt: at,
 			stamp:        st,
+			seq:          seq,
+			tag:          tag,
 		}
 	}
 	return nil
@@ -97,7 +108,7 @@ func (c *chip) programPage(localBlock, pageIdx int, stamps []Stamp, at sim.Time)
 // coupling and program disturbance, paper §3.2). Every subpage written in
 // the pass gets the same N^k_pp type: the number of passes that preceded
 // this one.
-func (c *chip) programSubpages(localBlock, pageIdx int, subs []int, stamps []Stamp, at sim.Time) error {
+func (c *chip) programSubpages(localBlock, pageIdx int, subs []int, stamps []Stamp, at sim.Time, seq uint64, tag uint8) error {
 	pg := &c.blocks[localBlock].pages[pageIdx]
 	for _, sub := range subs {
 		if pg.subs[sub].programmed {
@@ -123,10 +134,39 @@ func (c *chip) programSubpages(localBlock, pageIdx int, subs []int, stamps []Sta
 			npp:          NppType(pg.passes),
 			programmedAt: at,
 			stamp:        st,
+			seq:          seq,
+			tag:          tag,
 		}
 	}
 	pg.passes++
 	return nil
+}
+
+// tornProgram models a program operation interrupted by power loss: the
+// target slots were partially written and come back torn (unreadable, with
+// a detectable open-page signature). Previously programmed neighbours are
+// NOT destroyed — the interrupted pass never finished the voltage ramps
+// that cause cross-coupling beyond the ECC margin — which is what lets an
+// in-place ESP shift survive a crash without losing its source copies. The
+// pass still counts toward N^k_pp bookkeeping. A target that was already
+// programmed (a would-be ErrReprogram) is left untouched: the op was
+// invalid and changed nothing before power died.
+func (c *chip) tornProgram(localBlock, pageIdx int, subs []int, at sim.Time) {
+	pg := &c.blocks[localBlock].pages[pageIdx]
+	for _, sub := range subs {
+		if pg.subs[sub].programmed {
+			return
+		}
+	}
+	for _, sub := range subs {
+		pg.subs[sub] = subpage{
+			programmed:   true,
+			torn:         true,
+			npp:          NppType(pg.passes),
+			programmedAt: at,
+		}
+	}
+	pg.passes++
 }
 
 // failProgram models an aborted program operation on the given subpage
@@ -150,6 +190,9 @@ func (c *chip) readSubpage(localBlock, pageIdx, sub int, now sim.Time, model *Re
 	if !sp.programmed {
 		return Stamp{}, 0, ErrNotProgrammed
 	}
+	if sp.torn {
+		return Stamp{}, sp.npp, ErrTorn
+	}
 	if sp.destroyed {
 		return Stamp{}, sp.npp, ErrDestroyed
 	}
@@ -166,9 +209,12 @@ func (c *chip) readSubpage(localBlock, pageIdx, sub int, now sim.Time, model *Re
 type SubpageInfo struct {
 	Programmed   bool
 	Destroyed    bool
+	Torn         bool
 	Npp          NppType
 	ProgrammedAt sim.Time
 	Stamp        Stamp
+	Seq          uint64
+	Tag          uint8
 }
 
 func (c *chip) subpageInfo(localBlock, pageIdx, sub int) SubpageInfo {
@@ -176,8 +222,73 @@ func (c *chip) subpageInfo(localBlock, pageIdx, sub int) SubpageInfo {
 	return SubpageInfo{
 		Programmed:   sp.programmed,
 		Destroyed:    sp.destroyed,
+		Torn:         sp.torn,
 		Npp:          sp.npp,
 		ProgrammedAt: sp.programmedAt,
 		Stamp:        sp.stamp,
+		Seq:          sp.seq,
+		Tag:          sp.tag,
 	}
+}
+
+// OOBState classifies what a mount-time OOB scan observes in one subpage
+// slot. The spare area shares the payload's ECC envelope, so a slot whose
+// content was destroyed by a later ESP pass exposes no OOB either; torn
+// slots are distinguishable from garbage by the partial-program charge
+// signature controllers use for open-page detection.
+type OOBState uint8
+
+const (
+	// OOBErased: the slot was never programmed since the last erase.
+	OOBErased OOBState = iota
+	// OOBValid: the slot holds a decodable OOB record.
+	OOBValid
+	// OOBGarbage: the slot was programmed but its content (payload and
+	// spare area alike) is gone — destroyed by a later ESP pass or by an
+	// aborted program.
+	OOBGarbage
+	// OOBTorn: the slot's program was cut by power loss mid-operation.
+	OOBTorn
+)
+
+// SubpageOOB is one slot's contribution to a mount-time scan.
+type SubpageOOB struct {
+	State OOBState
+	// OOB is meaningful only when State is OOBValid.
+	OOB OOB
+}
+
+// pageOOB snapshots the out-of-band area of every slot of one page, as a
+// single-sense scan would observe it. Valid slots run their records through
+// the wire encoding so the scan exercises the same decode path a real
+// controller would.
+func (c *chip) pageOOB(localBlock, pageIdx int) []SubpageOOB {
+	pg := &c.blocks[localBlock].pages[pageIdx]
+	out := make([]SubpageOOB, len(pg.subs))
+	for s := range pg.subs {
+		sp := &pg.subs[s]
+		switch {
+		case !sp.programmed:
+			out[s] = SubpageOOB{State: OOBErased}
+		case sp.torn:
+			out[s] = SubpageOOB{State: OOBTorn}
+		case sp.destroyed:
+			out[s] = SubpageOOB{State: OOBGarbage}
+		default:
+			enc := EncodeOOB(OOB{
+				Stamp:        sp.stamp,
+				Seq:          sp.seq,
+				Npp:          sp.npp,
+				ProgrammedAt: sp.programmedAt,
+				Tag:          sp.tag,
+			})
+			rec, err := DecodeOOB(enc[:])
+			if err != nil {
+				out[s] = SubpageOOB{State: OOBGarbage}
+				continue
+			}
+			out[s] = SubpageOOB{State: OOBValid, OOB: rec}
+		}
+	}
+	return out
 }

@@ -64,6 +64,10 @@ type Counters struct {
 	RetryFailures   int64 // reads still uncorrectable after the retry budget
 	ProgramFailures int64 // injected program failures
 	EraseFailures   int64 // injected erase failures
+
+	// Crash-consistency counters.
+	OOBScans     int64 // mount-time whole-page OOB senses (ScanPageOOB)
+	TornPrograms int64 // program ops cut mid-operation by power loss
 }
 
 // Device is the timed multi-channel NAND subsystem. All operations are
@@ -84,6 +88,15 @@ type Device struct {
 	// retryHist records read-retry steps per recovered/attempted read
 	// (populated only on the recovery read path).
 	retryHist *metrics.IntHistogram
+	// seq is the device-global program-op sequence counter stamped into
+	// every OOB record; it survives power loss (real controllers keep it
+	// recoverable as max-over-scan, which is exactly how Recover uses it).
+	seq uint64
+	// ops counts every admitted operation, the index space the SPO
+	// injector kills at. dead is set once power is cut; all operations
+	// fail with ErrPowerLoss until PowerOn.
+	ops  int64
+	dead bool
 }
 
 // NewDevice builds a device from cfg, attached to the given clock. The
@@ -170,6 +183,42 @@ func (d *Device) DrainTime() sim.Time {
 	return t
 }
 
+// OpCount returns how many device operations have been admitted so far —
+// the index space ArmSPO addresses. A dry run of a workload yields the op
+// count an SPO sweep then iterates over.
+func (d *Device) OpCount() int64 { return d.ops }
+
+// Alive reports whether the device has power.
+func (d *Device) Alive() bool { return !d.dead }
+
+// PowerOn restores power after an SPO. Flash content, wear counters and the
+// sequence counter persist; everything RAM-side (the FTL) is gone and must
+// be rebuilt by a mount-time Recover.
+func (d *Device) PowerOn() { d.dead = false }
+
+// beginOp admits one operation against the power-loss model. It returns
+// tear=true when the SPO injector cut power mid-way through this very
+// program operation (the caller must apply torn-page state and then fail
+// with ErrPowerLoss); a non-nil error when the device is dead or was just
+// killed at this op boundary.
+func (d *Device) beginOp(isProgram bool) (tear bool, err error) {
+	if d.dead {
+		return false, ErrPowerLoss
+	}
+	idx := d.ops
+	d.ops++
+	if inj := d.cfg.Fault; inj != nil {
+		if fire, torn := inj.SPO(idx); fire {
+			d.dead = true
+			if torn && isProgram {
+				return true, nil
+			}
+			return false, ErrPowerLoss
+		}
+	}
+	return false, nil
+}
+
 // chipFor resolves a block to its chip and channel timelines.
 func (d *Device) chipFor(b BlockID) (*chip, *sim.Timeline, *sim.Timeline) {
 	ci := d.cfg.Geometry.ChipOf(b)
@@ -220,6 +269,9 @@ func (d *Device) Erase(b BlockID) (sim.Time, error) {
 	if !d.cfg.Geometry.ValidBlock(b) {
 		return 0, &OpError{Op: "erase", Block: b, Sub: -1, Err: ErrBadAddress}
 	}
+	if _, err := d.beginOp(false); err != nil {
+		return 0, &OpError{Op: "erase", Block: b, Sub: -1, Err: err}
+	}
 	ch, chipTL, _ := d.chipFor(b)
 	now := d.clock.Now()
 	_, end := chipTL.Reserve(now, d.cfg.Latency.EraseBlock)
@@ -239,15 +291,36 @@ func (d *Device) Erase(b BlockID) (sim.Time, error) {
 // per subpage slot; missing entries are padding. The page must be fully
 // erased.
 func (d *Device) ProgramPage(p PageID, stamps []Stamp) (sim.Time, error) {
+	return d.ProgramPageTag(p, stamps, 0)
+}
+
+// ProgramPageTag is ProgramPage with an FTL region tag recorded in every
+// slot's OOB, so a mount-time scan can dispatch the block to the right
+// mapping table.
+func (d *Device) ProgramPageTag(p PageID, stamps []Stamp, tag uint8) (sim.Time, error) {
 	if err := d.checkPage(p); err != nil {
 		return 0, &OpError{Op: "program", Block: d.cfg.Geometry.BlockOfPage(p), Page: d.cfg.Geometry.PageIndex(p), Sub: -1, Err: err}
 	}
 	g := d.cfg.Geometry
 	b := g.BlockOfPage(p)
 	ch, chipTL, chanTL := d.chipFor(b)
+	tear, err := d.beginOp(true)
+	if err != nil {
+		return 0, &OpError{Op: "program", Block: b, Page: g.PageIndex(p), Sub: -1, Err: err}
+	}
+	if tear {
+		all := make([]int, g.SubpagesPerPage)
+		for i := range all {
+			all[i] = i
+		}
+		ch.tornProgram(g.LocalBlock(b), g.PageIndex(p), all, d.clock.Now())
+		d.counters.TornPrograms++
+		return 0, &OpError{Op: "program", Block: b, Page: g.PageIndex(p), Sub: -1, Err: ErrPowerLoss, Detail: "torn mid-program"}
+	}
 	xfer := d.cfg.Latency.Transfer(g.PageBytes())
 	start, end := d.admitWrite(chanTL, chipTL, xfer, d.cfg.Latency.ProgramPage)
-	if err := ch.programPage(g.LocalBlock(b), g.PageIndex(p), stamps, start); err != nil {
+	d.seq++
+	if err := ch.programPage(g.LocalBlock(b), g.PageIndex(p), stamps, start, d.seq, tag); err != nil {
 		return 0, &OpError{Op: "program", Block: b, Page: g.PageIndex(p), Sub: -1, Err: err}
 	}
 	d.counters.PagePrograms++
@@ -278,6 +351,12 @@ func (d *Device) ProgramSubpage(p PageID, sub int, stamp Stamp) (sim.Time, error
 // every previously programmed subpage of the page outside the run, and
 // every slot in the run must be unprogrammed since the last erase.
 func (d *Device) ProgramSubpageRun(p PageID, firstSub int, stamps []Stamp) (sim.Time, error) {
+	return d.ProgramSubpageRunTag(p, firstSub, stamps, 0)
+}
+
+// ProgramSubpageRunTag is ProgramSubpageRun with an FTL region tag recorded
+// in every written slot's OOB.
+func (d *Device) ProgramSubpageRunTag(p PageID, firstSub int, stamps []Stamp, tag uint8) (sim.Time, error) {
 	g := d.cfg.Geometry
 	k := len(stamps)
 	if err := d.checkPage(p); err != nil || firstSub < 0 || k < 1 || firstSub+k > g.SubpagesPerPage {
@@ -285,14 +364,24 @@ func (d *Device) ProgramSubpageRun(p PageID, firstSub int, stamps []Stamp) (sim.
 	}
 	b := g.BlockOfPage(p)
 	ch, chipTL, chanTL := d.chipFor(b)
-	xfer := d.cfg.Latency.Transfer(k * g.SubpageBytes)
-	cell := d.cfg.Latency.ProgramSubpages(k, g.SubpagesPerPage)
-	start, end := d.admitWrite(chanTL, chipTL, xfer, cell)
 	subs := make([]int, k)
 	for i := range subs {
 		subs[i] = firstSub + i
 	}
-	if err := ch.programSubpages(g.LocalBlock(b), g.PageIndex(p), subs, stamps, start); err != nil {
+	tear, err := d.beginOp(true)
+	if err != nil {
+		return 0, &OpError{Op: "subprogram", Block: b, Page: g.PageIndex(p), Sub: firstSub, Err: err}
+	}
+	if tear {
+		ch.tornProgram(g.LocalBlock(b), g.PageIndex(p), subs, d.clock.Now())
+		d.counters.TornPrograms++
+		return 0, &OpError{Op: "subprogram", Block: b, Page: g.PageIndex(p), Sub: firstSub, Err: ErrPowerLoss, Detail: "torn mid-program"}
+	}
+	xfer := d.cfg.Latency.Transfer(k * g.SubpageBytes)
+	cell := d.cfg.Latency.ProgramSubpages(k, g.SubpagesPerPage)
+	start, end := d.admitWrite(chanTL, chipTL, xfer, cell)
+	d.seq++
+	if err := ch.programSubpages(g.LocalBlock(b), g.PageIndex(p), subs, stamps, start, d.seq, tag); err != nil {
 		return 0, &OpError{Op: "subprogram", Block: b, Page: g.PageIndex(p), Sub: firstSub, Err: err}
 	}
 	d.counters.SubPrograms++
@@ -317,6 +406,9 @@ func (d *Device) ReadSubpage(s SubpageID) (Stamp, error) {
 	sub := g.SubIndex(s)
 	b := g.BlockOfPage(p)
 	ch, chipTL, chanTL := d.chipFor(b)
+	if _, err := d.beginOp(false); err != nil {
+		return Stamp{}, &OpError{Op: "read", Block: b, Page: g.PageIndex(p), Sub: sub, Err: err}
+	}
 
 	cell := d.cfg.Latency.ReadPage
 	bytes := g.PageBytes()
@@ -370,6 +462,9 @@ func (d *Device) senseSubpage(ch *chip, b BlockID, p PageID, sub int, start sim.
 	if !sp.programmed {
 		return Stamp{}, false, ErrNotProgrammed
 	}
+	if sp.torn {
+		return Stamp{}, false, ErrTorn
+	}
 	if sp.destroyed {
 		return Stamp{}, false, ErrDestroyed
 	}
@@ -422,6 +517,9 @@ func (d *Device) ReadPage(p PageID) ([]Stamp, []error, error) {
 	}
 	b := g.BlockOfPage(p)
 	ch, chipTL, chanTL := d.chipFor(b)
+	if _, err := d.beginOp(false); err != nil {
+		return nil, nil, &OpError{Op: "read", Block: b, Page: g.PageIndex(p), Sub: -1, Err: err}
+	}
 	start, _ := d.admitRead(chanTL, chipTL, d.cfg.Latency.ReadPage, d.cfg.Latency.Transfer(g.PageBytes()))
 	d.counters.PageReads++
 	d.counters.BytesRead += int64(g.PageBytes())
@@ -453,6 +551,27 @@ func (d *Device) ReadPage(p PageID) ([]Stamp, []error, error) {
 		stamps[sub] = st
 	}
 	return stamps, errs, nil
+}
+
+// ScanPageOOB senses the out-of-band area of every subpage slot of page p
+// in one flash operation — the primitive a mount-time recovery scan is
+// built from. It costs one page-sense of chip time but moves only the
+// spare area over the bus (negligible), and it deliberately bypasses the
+// payload reliability model: the OOB is encoded at a far stronger ECC rate
+// than the payload, so mapping reconstruction never needs a data read.
+func (d *Device) ScanPageOOB(p PageID) ([]SubpageOOB, error) {
+	g := d.cfg.Geometry
+	if err := d.checkPage(p); err != nil {
+		return nil, &OpError{Op: "oobscan", Block: g.BlockOfPage(p), Page: 0, Sub: -1, Err: err}
+	}
+	b := g.BlockOfPage(p)
+	ch, chipTL, _ := d.chipFor(b)
+	if _, err := d.beginOp(false); err != nil {
+		return nil, &OpError{Op: "oobscan", Block: b, Page: g.PageIndex(p), Sub: -1, Err: err}
+	}
+	chipTL.Reserve(d.clock.Now(), d.cfg.Latency.ReadPage)
+	d.counters.OOBScans++
+	return ch.pageOOB(g.LocalBlock(b), g.PageIndex(p)), nil
 }
 
 // EraseCount returns the wear (erase cycles) of block b.

@@ -34,6 +34,17 @@ var (
 	// ErrEraseFail reports an injected erase failure: the block did not
 	// erase and must leave service (grown bad).
 	ErrEraseFail = errors.New("nand: erase operation failed")
+	// ErrPowerLoss reports that power was cut: either this operation was
+	// the one the SPO injector killed, or the device is already dead and
+	// rejects all work until PowerOn.
+	ErrPowerLoss = errors.New("nand: power lost")
+	// ErrTorn reports a read of a subpage whose program was interrupted by
+	// power loss: the cells hold a partial charge distribution that no
+	// read-retry level can decode.
+	ErrTorn = errors.New("nand: subpage torn by interrupted program")
+	// ErrBadOOB reports an out-of-band record that failed to decode
+	// (truncated, wrong magic, or checksum mismatch).
+	ErrBadOOB = errors.New("nand: malformed oob record")
 )
 
 // OpError is the concrete error type for failed device operations.

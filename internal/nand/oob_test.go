@@ -1,0 +1,92 @@
+package nand
+
+import (
+	"errors"
+	"testing"
+
+	"espftl/internal/sim"
+)
+
+func TestOOBRoundTrip(t *testing.T) {
+	cases := []OOB{
+		{},
+		{Stamp: Stamp{LSN: 12345, Version: 7}, Seq: 99, Npp: 3, ProgrammedAt: sim.Time(1e9), Tag: 2},
+		{Stamp: Padding, Seq: ^uint64(0), Npp: 255, ProgrammedAt: sim.Time(-1), Tag: 255},
+		{Stamp: Stamp{LSN: -42, Version: ^uint32(0)}},
+	}
+	for _, want := range cases {
+		enc := EncodeOOB(want)
+		got, err := DecodeOOB(enc[:])
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip changed %+v to %+v", want, got)
+		}
+	}
+}
+
+func TestOOBDecodeRejects(t *testing.T) {
+	enc := EncodeOOB(OOB{Stamp: Stamp{LSN: 5, Version: 1}, Seq: 2})
+
+	if _, err := DecodeOOB(enc[:OOBSize-1]); !errors.Is(err, ErrBadOOB) {
+		t.Fatalf("truncated record: got %v, want ErrBadOOB", err)
+	}
+	if _, err := DecodeOOB(nil); !errors.Is(err, ErrBadOOB) {
+		t.Fatalf("empty record: got %v, want ErrBadOOB", err)
+	}
+
+	magic := enc
+	magic[0] = 0x00
+	if _, err := DecodeOOB(magic[:]); !errors.Is(err, ErrBadOOB) {
+		t.Fatalf("bad magic: got %v, want ErrBadOOB", err)
+	}
+
+	// Flip one payload bit: the checksum must catch it.
+	garbled := enc
+	garbled[17] ^= 0x40
+	if _, err := DecodeOOB(garbled[:]); !errors.Is(err, ErrBadOOB) {
+		t.Fatalf("garbled payload: got %v, want ErrBadOOB", err)
+	}
+}
+
+// FuzzOOB: arbitrary bytes must never panic, anything that decodes must
+// re-encode byte-identically, and every encoder output must decode back to
+// the same record.
+func FuzzOOB(f *testing.F) {
+	valid := EncodeOOB(OOB{Stamp: Stamp{LSN: 7, Version: 3}, Seq: 41, Npp: 2, ProgrammedAt: sim.Time(5 * sim.Second), Tag: 3})
+	f.Add(valid[:])
+	f.Add(valid[:OOBSize-5]) // truncated
+	garbled := valid
+	garbled[20] ^= 0xFF
+	f.Add(garbled[:]) // checksum mismatch
+	noMagic := valid
+	noMagic[0] = 0x12
+	f.Add(noMagic[:]) // bad magic
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		o, err := DecodeOOB(raw)
+		if err != nil {
+			if !errors.Is(err, ErrBadOOB) {
+				t.Fatalf("decode error outside ErrBadOOB: %v", err)
+			}
+			return
+		}
+		enc := EncodeOOB(o)
+		if len(raw) < OOBSize {
+			t.Fatalf("decode accepted %d < %d bytes", len(raw), OOBSize)
+		}
+		for i := range enc {
+			if enc[i] != raw[i] {
+				t.Fatalf("re-encode changed byte %d: %#02x != %#02x", i, enc[i], raw[i])
+			}
+		}
+		again, err := DecodeOOB(enc[:])
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again != o {
+			t.Fatalf("round trip changed %+v to %+v", o, again)
+		}
+	})
+}
