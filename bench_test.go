@@ -16,16 +16,12 @@ import (
 )
 
 // benchOpts shrinks the experiments so a full -bench=. pass stays fast.
+// The geometry is the experiment package's quick device: shrinking blocks
+// further over-commits the 62 % logical fraction on the page-mapped FTLs
+// (cgm/fgm run out of spare blocks during preconditioning).
 func benchOpts() experiment.Options {
 	return experiment.Options{
-		Geometry: nand.Geometry{
-			Channels:        8,
-			ChipsPerChannel: 4,
-			BlocksPerChip:   8,
-			PagesPerBlock:   16,
-			SubpagesPerPage: 4,
-			SubpageBytes:    4096,
-		},
+		Geometry: experiment.QuickGeometry,
 		Requests: 4000,
 		Seed:     1,
 	}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBench(t *testing.T) {
+	path := writeTemp(t, "bench.out", `
+goos: linux
+goarch: amd64
+pkg: espftl/internal/nand
+BenchmarkDeviceProgram-8   	   10000	        75.82 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDeviceRead 	   10000	        82.06 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig5RetentionModel-4       	       1	123456789 ns/op
+PASS
+ok  	espftl/internal/nand	0.014s
+`)
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	// GOMAXPROCS suffixes must be stripped; bare names pass through.
+	prog, ok := got["BenchmarkDeviceProgram"]
+	if !ok || prog.nsPerOp != 75.82 || !prog.hasAllocs || prog.allocsPerOp != 0 {
+		t.Fatalf("DeviceProgram: %+v ok=%v", prog, ok)
+	}
+	if _, ok := got["BenchmarkDeviceRead"]; !ok {
+		t.Fatalf("bare name missing: %+v", got)
+	}
+	fig, ok := got["BenchmarkFig5RetentionModel"]
+	if !ok || fig.nsPerOp != 123456789 || fig.hasAllocs {
+		t.Fatalf("Fig5: %+v ok=%v", fig, ok)
+	}
+}
+
+func TestParseBenchIgnoresGarbage(t *testing.T) {
+	path := writeTemp(t, "bench.out", "no benchmarks here\nBenchmarkBroken only-text\n")
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d results from garbage, want 0", len(got))
+	}
+}

@@ -3,21 +3,31 @@
 // Usage:
 //
 //	espbench [-run id[,id...]] [-full] [-requests N] [-seed S] [-markdown]
+//	         [-workers N] [-json DIR] [-speedup] [-cpuprofile F] [-memprofile F]
 //
 // With no -run flag every experiment runs in presentation order. -full
 // switches from the quick device (0.5 GiB) to the full experiment device
 // (2 GiB, 8 channels x 4 chips) and a larger request count; expect a few
 // minutes of wall time.
+//
+// Independent experiment cells fan out over a worker pool (GOMAXPROCS
+// workers; override with -workers or ESP_WORKERS). Output is byte-identical
+// at any worker count. -json DIR writes one machine-readable BENCH_<id>.json
+// per experiment plus an aggregate BENCH_figures.json (wall-clock, GC
+// counts, allocation deltas); add -speedup to run each experiment twice —
+// one worker, then the full pool — and record the wall-clock speedup.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"espftl/internal/experiment"
+	"espftl/internal/perf"
 )
 
 func main() {
@@ -27,6 +37,11 @@ func main() {
 	requests := flag.Int("requests", 0, "override the measured request count per run")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	workers := flag.Int("workers", 0, "experiment worker-pool size (0 = ESP_WORKERS env or GOMAXPROCS; 1 = serial)")
+	jsonDir := flag.String("json", "", "write BENCH_<id>.json per experiment and BENCH_figures.json into this directory")
+	speedup := flag.Bool("speedup", false, "with -json: run each experiment serially and in parallel, recording the speedup")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	all := experiment.All()
@@ -37,6 +52,7 @@ func main() {
 		return
 	}
 
+	experiment.SetWorkers(*workers)
 	opts := experiment.Options{Seed: *seed}
 	if *full {
 		opts.Geometry = experiment.ExperimentGeometry
@@ -44,6 +60,19 @@ func main() {
 	}
 	if *requests > 0 {
 		opts.Requests = *requests
+	}
+
+	prof, err := perf.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+
+	var report *perf.Report
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fatal(err)
+		}
+		report = perf.NewReport("espbench", experiment.Workers())
 	}
 
 	want := map[string]bool{}
@@ -57,22 +86,70 @@ func main() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		start := time.Now()
-		table, err := e.Fn(opts)
+		var serialWall time.Duration
+		if report != nil && *speedup {
+			// Serial reference pass first, so the parallel pass below is
+			// the one whose table gets printed.
+			experiment.SetWorkers(1)
+			start := time.Now()
+			if _, err := e.Fn(opts); err != nil {
+				fatal(fmt.Errorf("%s (serial): %w", e.ID, err))
+			}
+			serialWall = time.Since(start)
+			experiment.SetWorkers(*workers)
+		}
+		var table *experiment.Table
+		rec, err := perf.Measure(e.ID, func() error {
+			var err error
+			table, err = e.Fn(opts)
+			return err
+		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "espbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		if *markdown {
 			fmt.Println(table.Markdown())
 		} else {
 			fmt.Println(table.String())
 		}
-		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Duration(rec.WallNS).Round(time.Millisecond))
+		if report != nil {
+			if *speedup {
+				rec.SerialWallNS = serialWall.Nanoseconds()
+				if rec.WallNS > 0 {
+					rec.Speedup = float64(rec.SerialWallNS) / float64(rec.WallNS)
+				}
+			}
+			report.Add(rec)
+			one := perf.NewReport("espbench", experiment.Workers())
+			one.Add(rec)
+			if err := one.WriteJSON(filepath.Join(*jsonDir, "BENCH_"+e.ID+".json")); err != nil {
+				fatal(err)
+			}
+		}
 		ran++
+	}
+	if err := prof.Stop(); err != nil {
+		fatal(err)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "espbench: no experiment matches %q (try -list)\n", *run)
 		os.Exit(1)
 	}
+	if report != nil {
+		path := filepath.Join(*jsonDir, "BENCH_figures.json")
+		if err := report.WriteJSON(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench report: %s (%d cores, %d workers", path, report.Cores, report.Workers)
+		if report.OverallSpeedup > 0 {
+			fmt.Printf(", %.2fx speedup over serial", report.OverallSpeedup)
+		}
+		fmt.Println(")")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "espbench:", err)
+	os.Exit(1)
 }

@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"espftl/internal/experiment"
 	"espftl/internal/fault"
 	"espftl/internal/metrics"
+	"espftl/internal/perf"
 	"espftl/internal/trace"
 	"espftl/internal/workload"
 )
@@ -57,8 +59,24 @@ func main() {
 	arb := flag.String("arb", "fifo", "host-scheduler arbitration: fifo or read-priority")
 	spo := flag.Int64("spo", -1, "cut power this many device operations into the measured phase, then remount and report recovery (-1 = off)")
 	spoTorn := flag.Bool("spo-torn", false, "make the power cut tear the in-flight program (with -spo)")
+	spoSweep := flag.Int("spo-sweep", 0, "run the SPO experiment once per cut index in [0,N), fanned out over the worker pool, and summarize recovery")
 	abl := flag.String("abl", "", "run this experiment/ablation table (e.g. abl-sched) and exit")
+	workers := flag.Int("workers", 0, "experiment worker-pool size for sweeps/ablations (0 = ESP_WORKERS env or GOMAXPROCS; 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	benchjson := flag.String("benchjson", "", "write a machine-readable bench record of this run to this file")
 	flag.Parse()
+
+	experiment.SetWorkers(*workers)
+	prof, err := perf.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *abl != "" {
 		runAblation(*abl, *requests, *seed, *full)
@@ -131,6 +149,52 @@ func main() {
 		cfg.Profile = p
 	}
 
+	if *spoSweep > 0 {
+		var results []*experiment.SPOResult
+		rec, err := perf.Measure("spo-sweep", func() error {
+			var err error
+			results, err = experiment.SweepSPO(cfg, *spoSweep)
+			return err
+		})
+		if err != nil {
+			fatal(err)
+		}
+		var crashed, torn, live, adopted int64
+		var mountTotal, mountMax time.Duration
+		for _, r := range results {
+			if r.Crashed {
+				crashed++
+			}
+			if r.Torn && r.Crashed {
+				torn++
+			}
+			live += r.Mount.LiveSectors
+			adopted += int64(r.Mount.BlocksAdopted)
+			d := time.Duration(r.Mount.Duration)
+			mountTotal += d
+			if d > mountMax {
+				mountMax = d
+			}
+		}
+		n := len(results)
+		fmt.Printf("%s SPO sweep: %d cuts (%d crashed, %d torn) in %v wall on %d workers\n",
+			cfg.Kind, n, crashed, torn, time.Duration(rec.WallNS).Round(time.Millisecond), experiment.Workers())
+		fmt.Printf("  recovery          every cut remounted and passed invariants\n")
+		fmt.Printf("  mount time        mean %v, max %v (virtual)\n",
+			(mountTotal / time.Duration(n)).Round(time.Microsecond), mountMax.Round(time.Microsecond))
+		fmt.Printf("  recovered         %.1f live sectors and %.1f adopted blocks per cut (mean)\n",
+			float64(live)/float64(n), float64(adopted)/float64(n))
+		if *benchjson != "" {
+			rec.ThroughputPerSec = float64(n) / (float64(rec.WallNS) / 1e9)
+			rep := perf.NewReport("espsim", experiment.Workers())
+			rep.Add(rec)
+			if err := rep.WriteJSON(*benchjson); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
 	if *spo >= 0 {
 		res, err := experiment.RunSPO(cfg, *spo, *spoTorn)
 		if err != nil {
@@ -153,9 +217,22 @@ func main() {
 		return
 	}
 
-	res, err := experiment.Run(cfg)
+	var res *experiment.Result
+	rec, err := perf.Measure("run", func() error {
+		var err error
+		res, err = experiment.Run(cfg)
+		return err
+	})
 	if err != nil {
 		fatal(err)
+	}
+	if *benchjson != "" {
+		rec.ThroughputPerSec = float64(res.Requests) / (float64(rec.WallNS) / 1e9)
+		rep := perf.NewReport("espsim", experiment.Workers())
+		rep.Add(rec)
+		if err := rep.WriteJSON(*benchjson); err != nil {
+			fatal(err)
+		}
 	}
 	s := res.Stats
 	fmt.Printf("%s on %s\n", res.Kind, res.Profile)

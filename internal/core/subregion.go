@@ -264,7 +264,10 @@ func (f *FTL) advanceRound(b nand.BlockID) {
 }
 
 // readPageVerified reads a whole page once and returns the stamps,
-// verifying each expected survivor against its recorded version.
+// verifying each expected survivor against its recorded version. The
+// callers hold the stamps across further device operations (evictions,
+// the combined pass), so the device's borrowed read scratch is copied
+// into a caller-owned slice here.
 func (f *FTL) readPageVerified(p nand.PageID, survs []survivor) ([]nand.Stamp, error) {
 	stamps, errs, err := f.dev.ReadPage(p)
 	if err != nil {
@@ -279,7 +282,9 @@ func (f *FTL) readPageVerified(p nand.PageID, survs []survivor) ([]nand.Stamp, e
 			return nil, fmt.Errorf("core: relocation integrity violation at lsn %d: got %v, want %v", sv.lsn, stamps[sv.slot], want)
 		}
 	}
-	return stamps, nil
+	out := make([]nand.Stamp, len(stamps))
+	copy(out, stamps)
+	return out, nil
 }
 
 // subPass programs one ESP pass on the next eligible page: shifting the

@@ -19,8 +19,10 @@ func AblationRegionRatio(o Options) (*Table, error) {
 		Title:   "subFTL subpage-region size ablation (Varmail)",
 		Columns: []string{"region frac", "IOPS", "GC invocations", "evictions", "request WAF", "mapping KiB"},
 	}
-	for _, frac := range []float64{0.05, 0.10, 0.20, 0.30, 0.40, 0.50} {
-		res, err := Run(RunConfig{
+	fracs := []float64{0.05, 0.10, 0.20, 0.30, 0.40, 0.50}
+	var cfgs []RunConfig
+	for _, frac := range fracs {
+		cfgs = append(cfgs, RunConfig{
 			Kind:          KindSub,
 			Geometry:      o.Geometry,
 			Requests:      o.Requests,
@@ -32,9 +34,13 @@ func AblationRegionRatio(o Options) (*Table, error) {
 			LogicalFrac: 0.42,
 			FillFrac:    0.9,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("abl-region frac=%v: %w", frac, err)
-		}
+	}
+	results, err := runGrid(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("abl-region: %w", err)
+	}
+	for i, res := range results {
+		frac := fracs[i]
 		t.AddRow(f2(frac), fmt.Sprintf("%.0f", res.IOPS()),
 			fmt.Sprintf("%d", res.Stats.GCInvocations),
 			fmt.Sprintf("%d", res.Stats.Evictions),
@@ -54,8 +60,9 @@ func AblationHotCold(o Options) (*Table, error) {
 		Title:   "subFTL hot/cold GC separation ablation (Varmail)",
 		Columns: []string{"GC policy", "IOPS", "GC invocations", "evictions", "RMW ops", "request WAF"},
 	}
+	var cfgs []RunConfig
 	for _, disabled := range []bool{false, true} {
-		res, err := Run(RunConfig{
+		cfgs = append(cfgs, RunConfig{
 			Kind:             KindSub,
 			Geometry:         o.Geometry,
 			Requests:         o.Requests,
@@ -63,11 +70,14 @@ func AblationHotCold(o Options) (*Table, error) {
 			Seed:             o.Seed,
 			DisableHotColdGC: disabled,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("abl-hotcold disabled=%v: %w", disabled, err)
-		}
+	}
+	results, err := runGrid(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("abl-hotcold: %w", err)
+	}
+	for i, res := range results {
 		name := "hot/cold split (paper)"
-		if disabled {
+		if i == 1 {
 			name = "evict-all (no split)"
 		}
 		t.AddRow(name, fmt.Sprintf("%.0f", res.IOPS()),
@@ -114,18 +124,23 @@ func AblationRetention(o Options) (*Table, error) {
 		}
 		return reqs
 	}
+	var cfgs []RunConfig
 	for _, disabled := range []bool{false, true} {
-		cfg := RunConfig{
+		cfgs = append(cfgs, RunConfig{
 			Kind:             KindSub,
 			Geometry:         o.Geometry,
 			Trace:            mkTrace(),
 			Seed:             o.Seed,
 			DisableRetention: disabled,
 			TickEvery:        16,
-		}
+		})
+	}
+	results, errs := runGridSettled(cfgs)
+	for i := range cfgs {
+		disabled := i == 1
 		name := "15-day scrub (paper)"
 		var moves, failures int64
-		res, err := Run(cfg)
+		res, err := results[i], errs[i]
 		if disabled {
 			name = "no retention management"
 			if err == nil {
@@ -160,6 +175,7 @@ func AblationFaultRecovery(o Options) (*Table, error) {
 		Title:   "NAND fault injection and recovery cost (Varmail)",
 		Columns: []string{"device", "IOPS", "request WAF", "read retries", "program-fail moves", "bad blocks", "read failures"},
 	}
+	var cfgs []RunConfig
 	for _, faulty := range []bool{false, true} {
 		cfg := RunConfig{
 			Kind:     KindSub,
@@ -168,15 +184,20 @@ func AblationFaultRecovery(o Options) (*Table, error) {
 			Profile:  workload.Varmail(),
 			Seed:     o.Seed,
 		}
-		name := "fault-free"
 		if faulty {
-			name = "default fault profile"
 			p := fault.DefaultProfile(o.Seed + 99)
 			cfg.FaultProfile = &p
 		}
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("abl-fault faulty=%v: %w", faulty, err)
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runGrid(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("abl-fault: %w", err)
+	}
+	for i, res := range results {
+		name := "fault-free"
+		if i == 1 {
+			name = "default fault profile"
 		}
 		t.AddRow(name, fmt.Sprintf("%.0f", res.IOPS()),
 			f3(res.Stats.AvgRequestWAF()),
@@ -211,9 +232,12 @@ func AblationScheduler(o Options) (*Table, error) {
 		LargeSizes: []int{4, 8},
 		Zipf:       0.8,
 	}
-	for _, arb := range []string{"fifo", "read-priority"} {
-		for _, qd := range []int{1, 4, 8, 32} {
-			res, err := Run(RunConfig{
+	arbs := []string{"fifo", "read-priority"}
+	qds := []int{1, 4, 8, 32}
+	var cfgs []RunConfig
+	for _, arb := range arbs {
+		for _, qd := range qds {
+			cfgs = append(cfgs, RunConfig{
 				Kind:     KindSub,
 				Geometry: o.Geometry,
 				Requests: o.Requests,
@@ -226,9 +250,17 @@ func AblationScheduler(o Options) (*Table, error) {
 				QueueDepth:  qd,
 				Arbitration: arb,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("abl-sched %s qd=%d: %w", arb, qd, err)
-			}
+		}
+	}
+	results, err := runGrid(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("abl-sched: %w", err)
+	}
+	cell := 0
+	for _, arb := range arbs {
+		for _, qd := range qds {
+			res := results[cell]
+			cell++
 			h := res.Sched.HostLat.Summary()
 			r := res.Sched.ReadLat.Summary()
 			t.AddRow(arb, fmt.Sprintf("%d", qd),
@@ -265,8 +297,9 @@ func ExtSubpageRead(o Options) (*Table, error) {
 		Title:   "subFTL with the subpage-read extension (80% 4-KB reads)",
 		Columns: []string{"device reads", "IOPS", "read bytes moved (MiB)"},
 	}
+	var cfgs []RunConfig
 	for _, enabled := range []bool{false, true} {
-		res, err := Run(RunConfig{
+		cfgs = append(cfgs, RunConfig{
 			Kind:              KindSub,
 			Geometry:          o.Geometry,
 			Requests:          o.Requests,
@@ -274,11 +307,14 @@ func ExtSubpageRead(o Options) (*Table, error) {
 			Seed:              o.Seed,
 			EnableSubpageRead: enabled,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("ext-subread enabled=%v: %w", enabled, err)
-		}
+	}
+	results, err := runGrid(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("ext-subread: %w", err)
+	}
+	for i, res := range results {
 		name := "full-page reads (paper baseline)"
-		if enabled {
+		if i == 1 {
 			name = "subpage reads (extension)"
 		}
 		t.AddRow(name, fmt.Sprintf("%.0f", res.IOPS()),
@@ -303,12 +339,18 @@ func ExtLifetime(o Options) (*Table, error) {
 		kind Kind
 		tbw  float64
 	}
+	kinds := []Kind{KindCGM, KindFGM, KindSub}
+	var cfgs []RunConfig
+	for _, kind := range kinds {
+		cfgs = append(cfgs, benchmarkCfg(o, kind, workload.Sysbench()))
+	}
+	results, err := runGrid(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("ext-lifetime: %w", err)
+	}
 	var rows []row
-	for _, kind := range []Kind{KindCGM, KindFGM, KindSub} {
-		res, err := benchmarkRun(o, kind, workload.Sysbench())
-		if err != nil {
-			return nil, fmt.Errorf("ext-lifetime %v: %w", kind, err)
-		}
+	for ki, kind := range kinds {
+		res := results[ki]
 		hostGiB := float64(res.Stats.HostSectorsWritten) * 4096 / (1 << 30)
 		erases := float64(res.Stats.Device.Erases)
 		if erases == 0 {
@@ -353,8 +395,10 @@ func ExtLatency(o Options) (*Table, error) {
 		Title:   "Per-request service demand (Varmail): mean and tail",
 		Columns: []string{"FTL", "mean", "p50", "p99", "max"},
 	}
-	for _, kind := range []Kind{KindCGM, KindFGM, KindSub} {
-		res, err := Run(RunConfig{
+	kinds := []Kind{KindCGM, KindFGM, KindSub}
+	var cfgs []RunConfig
+	for _, kind := range kinds {
+		cfgs = append(cfgs, RunConfig{
 			Kind:           kind,
 			Geometry:       o.Geometry,
 			Requests:       o.Requests,
@@ -363,9 +407,13 @@ func ExtLatency(o Options) (*Table, error) {
 			LogicalFrac:    0.62,
 			MeasureLatency: true,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("ext-latency %v: %w", kind, err)
-		}
+	}
+	results, err := runGrid(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("ext-latency: %w", err)
+	}
+	for ki, kind := range kinds {
+		res := results[ki]
 		h := res.Latency
 		t.AddRow(string(kind),
 			fmt.Sprintf("%v", h.Mean().Round(time.Microsecond)),

@@ -49,32 +49,43 @@ func Fig2a(o Options) (*Table, error) {
 		kind  Kind
 		synch float64
 	}
-	rows := make(map[rowKey][]float64)
+	type cell struct {
+		kind          Kind
+		rsync, rsmall float64
+	}
+	var cells []cell
+	var cfgs []RunConfig
 	for _, kind := range []Kind{KindFGM, KindCGM} {
 		for _, rsync := range rSynchs {
 			for _, rsmall := range rSmalls {
-				res, err := Run(RunConfig{
+				cells = append(cells, cell{kind, rsync, rsmall})
+				cfgs = append(cfgs, RunConfig{
 					Kind:     kind,
 					Geometry: o.Geometry,
 					Requests: o.Requests,
 					Profile:  workload.SweepProfile(rsmall, rsync),
 					Seed:     o.Seed,
 				})
-				if err != nil {
-					return nil, fmt.Errorf("fig2a %v rsmall=%v rsynch=%v: %w", kind, rsmall, rsync, err)
-				}
-				secs := res.Elapsed.Seconds()
-				if secs <= 0 {
-					return nil, fmt.Errorf("fig2a: zero elapsed time")
-				}
-				tput := float64(res.Stats.HostSectorsWritten) / secs
-				if kind == KindFGM && rsmall == 0 && rsync == 0 {
-					baseline = tput
-				}
-				k := rowKey{kind, rsync}
-				rows[k] = append(rows[k], tput)
 			}
 		}
+	}
+	results, err := runGrid(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig2a: %w", err)
+	}
+	rows := make(map[rowKey][]float64)
+	for i, res := range results {
+		c := cells[i]
+		secs := res.Elapsed.Seconds()
+		if secs <= 0 {
+			return nil, fmt.Errorf("fig2a %v rsmall=%v rsynch=%v: zero elapsed time", c.kind, c.rsmall, c.rsync)
+		}
+		tput := float64(res.Stats.HostSectorsWritten) / secs
+		if c.kind == KindFGM && c.rsmall == 0 && c.rsync == 0 {
+			baseline = tput
+		}
+		k := rowKey{c.kind, c.rsync}
+		rows[k] = append(rows[k], tput)
 	}
 	if baseline == 0 {
 		return nil, fmt.Errorf("fig2a: zero baseline IOPS")
@@ -104,29 +115,34 @@ func Fig2b(o Options) (*Table, error) {
 		Title:   "Normalized GC invocations vs r_small (FGM scheme)",
 		Columns: []string{"r_synch", "r_small=0.0", "0.2", "0.4", "0.6", "0.8", "1.0"},
 	}
-	var max float64
-	grid := make([][]float64, len(rSynchs))
-	for i, rsync := range rSynchs {
+	var cfgs []RunConfig
+	for _, rsync := range rSynchs {
 		for _, rsmall := range rSmalls {
-			res, err := Run(RunConfig{
+			cfgs = append(cfgs, RunConfig{
 				Kind:     KindFGM,
 				Geometry: o.Geometry,
 				Requests: o.Requests,
 				Profile:  workload.SweepProfile(rsmall, rsync),
 				Seed:     o.Seed,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("fig2b rsmall=%v rsynch=%v: %w", rsmall, rsync, err)
-			}
-			bytes := float64(res.Stats.HostSectorsWritten) * 4096
-			if bytes == 0 {
-				return nil, fmt.Errorf("fig2b: no host writes")
-			}
-			gc := float64(res.Stats.GCInvocations) / (bytes / (1 << 30))
-			grid[i] = append(grid[i], gc)
-			if gc > max {
-				max = gc
-			}
+		}
+	}
+	results, err := runGrid(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig2b: %w", err)
+	}
+	var max float64
+	grid := make([][]float64, len(rSynchs))
+	for k, res := range results {
+		i := k / len(rSmalls)
+		bytes := float64(res.Stats.HostSectorsWritten) * 4096
+		if bytes == 0 {
+			return nil, fmt.Errorf("fig2b: no host writes")
+		}
+		gc := float64(res.Stats.GCInvocations) / (bytes / (1 << 30))
+		grid[i] = append(grid[i], gc)
+		if gc > max {
+			max = gc
 		}
 	}
 	if max == 0 {
@@ -174,20 +190,20 @@ func Fig5(o Options) (*Table, error) {
 	return t, nil
 }
 
-// benchmarkRun executes one benchmark profile on one FTL kind. The
+// benchmarkCfg assembles one benchmark-profile cell for one FTL kind. The
 // logical fraction is set so live data occupies ~55 %% of raw capacity for
 // every FTL (the paper ran at 62.5 %%; we back off slightly because our
 // implementation-grade greedy GC keeps the baselines unrealistically cheap
 // at the exact paper point, see EXPERIMENTS.md).
-func benchmarkRun(o Options, kind Kind, prof workload.Profile) (*Result, error) {
-	return Run(RunConfig{
+func benchmarkCfg(o Options, kind Kind, prof workload.Profile) RunConfig {
+	return RunConfig{
 		Kind:        kind,
 		Geometry:    o.Geometry,
 		Requests:    o.Requests,
 		Profile:     prof,
 		Seed:        o.Seed,
 		LogicalFrac: 0.62,
-	})
+	}
 }
 
 // Fig8a regenerates Fig. 8(a): normalized IOPS of cgmFTL, fgmFTL and
@@ -202,14 +218,21 @@ func Fig8a(o Options) (*Table, error) {
 	var maxGain float64
 	var sumGain float64
 	profiles := workload.Benchmarks()
+	kinds := []Kind{KindCGM, KindFGM, KindSub}
+	var cfgs []RunConfig
 	for _, prof := range profiles {
+		for _, kind := range kinds {
+			cfgs = append(cfgs, benchmarkCfg(o, kind, prof))
+		}
+	}
+	results, err := runGrid(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8a: %w", err)
+	}
+	for pi, prof := range profiles {
 		var iops [3]float64
-		for i, kind := range []Kind{KindCGM, KindFGM, KindSub} {
-			res, err := benchmarkRun(o, kind, prof)
-			if err != nil {
-				return nil, fmt.Errorf("fig8a %s/%v: %w", prof.Name, kind, err)
-			}
-			iops[i] = res.IOPS()
+		for i := range kinds {
+			iops[i] = results[pi*len(kinds)+i].IOPS()
 		}
 		if iops[0] == 0 {
 			return nil, fmt.Errorf("fig8a %s: zero cgm IOPS", prof.Name)
@@ -240,15 +263,16 @@ func Fig8b(o Options) (*Table, error) {
 	var maxRed float64
 	var sumRed float64
 	profiles := workload.Benchmarks()
+	var cfgs []RunConfig
 	for _, prof := range profiles {
-		sub, err := benchmarkRun(o, KindSub, prof)
-		if err != nil {
-			return nil, fmt.Errorf("fig8b %s/sub: %w", prof.Name, err)
-		}
-		fgmRes, err := benchmarkRun(o, KindFGM, prof)
-		if err != nil {
-			return nil, fmt.Errorf("fig8b %s/fgm: %w", prof.Name, err)
-		}
+		cfgs = append(cfgs, benchmarkCfg(o, KindSub, prof), benchmarkCfg(o, KindFGM, prof))
+	}
+	results, err := runGrid(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8b: %w", err)
+	}
+	for pi, prof := range profiles {
+		sub, fgmRes := results[2*pi], results[2*pi+1]
 		sgc, fgc := float64(sub.Stats.GCInvocations), float64(fgmRes.Stats.GCInvocations)
 		if sgc == 0 {
 			sgc = 1 // avoid division blowup when subFTL needs no GC at all
@@ -277,11 +301,15 @@ func Table1(o Options) (*Table, error) {
 	}
 	smallRow := []string{"% of small write"}
 	wafRow := []string{"average request WAF"}
+	var cfgs []RunConfig
 	for _, prof := range workload.Benchmarks() {
-		res, err := benchmarkRun(o, KindSub, prof)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", prof.Name, err)
-		}
+		cfgs = append(cfgs, benchmarkCfg(o, KindSub, prof))
+	}
+	results, err := runGrid(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+	for _, res := range results {
 		writes := res.Stats.HostWriteReqs
 		pct := 0.0
 		if writes > 0 {

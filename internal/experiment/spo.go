@@ -133,6 +133,28 @@ func RunSPO(cfg RunConfig, cutAfter int64, torn bool) (*SPOResult, error) {
 	return res, nil
 }
 
+// SweepSPO replays the whole SPO experiment once per cut index in
+// [0, cuts), alternating clean cuts (even indices) with mid-program tears
+// (odd indices) — the same schedule the ftltest differential sweep uses.
+// Every cut is an independent run with its own device and clock, so the
+// sweep fans out over the experiment worker pool; results come back in
+// cut order and match a serial sweep exactly.
+func SweepSPO(cfg RunConfig, cuts int) ([]*SPOResult, error) {
+	out := make([]*SPOResult, cuts)
+	err := forEach(cuts, func(i int) error {
+		r, e := RunSPO(cfg, int64(i), i%2 == 1)
+		if e != nil {
+			return fmt.Errorf("cut %d: %w", i, e)
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // String renders the run for tool output.
 func (r *SPOResult) String() string {
 	state := "clean shutdown"

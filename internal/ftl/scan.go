@@ -40,13 +40,19 @@ func ScanBlocks(dev *nand.Device) (blocks []ScannedBlock, pages int64, err error
 			continue
 		}
 		sb := ScannedBlock{Block: b, Pages: make([][]nand.SubpageOOB, g.PagesPerBlock)}
+		// ScanPageOOB returns device-owned scratch overwritten by the next
+		// sense; the scan retains every page, so copy each result into one
+		// flat per-block backing array.
+		backing := make([]nand.SubpageOOB, g.PagesPerBlock*g.SubpagesPerPage)
 		for pi := 0; pi < g.PagesPerBlock; pi++ {
 			slots, err := dev.ScanPageOOB(g.PageOf(b, pi))
 			if err != nil {
 				return nil, pages, err
 			}
 			pages++
-			sb.Pages[pi] = slots
+			dst := backing[pi*g.SubpagesPerPage : (pi+1)*g.SubpagesPerPage]
+			copy(dst, slots)
+			sb.Pages[pi] = dst
 			for _, sl := range slots {
 				switch sl.State {
 				case nand.OOBErased:

@@ -2,6 +2,7 @@ package ftltest
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"espftl/internal/fault"
@@ -224,8 +225,15 @@ func SPOSweep(t *testing.T, env CrashEnv, script []CrashOp) {
 	if total == 0 {
 		t.Fatal("script issues no device operations")
 	}
+	// Every cut point is an independent replay on its own device, so the
+	// sweep fans out across parallel subtests; the per-cut subtest name
+	// keeps failures addressable with -run.
 	for cut := int64(0); cut < total; cut++ {
-		RunCrashAt(t, env, script, cut, cut%2 == 1)
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			t.Parallel()
+			RunCrashAt(t, env, script, cut, cut%2 == 1)
+		})
 	}
 }
 

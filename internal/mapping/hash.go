@@ -106,19 +106,36 @@ func (h *HashTable) compact() {
 	h.live, h.used = 0, 0
 	for i, s := range state {
 		if s == slotFull {
-			// Re-insert; the table cannot be full of live entries here.
-			if err := h.Put(keys[i], vals[i]); err != nil {
-				panic("mapping: compact lost an entry: " + err.Error())
-			}
+			h.reinsert(keys[i], vals[i])
 		}
 	}
+}
+
+// reinsert places a key known to be absent into the tombstone-free table
+// compact is rebuilding. It bypasses Put so maintenance traffic does not
+// distort the probe statistics the experiments report, and cannot fail:
+// live entries always fit (capacity was sized for them plus headroom).
+func (h *HashTable) reinsert(key, val int64) {
+	mask := uint64(len(h.keys) - 1)
+	i := h.slot(key)
+	for h.state[i] == slotFull {
+		i = (i + 1) & mask
+	}
+	h.state[i] = slotFull
+	h.keys[i] = key
+	h.vals[i] = val
+	h.live++
+	h.used++
 }
 
 // Put maps key to val, replacing any existing mapping. It returns
 // ErrHashFull when the table has no usable slot left.
 func (h *HashTable) Put(key, val int64) error {
-	// When tombstones have consumed the slack, rebuild before probing.
-	if h.used >= len(h.keys)-1-len(h.keys)/8 && h.used > h.live {
+	// Compact once tombstones eat more than half the headroom left over
+	// live entries: long-lived delete/insert churn (the subFTL's region at
+	// steady state) would otherwise degrade every miss toward a full-table
+	// probe even though the live load factor is modest.
+	if tombs := h.used - h.live; tombs > (len(h.keys)-h.live)/2 {
 		h.compact()
 	}
 	mask := uint64(len(h.keys) - 1)

@@ -213,3 +213,80 @@ func TestHashTableModelProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHashTableCompaction locks in the tombstone bound: sustained
+// delete/insert churn at high occupancy must keep tombstones at or below
+// half the live headroom (Put compacts past that point), and probe chains
+// must stay short instead of degrading toward full-table scans.
+func TestHashTableCompaction(t *testing.T) {
+	h := NewHashTable(1000)
+	for i := int64(0); i < 1000; i++ {
+		if err := h.Put(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn: delete one key, insert a fresh one, many times over — the
+	// live count never moves but every cycle mints a tombstone.
+	next := int64(1000)
+	for cycle := 0; cycle < 20000; cycle++ {
+		victim := next - 1000
+		if _, ok := h.Delete(victim); !ok {
+			t.Fatalf("cycle %d: victim %d missing", cycle, victim)
+		}
+		if err := h.Put(next, next); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		next++
+		if tombs, headroom := h.used-h.live, h.Cap()-h.live; tombs > headroom/2+1 {
+			t.Fatalf("cycle %d: %d tombstones exceed half the headroom (%d/2)", cycle, tombs, headroom)
+		}
+	}
+	if h.Len() != 1000 {
+		t.Fatalf("live entries: got %d, want 1000", h.Len())
+	}
+	// All current keys must still resolve after the compactions.
+	for k := next - 1000; k < next; k++ {
+		if v, ok := h.Get(k); !ok || v != k {
+			t.Fatalf("key %d: got %d %v", k, v, ok)
+		}
+	}
+	// Probe-length regression: with tombstones bounded, the mean probe
+	// chain stays near the load-factor ideal. Without compaction this
+	// churn drives the average toward the table capacity.
+	if avg := h.AverageProbes(); avg > 8 {
+		t.Fatalf("average probes %.2f, want <= 8 (tombstone poisoning)", avg)
+	}
+}
+
+// TestHashTableCompactionPreservesEntries drives churn across the exact
+// compaction trigger and checks a model map agrees with the table.
+func TestHashTableCompactionPreservesEntries(t *testing.T) {
+	h := NewHashTable(64)
+	model := map[int64]int64{}
+	rng := uint64(1)
+	for i := 0; i < 50000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		key := int64(rng>>33) % 96
+		switch {
+		case rng%3 == 0:
+			delete(model, key)
+			h.Delete(key)
+		default:
+			if len(model) >= 64 {
+				break
+			}
+			model[key] = int64(i)
+			if err := h.Put(key, int64(i)); err != nil {
+				t.Fatalf("op %d: %v (live=%d)", i, err, h.Len())
+			}
+		}
+	}
+	if h.Len() != len(model) {
+		t.Fatalf("live count: table %d, model %d", h.Len(), len(model))
+	}
+	for k, v := range model {
+		if got, ok := h.Get(k); !ok || got != v {
+			t.Fatalf("key %d: table %d %v, model %d", k, got, ok, v)
+		}
+	}
+}

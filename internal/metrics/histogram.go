@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -19,6 +20,12 @@ type Histogram struct {
 	sum    time.Duration
 	min    time.Duration
 	max    time.Duration
+	// cum caches the cumulative bucket counts so a burst of percentile
+	// queries (Summary's four, the host scheduler's per-report quantile
+	// block) costs one binary search each instead of a fresh bucket scan.
+	// Record invalidates; refresh rebuilds lazily.
+	cum   []uint64
+	dirty bool
 }
 
 const (
@@ -29,7 +36,11 @@ const (
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{counts: make([]uint64, histBuckets), min: math.MaxInt64}
+	return &Histogram{
+		counts: make([]uint64, histBuckets),
+		cum:    make([]uint64, histBuckets),
+		min:    math.MaxInt64,
+	}
 }
 
 // bucketOf maps a duration to its bucket index.
@@ -61,6 +72,7 @@ func (h *Histogram) Record(d time.Duration) {
 	h.counts[bucketOf(d)]++
 	h.total++
 	h.sum += d
+	h.dirty = true
 	if d < h.min {
 		h.min = d
 	}
@@ -108,22 +120,34 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	if target == 0 {
 		target = 1
 	}
+	h.refresh()
+	i := sort.Search(len(h.cum), func(i int) bool { return h.cum[i] >= target })
+	if i == len(h.cum) {
+		return h.max
+	}
+	// Report the bucket's geometric center, clamped to extremes.
+	v := time.Duration(float64(bucketLow(i)) * math.Pow(2, 0.5/bucketsPerOctave))
+	if v > h.max {
+		v = h.max
+	}
+	if v < h.min {
+		v = h.min
+	}
+	return v
+}
+
+// refresh rebuilds the cumulative-count cache after recordings. The cum
+// slice is non-decreasing, which is what lets Percentile binary-search it.
+func (h *Histogram) refresh() {
+	if !h.dirty {
+		return
+	}
 	var seen uint64
 	for i, c := range h.counts {
 		seen += c
-		if seen >= target {
-			// Report the bucket's geometric center, clamped to extremes.
-			v := time.Duration(float64(bucketLow(i)) * math.Pow(2, 0.5/bucketsPerOctave))
-			if v > h.max {
-				v = h.max
-			}
-			if v < h.min {
-				v = h.min
-			}
-			return v
-		}
+		h.cum[i] = seen
 	}
-	return h.max
+	h.dirty = false
 }
 
 // Quantile is Percentile under the name the rest of the metrics package
@@ -132,9 +156,9 @@ func (h *Histogram) Quantile(p float64) time.Duration { return h.Percentile(p) }
 
 // Summary is the fixed set of distribution statistics reports print.
 type Summary struct {
-	Count                    uint64
+	Count                     uint64
 	Mean, P50, P95, P99, P999 time.Duration
-	Max                      time.Duration
+	Max                       time.Duration
 }
 
 // Summary computes the report statistics in one pass over the buckets.

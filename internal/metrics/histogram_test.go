@@ -166,3 +166,60 @@ func TestHistogramExactAggregatesProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHistogramCacheInvalidation interleaves recordings with percentile
+// queries and checks each answer against a reference linear scan — the
+// cumulative-count cache must never serve a stale snapshot.
+func TestHistogramCacheInvalidation(t *testing.T) {
+	// referencePercentile recomputes the percentile the pre-cache way.
+	referencePercentile := func(h *Histogram, p float64) time.Duration {
+		if h.total == 0 {
+			return 0
+		}
+		if p <= 0 {
+			return h.Min()
+		}
+		if p >= 1 {
+			return h.Max()
+		}
+		target := uint64(p * float64(h.total))
+		if target == 0 {
+			target = 1
+		}
+		var seen uint64
+		for i, c := range h.counts {
+			seen += c
+			if seen >= target {
+				v := time.Duration(float64(bucketLow(i)) * math.Pow(2, 0.5/bucketsPerOctave))
+				if v > h.max {
+					v = h.max
+				}
+				if v < h.min {
+					v = h.min
+				}
+				return v
+			}
+		}
+		return h.max
+	}
+
+	h := NewHistogram()
+	rng := uint64(42)
+	for i := 0; i < 5000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		h.Record(time.Duration(rng % uint64(10*time.Millisecond)))
+		if i%7 != 0 {
+			continue
+		}
+		for _, p := range []float64{0.01, 0.5, 0.95, 0.99, 0.999} {
+			if got, want := h.Percentile(p), referencePercentile(h, p); got != want {
+				t.Fatalf("after %d records, p%.3f: cached %v, reference %v", i+1, p, got, want)
+			}
+		}
+	}
+	// A burst of queries with no intervening Record hits the warm cache.
+	s1, s2 := h.Summary(), h.Summary()
+	if s1 != s2 {
+		t.Fatalf("summaries diverge on warm cache: %+v vs %+v", s1, s2)
+	}
+}

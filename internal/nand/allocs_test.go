@@ -1,0 +1,200 @@
+package nand
+
+import (
+	"testing"
+
+	"espftl/internal/sim"
+)
+
+// These guards lock in the zero-allocation contract of the device hot
+// path: steady-state programs, reads and OOB operations must not touch
+// the heap. They are the enforcement side of the borrow contract on
+// ReadPage/ScanPageOOB (device-owned scratch, overwritten per call).
+
+// allocDevice builds a device big enough that the guard loops never wrap.
+func allocDevice(t testing.TB) *Device {
+	cfg := DefaultConfig()
+	cfg.Geometry = tinyGeometry()
+	cfg.Geometry.BlocksPerChip = 64
+	cfg.Geometry.PagesPerBlock = 64
+	d, err := NewDevice(cfg, sim.NewClock(0))
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	return d
+}
+
+func TestProgramPageAllocs(t *testing.T) {
+	d := allocDevice(t)
+	g := d.Geometry()
+	stamps := []Stamp{{LSN: 1, Version: 1}, {LSN: 2, Version: 1}, {LSN: 3, Version: 1}, {LSN: 4, Version: 1}}
+	pi, bi := 0, 0
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := d.ProgramPage(g.PageOf(BlockID(bi), pi), stamps); err != nil {
+			t.Fatal(err)
+		}
+		pi++
+		if pi == g.PagesPerBlock {
+			pi = 0
+			bi++
+		}
+	})
+	if avg != 0 {
+		t.Errorf("ProgramPage allocates %.1f objects per op, want 0", avg)
+	}
+}
+
+func TestProgramSubpageRunAllocs(t *testing.T) {
+	d := allocDevice(t)
+	g := d.Geometry()
+	stamps := []Stamp{{LSN: 1, Version: 1}, {LSN: 2, Version: 1}}
+	pi, bi := 0, 0
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := d.ProgramSubpageRun(g.PageOf(BlockID(bi), pi), 1, stamps); err != nil {
+			t.Fatal(err)
+		}
+		pi++
+		if pi == g.PagesPerBlock {
+			pi = 0
+			bi++
+		}
+	})
+	if avg != 0 {
+		t.Errorf("ProgramSubpageRun allocates %.1f objects per op, want 0", avg)
+	}
+}
+
+func TestReadPageAllocs(t *testing.T) {
+	d := allocDevice(t)
+	g := d.Geometry()
+	p := g.PageOf(0, 0)
+	stamps := []Stamp{{LSN: 1, Version: 1}, {LSN: 2, Version: 1}, {LSN: 3, Version: 1}, {LSN: 4, Version: 1}}
+	if _, err := d.ProgramPage(p, stamps); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		got, errs, err := d.ReadPage(p)
+		if err != nil || errs[0] != nil || got[0].LSN != 1 {
+			t.Fatalf("read: %v %v %v", got, errs, err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("ReadPage allocates %.1f objects per op, want 0", avg)
+	}
+}
+
+func TestReadSubpageAllocs(t *testing.T) {
+	d := allocDevice(t)
+	g := d.Geometry()
+	p := g.PageOf(0, 0)
+	if _, err := d.ProgramPage(p, []Stamp{{LSN: 1, Version: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	s := g.SubpageOf(p, 0)
+	avg := testing.AllocsPerRun(200, func() {
+		st, err := d.ReadSubpage(s)
+		if err != nil || st.LSN != 1 {
+			t.Fatalf("read: %v %v", st, err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("ReadSubpage allocates %.1f objects per op, want 0", avg)
+	}
+}
+
+func TestScanPageOOBAllocs(t *testing.T) {
+	d := allocDevice(t)
+	g := d.Geometry()
+	p := g.PageOf(0, 0)
+	if _, err := d.ProgramPage(p, []Stamp{{LSN: 1, Version: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		slots, err := d.ScanPageOOB(p)
+		if err != nil || slots[0].State != OOBValid {
+			t.Fatalf("scan: %v %v", slots, err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("ScanPageOOB allocates %.1f objects per op, want 0", avg)
+	}
+}
+
+func TestEncodeDecodeOOBAllocs(t *testing.T) {
+	rec := OOB{Stamp: Stamp{LSN: 42, Version: 7}, Seq: 99, Npp: 2, ProgrammedAt: 1234, Tag: 3}
+	avg := testing.AllocsPerRun(200, func() {
+		enc := EncodeOOB(rec)
+		got, err := DecodeOOB(enc[:])
+		if err != nil || got != rec {
+			t.Fatalf("round trip: %v %v", got, err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("OOB encode/decode allocates %.1f objects per op, want 0", avg)
+	}
+}
+
+// BenchmarkDeviceProgram measures one steady-state ESP subpage-run program
+// (run with -benchmem: the allocs/op column must stay 0).
+func BenchmarkDeviceProgram(b *testing.B) {
+	d := allocDevice(b)
+	g := d.Geometry()
+	stamps := []Stamp{{LSN: 1, Version: 1}, {LSN: 2, Version: 1}}
+	pi, bi := 0, 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ProgramSubpageRun(g.PageOf(BlockID(bi), pi), 0, stamps); err != nil {
+			b.Fatal(err)
+		}
+		pi++
+		if pi == g.PagesPerBlock {
+			pi = 0
+			bi++
+			if bi == g.TotalBlocks() {
+				b.StopTimer()
+				for bb := 0; bb < g.TotalBlocks(); bb++ {
+					if _, err := d.Erase(BlockID(bb)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				bi = 0
+				b.StartTimer()
+			}
+		}
+	}
+}
+
+// BenchmarkDeviceRead measures one steady-state full-page read.
+func BenchmarkDeviceRead(b *testing.B) {
+	d := allocDevice(b)
+	g := d.Geometry()
+	p := g.PageOf(0, 0)
+	if _, err := d.ProgramPage(p, []Stamp{{LSN: 1, Version: 1}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.ReadPage(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceScanOOB measures one mount-scan page sense.
+func BenchmarkDeviceScanOOB(b *testing.B) {
+	d := allocDevice(b)
+	g := d.Geometry()
+	p := g.PageOf(0, 0)
+	if _, err := d.ProgramPage(p, []Stamp{{LSN: 1, Version: 1}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ScanPageOOB(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

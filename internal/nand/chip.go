@@ -49,10 +49,18 @@ type block struct {
 type chip struct {
 	geo    Geometry
 	blocks []block
+	// inPass is per-call scratch for programSubpages (which subpage slots
+	// the current ESP pass writes); entries are reset before each use so
+	// the steady-state program path allocates nothing.
+	inPass []bool
 }
 
 func newChip(geo Geometry) *chip {
-	c := &chip{geo: geo, blocks: make([]block, geo.BlocksPerChip)}
+	c := &chip{
+		geo:    geo,
+		blocks: make([]block, geo.BlocksPerChip),
+		inPass: make([]bool, geo.SubpagesPerPage),
+	}
 	for b := range c.blocks {
 		c.blocks[b].pages = make([]page, geo.PagesPerBlock)
 		for p := range c.blocks[b].pages {
@@ -115,7 +123,10 @@ func (c *chip) programSubpages(localBlock, pageIdx int, subs []int, stamps []Sta
 			return ErrReprogram
 		}
 	}
-	inPass := make(map[int]bool, len(subs))
+	inPass := c.inPass
+	for i := range inPass {
+		inPass[i] = false
+	}
 	for _, sub := range subs {
 		inPass[sub] = true
 	}
@@ -258,13 +269,13 @@ type SubpageOOB struct {
 	OOB OOB
 }
 
-// pageOOB snapshots the out-of-band area of every slot of one page, as a
-// single-sense scan would observe it. Valid slots run their records through
-// the wire encoding so the scan exercises the same decode path a real
-// controller would.
-func (c *chip) pageOOB(localBlock, pageIdx int) []SubpageOOB {
+// pageOOB snapshots the out-of-band area of every slot of one page into
+// out (caller-supplied, len == SubpagesPerPage), as a single-sense scan
+// would observe it. Valid slots run their records through the wire
+// encoding so the scan exercises the same decode path a real controller
+// would.
+func (c *chip) pageOOB(localBlock, pageIdx int, out []SubpageOOB) []SubpageOOB {
 	pg := &c.blocks[localBlock].pages[pageIdx]
-	out := make([]SubpageOOB, len(pg.subs))
 	for s := range pg.subs {
 		sp := &pg.subs[s]
 		switch {

@@ -97,6 +97,17 @@ type Device struct {
 	// fail with ErrPowerLoss until PowerOn.
 	ops  int64
 	dead bool
+
+	// Per-op scratch, sized once at construction so the steady-state
+	// program/read/scan paths allocate nothing (guarded by AllocsPerRun
+	// tests). allSubs is the constant identity run [0, SubpagesPerPage);
+	// the rest are reused between calls — see the borrow contract on
+	// ReadPage and ScanPageOOB.
+	allSubs    []int
+	subsBuf    []int
+	readStamps []Stamp
+	readErrs   []error
+	oobBuf     []SubpageOOB
 }
 
 // NewDevice builds a device from cfg, attached to the given clock. The
@@ -135,6 +146,15 @@ func NewDevice(cfg Config, clock *sim.Clock) (*Device, error) {
 	for i := range d.chanTL {
 		d.chanTL[i] = sim.NewTimeline(fmt.Sprintf("chan%d", i))
 	}
+	sp := cfg.Geometry.SubpagesPerPage
+	d.allSubs = make([]int, sp)
+	for i := range d.allSubs {
+		d.allSubs[i] = i
+	}
+	d.subsBuf = make([]int, sp)
+	d.readStamps = make([]Stamp, sp)
+	d.readErrs = make([]error, sp)
+	d.oobBuf = make([]SubpageOOB, sp)
 	return d, nil
 }
 
@@ -309,11 +329,7 @@ func (d *Device) ProgramPageTag(p PageID, stamps []Stamp, tag uint8) (sim.Time, 
 		return 0, &OpError{Op: "program", Block: b, Page: g.PageIndex(p), Sub: -1, Err: err}
 	}
 	if tear {
-		all := make([]int, g.SubpagesPerPage)
-		for i := range all {
-			all[i] = i
-		}
-		ch.tornProgram(g.LocalBlock(b), g.PageIndex(p), all, d.clock.Now())
+		ch.tornProgram(g.LocalBlock(b), g.PageIndex(p), d.allSubs, d.clock.Now())
 		d.counters.TornPrograms++
 		return 0, &OpError{Op: "program", Block: b, Page: g.PageIndex(p), Sub: -1, Err: ErrPowerLoss, Detail: "torn mid-program"}
 	}
@@ -326,11 +342,7 @@ func (d *Device) ProgramPageTag(p PageID, stamps []Stamp, tag uint8) (sim.Time, 
 	d.counters.PagePrograms++
 	d.counters.BytesWritten += int64(g.PageBytes())
 	if inj := d.cfg.Fault; inj != nil && inj.ProgramFail(g.ChipOf(b), int(b), d.EraseCount(b)) {
-		all := make([]int, g.SubpagesPerPage)
-		for i := range all {
-			all[i] = i
-		}
-		ch.failProgram(g.LocalBlock(b), g.PageIndex(p), all)
+		ch.failProgram(g.LocalBlock(b), g.PageIndex(p), d.allSubs)
 		d.counters.ProgramFailures++
 		return end, &OpError{Op: "program", Block: b, Page: g.PageIndex(p), Sub: -1, Err: ErrProgramFail, Detail: "injected"}
 	}
@@ -364,7 +376,9 @@ func (d *Device) ProgramSubpageRunTag(p PageID, firstSub int, stamps []Stamp, ta
 	}
 	b := g.BlockOfPage(p)
 	ch, chipTL, chanTL := d.chipFor(b)
-	subs := make([]int, k)
+	// Reusable scratch: neither the chip's program path nor its tear/fail
+	// paths retain the slice past the call.
+	subs := d.subsBuf[:k]
 	for i := range subs {
 		subs[i] = firstSub + i
 	}
@@ -510,6 +524,12 @@ func (d *Device) senseSubpage(ch *chip, b BlockID, p PageID, sub int, start sim.
 // at least the addressing was valid; per-slot failures are reported in the
 // errs slice (index-aligned), since an FTL doing a read-modify-write needs
 // the readable slots even when others are gone.
+//
+// Borrow contract: the returned slices are device-owned scratch, valid
+// only until the next ReadPage or ScanPageOOB call on this device. A
+// caller that issues further device operations while still holding the
+// result (or stores it) must copy first. This keeps the steady-state read
+// path allocation-free (see TestReadPageAllocs).
 func (d *Device) ReadPage(p PageID) ([]Stamp, []error, error) {
 	g := d.cfg.Geometry
 	if err := d.checkPage(p); err != nil {
@@ -524,8 +544,11 @@ func (d *Device) ReadPage(p PageID) ([]Stamp, []error, error) {
 	d.counters.PageReads++
 	d.counters.BytesRead += int64(g.PageBytes())
 
-	stamps := make([]Stamp, g.SubpagesPerPage)
-	errs := make([]error, g.SubpagesPerPage)
+	stamps := d.readStamps[:g.SubpagesPerPage]
+	errs := d.readErrs[:g.SubpagesPerPage]
+	for i := range errs {
+		errs[i] = nil
+	}
 	lb, pi := g.LocalBlock(b), g.PageIndex(p)
 	for sub := 0; sub < g.SubpagesPerPage; sub++ {
 		st, retention, err := d.senseSubpage(ch, b, p, sub, start, chipTL, d.cfg.Latency.ReadPage)
@@ -559,6 +582,10 @@ func (d *Device) ReadPage(p PageID) ([]Stamp, []error, error) {
 // spare area over the bus (negligible), and it deliberately bypasses the
 // payload reliability model: the OOB is encoded at a far stronger ECC rate
 // than the payload, so mapping reconstruction never needs a data read.
+//
+// Borrow contract: the returned slice is device-owned scratch, valid only
+// until the next ScanPageOOB or ReadPage call on this device; a retaining
+// caller must copy (ftl.ScanBlocks does).
 func (d *Device) ScanPageOOB(p PageID) ([]SubpageOOB, error) {
 	g := d.cfg.Geometry
 	if err := d.checkPage(p); err != nil {
@@ -571,7 +598,7 @@ func (d *Device) ScanPageOOB(p PageID) ([]SubpageOOB, error) {
 	}
 	chipTL.Reserve(d.clock.Now(), d.cfg.Latency.ReadPage)
 	d.counters.OOBScans++
-	return ch.pageOOB(g.LocalBlock(b), g.PageIndex(p)), nil
+	return ch.pageOOB(g.LocalBlock(b), g.PageIndex(p), d.oobBuf[:g.SubpagesPerPage]), nil
 }
 
 // EraseCount returns the wear (erase cycles) of block b.
