@@ -1,0 +1,158 @@
+// Command espclient drives an espserved instance over TCP: it replays a
+// trace file or generates a synthetic profile, runs it closed-loop at a
+// target queue depth, and prints an espsim-style latency report from the
+// client's side of the wire — both the server-reported virtual service
+// times and the wall-clock round trips this client observed.
+//
+// Examples:
+//
+//	espclient -addr 127.0.0.1:9750 -profile varmail -n 50000 -qd 8
+//	espclient -trace workload.bin -qd 16 -ns tenant-a
+//	espclient -profile ycsb -n 10000 -stat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"espftl/internal/metrics"
+	"espftl/internal/server"
+	"espftl/internal/trace"
+	"espftl/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9750", "espserved address")
+	ns := flag.String("ns", "default", "namespace to attach to")
+	profile := flag.String("profile", "varmail", "workload profile: sysbench, varmail, postmark, ycsb, tpc-c")
+	rsmall := flag.Float64("rsmall", -1, "use the sweep profile with this r_small (overrides -profile)")
+	rsynch := flag.Float64("rsynch", 1.0, "r_synch for the sweep profile")
+	tracePath := flag.String("trace", "", "replay this trace file (binary, text or wire format) instead of a profile")
+	n := flag.Int("n", 50000, "request count (profiles only)")
+	qd := flag.Int("qd", 8, "closed-loop queue depth")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	span := flag.Float64("span", 1.0, "fraction of the namespace the synthetic stream touches")
+	stat := flag.Bool("stat", false, "print the namespace's /stats JSON after the run")
+	flag.Parse()
+
+	c, err := server.Dial(*addr, *ns)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	wl := c.Welcome
+	fmt.Printf("espclient: %q on %s: %d sectors of %d B, %d-sector pages, window %d\n",
+		*ns, *addr, wl.Sectors, wl.SectorBytes, wl.PageSectors, wl.MaxInflight)
+
+	var (
+		next func() (workload.Request, bool)
+		kind string
+	)
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		reqs, err := trace.ReadAny(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		// The server owns the clock: idle-gap records cannot be replayed
+		// over the wire and are skipped.
+		gaps, i := 0, 0
+		next = func() (workload.Request, bool) {
+			for i < len(reqs) {
+				r := reqs[i]
+				i++
+				if r.Op == workload.OpAdvance {
+					gaps++
+					continue
+				}
+				return r, true
+			}
+			return workload.Request{}, false
+		}
+		kind = fmt.Sprintf("trace %s (%d requests)", *tracePath, len(reqs))
+		defer func() {
+			if gaps > 0 {
+				fmt.Printf("  skipped           %d idle-gap records (server paces the clock)\n", gaps)
+			}
+		}()
+	} else {
+		var prof workload.Profile
+		if *rsmall >= 0 {
+			prof = workload.SweepProfile(*rsmall, *rsynch)
+		} else {
+			found := false
+			for _, p := range workload.Benchmarks() {
+				if strings.EqualFold(p.Name, *profile) {
+					prof, found = p, true
+					break
+				}
+			}
+			if !found {
+				fatal(fmt.Errorf("unknown profile %q", *profile))
+			}
+		}
+		ps := int64(wl.PageSectors)
+		sectors := int64(float64(wl.Sectors) * *span) / ps * ps
+		if sectors <= 0 {
+			fatal(fmt.Errorf("namespace too small for -span %g", *span))
+		}
+		gen, err := workload.NewSynthetic(prof, sectors, int(ps), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		left := *n
+		next = func() (workload.Request, bool) {
+			if left <= 0 {
+				return workload.Request{}, false
+			}
+			left--
+			return gen.Next(), true
+		}
+		kind = fmt.Sprintf("%s (%d requests)", prof.Name, *n)
+	}
+
+	start := time.Now()
+	cr, err := c.Run(next, *qd, nil)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("espclient: %s at QD %d\n", kind, *qd)
+	fmt.Printf("  completed         %d in %v wall -> %.0f ops/s\n",
+		cr.Ops, wall.Round(time.Millisecond), float64(cr.Ops)/wall.Seconds())
+	if cr.Errors > 0 || cr.Rejected > 0 {
+		fmt.Printf("  errors            %d errored, %d rejected\n", cr.Errors, cr.Rejected)
+	}
+	printLatency("service (virtual)", cr.Virt)
+	printLatency("round trip (wall)", cr.Wall)
+
+	if *stat {
+		js, err := c.Stat()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  namespace stats   %s\n", js)
+	}
+	if cr.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+func printLatency(label string, h *metrics.Histogram) {
+	s := h.Summary()
+	fmt.Printf("  %-17s mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
+		label, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "espclient:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command espserved serves a simulated SSD as a network block device:
+// the wire protocol of internal/server on a TCP listener, with optional
+// HTTP introspection, multi-tenant namespaces, and real-time pacing.
+//
+// Examples:
+//
+//	espserved -addr 127.0.0.1:9750 -http 127.0.0.1:9751
+//	espserved -ftl subFTL -precondition 0.4 -ns tenant-a=262144,tenant-b
+//	espserved -speedup 1 -conn-inflight 16 -max-inflight 128
+//
+// SIGINT/SIGTERM drains: the listener closes, every in-flight command
+// completes and is answered, the engine retires, a final report prints,
+// and the process exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"espftl/internal/experiment"
+	"espftl/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9750", "TCP listen address for the block protocol")
+	httpAddr := flag.String("http", "", "HTTP listen address for /stats and /metrics (empty = off)")
+	ftlName := flag.String("ftl", "subFTL", "FTL to serve: cgmFTL, fgmFTL or subFTL")
+	full := flag.Bool("full", false, "use the full-size device geometry")
+	logicalFrac := flag.Float64("logical-frac", 0.70, "exported fraction of raw capacity")
+	precondition := flag.Float64("precondition", 0, "sequentially prefill this fraction of the logical space before serving")
+	speedup := flag.Float64("speedup", 0, "virtual nanoseconds per wall nanosecond (0 = as fast as possible)")
+	nsSpec := flag.String("ns", "default", "namespaces: comma-separated name[=sectors]; unsized names split the remainder equally")
+	connInflight := flag.Int("conn-inflight", 32, "per-connection in-flight command cap")
+	maxInflight := flag.Int("max-inflight", 256, "global in-flight budget across connections")
+	tick := flag.Int("tick", 64, "host-scheduler event-loop tick granularity")
+	arb := flag.String("arb", "fifo", "host-scheduler arbitration: fifo or read-priority")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "per-flush reply deadline before a client is declared dead")
+	flag.Parse()
+
+	specs, err := parseNamespaces(*nsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := server.Config{
+		Addr:             *addr,
+		HTTPAddr:         *httpAddr,
+		FTLKind:          *ftlName,
+		LogicalFrac:      *logicalFrac,
+		PreconditionFrac: *precondition,
+		Speedup:          *speedup,
+		Namespaces:       specs,
+		PerConnInflight:  *connInflight,
+		MaxInflight:      *maxInflight,
+		TickEvery:        *tick,
+		Arbitration:      *arb,
+		WriteTimeout:     *writeTimeout,
+	}
+	if *full {
+		cfg.Geometry = experiment.ExperimentGeometry
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Serve(); err != nil {
+		fatal(err)
+	}
+	g := srv.Device().Geometry()
+	fmt.Printf("espserved: %s on %s (%d-sector pages, %.1f GiB raw)\n",
+		*ftlName, srv.Addr(), g.SubpagesPerPage,
+		float64(g.TotalSubpages())*float64(g.SubpageBytes)/(1<<30))
+	if h := srv.HTTPAddr(); h != "" {
+		fmt.Printf("espserved: introspection at http://%s/stats and /metrics\n", h)
+	}
+	if *speedup > 0 {
+		fmt.Printf("espserved: pacing virtual time at %gx wall clock\n", *speedup)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigc
+	fmt.Printf("espserved: %s, draining\n", sig)
+
+	rep, err := srv.Shutdown()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("espserved: drained %d commands (%d errors, %d rejected), %d background ops\n",
+		rep.Completed, rep.Errors, rep.Rejected, rep.Background)
+	if rep.Submitted != rep.Completed {
+		fatal(fmt.Errorf("drain dropped commands: submitted %d completed %d", rep.Submitted, rep.Completed))
+	}
+}
+
+// parseNamespaces turns "name[=sectors],..." into specs; an empty size
+// lets the server split the remaining logical space equally.
+func parseNamespaces(s string) ([]server.NamespaceSpec, error) {
+	var specs []server.NamespaceSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, size, sized := strings.Cut(part, "=")
+		sp := server.NamespaceSpec{Name: name}
+		if sized {
+			n, err := strconv.ParseInt(size, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("namespace %q: bad size %q", name, size)
+			}
+			sp.Sectors = n
+		}
+		specs = append(specs, sp)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no namespaces in %q", s)
+	}
+	return specs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "espserved:", err)
+	os.Exit(1)
+}

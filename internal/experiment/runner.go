@@ -211,8 +211,10 @@ func Precondition(f ftl.FTL, pageSectors int, fillSectors int64) error {
 	return f.Flush()
 }
 
-// Run executes one configured simulation and returns its measured result.
-func Run(cfg RunConfig) (*Result, error) {
+// Build assembles the device and FTL of a run configuration without
+// driving a workload, returning the exported logical space in sectors.
+// Run measures through it; the network service mounts through it.
+func Build(cfg RunConfig) (*nand.Device, ftl.FTL, int64, error) {
 	cfg = cfg.withDefaults()
 	devCfg := nand.DefaultConfig()
 	devCfg.Geometry = cfg.Geometry
@@ -220,7 +222,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.FaultProfile != nil {
 		inj, err := fault.NewInjector(*cfg.FaultProfile)
 		if err != nil {
-			return nil, err
+			return nil, nil, 0, err
 		}
 		devCfg.Fault = inj
 		rm := ecc.DefaultRetry
@@ -229,19 +231,32 @@ func Run(cfg RunConfig) (*Result, error) {
 	clock := sim.NewClock(0)
 	dev, err := nand.NewDevice(devCfg, clock)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	g := dev.Geometry()
 	rawSectors := g.TotalSubpages()
 	ps := int64(g.SubpagesPerPage)
 	logicalSectors := int64(float64(rawSectors)*cfg.LogicalFrac) / ps * ps
 	if logicalSectors < ps*4 {
-		return nil, fmt.Errorf("experiment: logical space of %d sectors too small", logicalSectors)
+		return nil, nil, 0, fmt.Errorf("experiment: logical space of %d sectors too small", logicalSectors)
 	}
 	f, err := buildFTL(cfg.Kind, dev, cfg, logicalSectors)
 	if err != nil {
+		return nil, nil, 0, err
+	}
+	return dev, f, logicalSectors, nil
+}
+
+// Run executes one configured simulation and returns its measured result.
+func Run(cfg RunConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	dev, f, logicalSectors, err := Build(cfg)
+	if err != nil {
 		return nil, err
 	}
+	clock := dev.Clock()
+	g := dev.Geometry()
+	ps := int64(g.SubpagesPerPage)
 	fillSectors := int64(float64(logicalSectors)*cfg.FillFrac) / ps * ps
 	if err := Precondition(f, g.SubpagesPerPage, fillSectors); err != nil {
 		return nil, err
@@ -339,6 +354,8 @@ func apply(f ftl.FTL, clock *sim.Clock, r workload.Request) error {
 		return f.Read(r.LSN, r.Sectors)
 	case workload.OpTrim:
 		return f.Trim(r.LSN, r.Sectors)
+	case workload.OpFlush:
+		return f.Flush()
 	case workload.OpAdvance:
 		const step = 24 * time.Hour
 		for remaining := r.Gap; remaining > 0; remaining -= step {
@@ -382,6 +399,8 @@ func applyGen(f ftl.FTL, r workload.Request) error {
 		return f.Read(r.LSN, r.Sectors)
 	case workload.OpTrim:
 		return f.Trim(r.LSN, r.Sectors)
+	case workload.OpFlush:
+		return f.Flush()
 	}
 	return fmt.Errorf("experiment: generator emitted %v", r.Op)
 }

@@ -141,6 +141,8 @@ func SubmitSync(f FTL, r workload.Request, done CompletionFunc) {
 		err = f.Read(r.LSN, r.Sectors)
 	case workload.OpTrim:
 		err = f.Trim(r.LSN, r.Sectors)
+	case workload.OpFlush:
+		err = f.Flush()
 	default:
 		err = fmt.Errorf("ftl: cannot submit op %v", r.Op)
 	}

@@ -103,9 +103,21 @@ type Command struct {
 	// Fanout is how many device resources (chips and channel buses) the
 	// command's FTL call occupied — the transaction-split width.
 	Fanout int
+	// Err is the FTL error the command's dispatch produced. It is only
+	// populated in external-submission mode (RunExternal), where a failed
+	// command still completes and reports its error to the submitter; the
+	// run-to-completion drivers abort on the first error instead.
+	Err error
+	// FlashBytes is how many device bytes were programmed while servicing
+	// this command (host data plus any GC/relocation work it triggered).
+	// Only accounted in external-submission mode, where the service
+	// attributes write amplification to tenant namespaces.
+	FlashBytes int64
 
 	// deferred counts events a background command yielded to host reads.
 	deferred int
+	// done delivers the completed command to an external submitter.
+	done func(*Command)
 }
 
 // latency is the command's completion minus arrival; by construction it
@@ -123,6 +135,13 @@ type Report struct {
 	// counts maintenance commands.
 	Submitted, Dispatched, Completed int64
 	Background                       int64
+
+	// Errors counts host commands that completed with an FTL error
+	// (external-submission mode only; the loop drivers abort instead).
+	Errors int64
+	// Rejected counts external submissions refused before queueing
+	// (validation failures); they are not part of Submitted/Completed.
+	Rejected int64
 
 	// OutOfOrder counts host completions that retired while an
 	// earlier-submitted host command was still outstanding.

@@ -114,6 +114,7 @@ type Scheduler struct {
 
 	rep        *Report
 	ran        bool
+	external   bool // RunExternal: per-command error delivery, byte attribution
 	onDispatch func(*Command)
 }
 
@@ -279,11 +280,18 @@ func (s *Scheduler) pushArrival(at sim.Time, idx int64) {
 // submit accepts one host request: it is sequenced, classified, tagged
 // with its submission-queue lane, and routed to a per-chip command queue.
 func (s *Scheduler) submit(r workload.Request) error {
+	_, err := s.submitCmd(r)
+	return err
+}
+
+// submitCmd is submit exposed for the external path, which needs the
+// command back to attach its completion callback.
+func (s *Scheduler) submitCmd(r workload.Request) (*Command, error) {
 	if err := r.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	if r.Op == workload.OpAdvance {
-		return fmt.Errorf("host: OpAdvance cannot be scheduled; advance the clock between runs")
+		return nil, fmt.Errorf("host: OpAdvance cannot be scheduled; advance the clock between runs")
 	}
 	c := &Command{
 		Seq:         s.seq,
@@ -305,14 +313,19 @@ func (s *Scheduler) submit(r workload.Request) error {
 	s.pendingHost++
 	s.rep.Submitted++
 	s.rep.PerQueue[c.Queue]++
-	return nil
+	return c, nil
 }
 
 // route picks the command queue: reads go to the chip currently holding
 // their first sector (per the FTL's mapping probe), writes round-robin
 // across chips as a stand-in for the FTLs' striped allocation, and
-// everything unresolvable goes to the unrouted queue.
+// everything unresolvable goes to the unrouted queue. Flushes are
+// unrouted: they fan out across every chip holding buffered data, so no
+// single chip queue owns them — the ordering barrier sequences them.
 func (s *Scheduler) route(c *Command) int {
+	if c.Req.Op == workload.OpFlush {
+		return s.chips
+	}
 	if c.Class == ClassRead {
 		if s.probe != nil {
 			if ch := s.probe.ChipOf(c.Req.LSN); ch >= 0 && ch < s.chips {
@@ -327,10 +340,16 @@ func (s *Scheduler) route(c *Command) int {
 }
 
 // conflicts reports a data hazard between two host commands: overlapping
-// sector ranges where at least one side mutates (write or trim).
+// sector ranges where at least one side mutates (write or trim). A flush
+// is a full barrier both ways — it must observe every earlier write and
+// later writes must not be reordered ahead of the durability point it
+// acknowledges.
 func conflicts(a, b *Command) bool {
 	if a.Class == ClassRead && b.Class == ClassRead {
 		return false
+	}
+	if a.Req.Op == workload.OpFlush || b.Req.Op == workload.OpFlush {
+		return true
 	}
 	aEnd := a.Req.LSN + int64(a.Req.Sectors)
 	bEnd := b.Req.LSN + int64(b.Req.Sectors)
@@ -450,7 +469,14 @@ func (s *Scheduler) dispatch(c *Command) error {
 		s.chipBusy[c.Chip] = true
 	}
 	s.scratchA = s.dev.ResourceFreeTimes(s.scratchA)
+	var bytes0 int64
+	if s.external {
+		bytes0 = s.dev.Counters().BytesWritten
+	}
 	err := s.issue(c)
+	if s.external {
+		c.FlashBytes = s.dev.Counters().BytesWritten - bytes0
+	}
 	s.scratchB = s.dev.ResourceFreeTimes(s.scratchB)
 	end := sim.Time(0)
 	for i := range s.scratchB {
@@ -468,7 +494,13 @@ func (s *Scheduler) dispatch(c *Command) error {
 	}
 	c.Complete = end
 	if err != nil {
-		return fmt.Errorf("host: %s command seq %d (%v): %w", c.Class, c.Seq, c.Req, err)
+		if !s.external {
+			return fmt.Errorf("host: %s command seq %d (%v): %w", c.Class, c.Seq, c.Req, err)
+		}
+		// External mode: a failed command still completes and carries its
+		// error back to the submitter — one tenant's bad request (or a
+		// dead device) must not tear down the whole service loop.
+		c.Err = err
 	}
 	heap.Push(&s.events, event{at: end, ord: s.evOrd, cmd: c})
 	s.evOrd++
@@ -509,6 +541,8 @@ func (s *Scheduler) issue(c *Command) error {
 		return s.f.Read(r.LSN, r.Sectors)
 	case workload.OpTrim:
 		return s.f.Trim(r.LSN, r.Sectors)
+	case workload.OpFlush:
+		return s.f.Flush()
 	}
 	return fmt.Errorf("host: unschedulable op %v", r.Op)
 }
@@ -536,6 +570,9 @@ func (s *Scheduler) complete(c *Command) {
 		}
 	}
 	s.rep.Completed++
+	if c.Err != nil {
+		s.rep.Errors++
+	}
 	lat := c.latency()
 	s.rep.HostLat.Record(lat)
 	if c.Class == ClassRead {

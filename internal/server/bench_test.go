@@ -1,0 +1,95 @@
+package server_test
+
+import (
+	"testing"
+
+	"espftl/internal/core"
+	"espftl/internal/experiment"
+	"espftl/internal/nand"
+	"espftl/internal/server"
+	"espftl/internal/sim"
+	"espftl/internal/workload"
+)
+
+// BenchmarkServeLoopbackQD8 measures the served path end to end: wire
+// framing, admission, the engine round-trip, and reply streaming over a
+// loopback TCP connection at queue depth 8, as fast as the device can
+// go. Reported alongside ns/op: throughput in ops/s and the client-
+// observed wall-clock p99.
+//
+// Retention errors are disabled: at benchmark op counts the subpage
+// region's high-pass-count pages wear to retention capabilities below
+// the scrubber's horizon and reads start failing — a device-endurance
+// effect the lifetime experiments study, not serve-path overhead.
+func BenchmarkServeLoopbackQD8(b *testing.B) {
+	devCfg := nand.DefaultConfig()
+	devCfg.Geometry = experiment.QuickGeometry
+	devCfg.DisableRetentionErrors = true
+	dev, err := nand.NewDevice(devCfg, sim.NewClock(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := dev.Geometry()
+	ps := int64(g.SubpagesPerPage)
+	logical := int64(float64(g.TotalSubpages())*0.70) / ps * ps
+	sc := core.DefaultConfig(logical)
+	sc.GCReserveBlocks = g.Chips() + 4
+	f, err := core.New(dev, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Device:           dev,
+		FTL:              f,
+		LogicalSectors:   logical,
+		PreconditionFrac: 0.4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Serve(); err != nil {
+		b.Fatal(err)
+	}
+	c, err := server.Dial(srv.Addr(), "default")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	// The stream stays inside 60 % of the namespace: with no trims in the
+	// mix, a full-space Zipf eventually marks every logical sector valid
+	// and garbage collection falls off its utilization cliff — a capacity
+	// regime the lifetime experiments study, not a serve-path cost.
+	span := int64(float64(c.Welcome.Sectors)*0.6) / int64(c.Welcome.PageSectors) * int64(c.Welcome.PageSectors)
+	gen, err := workload.NewSynthetic(testProfile(0.35), span, int(c.Welcome.PageSectors), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	n := 0
+	var firstErr []byte
+	cr, err := c.Run(func() (workload.Request, bool) {
+		if n >= b.N {
+			return workload.Request{}, false
+		}
+		n++
+		return gen.Next(), true
+	}, 8, func(r server.Reply) {
+		if r.Rep.Status != 0 && firstErr == nil {
+			firstErr = r.Rep.Payload
+		}
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cr.Errors != 0 {
+		b.Fatalf("%d errored ops (first: %s)", cr.Errors, firstErr)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "ops/s")
+	}
+	b.ReportMetric(float64(cr.Wall.Percentile(0.99)), "p99-ns")
+	if _, err := srv.Shutdown(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+
+	"espftl/internal/host"
+	"espftl/internal/wire"
+	"espftl/internal/workload"
+)
+
+// handle runs one client connection: handshake, then a reader loop that
+// admits and forwards commands, with a writer goroutine streaming
+// replies back. The reply channels are sized so the engine's completion
+// callbacks can never block on this connection, however slow or dead it
+// is: ioCh has one slot per admitted command (admission caps those at
+// PerConnInflight), and auxCh is fed only by the reader itself.
+func (s *Server) handle(c net.Conn) {
+	defer s.connWG.Done()
+	defer c.Close()
+	s.track(c, true)
+	defer s.track(c, false)
+
+	br := bufio.NewReader(c)
+	hello, err := wire.ReadHello(br)
+	if err != nil {
+		return
+	}
+	ns := s.lookup(hello.NS)
+	if ns == nil {
+		wire.WriteWelcome(c, wire.Welcome{Status: wire.StatusErr, Err: "unknown namespace " + hello.NS})
+		return
+	}
+	if s.draining.Load() {
+		wire.WriteWelcome(c, wire.Welcome{Status: wire.StatusShutdown, Err: "server draining"})
+		return
+	}
+	g := s.dev.Geometry()
+	err = wire.WriteWelcome(c, wire.Welcome{
+		SectorBytes: uint32(g.SubpageBytes),
+		PageSectors: uint32(g.SubpagesPerPage),
+		MaxInflight: uint32(s.cfg.PerConnInflight),
+		Sectors:     uint64(ns.sectors),
+	})
+	if err != nil {
+		return
+	}
+
+	ioCh := make(chan wire.Reply, s.cfg.PerConnInflight)
+	auxCh := make(chan wire.Reply, 4)
+	writerDone := make(chan struct{})
+	go s.connWriter(c, ioCh, auxCh, writerDone)
+
+	connSlots := make(chan struct{}, s.cfg.PerConnInflight)
+	var reqWG sync.WaitGroup
+	for {
+		cmd, err := wire.ReadCmd(br)
+		if err != nil {
+			break // client gone, stream corrupt, or drain interrupt
+		}
+		if cmd.Op == wire.OpStat {
+			payload, _ := json.Marshal(ns.snapshot())
+			auxCh <- wire.Reply{Tag: cmd.Tag, Status: wire.StatusOK, Payload: payload}
+			continue
+		}
+		if s.draining.Load() {
+			auxCh <- wire.Reply{Tag: cmd.Tag, Status: wire.StatusShutdown, Payload: []byte("server draining")}
+			continue
+		}
+		req, err := cmd.Request()
+		if err == nil && req.Op == workload.OpAdvance {
+			// Virtual time on a live server flows through the gate, not
+			// through clients; ADVANCE is a trace artifact.
+			err = errAdvanceRejected
+		}
+		if err == nil {
+			err = ns.bounds(req.LSN, req.Sectors)
+		}
+		if err == nil {
+			err = req.Validate()
+		}
+		if err != nil {
+			auxCh <- wire.Reply{Tag: cmd.Tag, Status: wire.StatusErr, Payload: []byte(err.Error())}
+			continue
+		}
+		req.LSN += ns.base
+
+		// Admission: the per-connection cap, then the global budget.
+		// Blocking here stops the socket read loop — TCP backpressure.
+		connSlots <- struct{}{}
+		select {
+		case s.slots <- struct{}{}:
+		case <-s.engineDone:
+			<-connSlots
+			auxCh <- wire.Reply{Tag: cmd.Tag, Status: wire.StatusShutdown, Payload: []byte("engine stopped")}
+			continue
+		}
+
+		reqWG.Add(1)
+		tag, op, sectors := cmd.Tag, req.Op, req.Sectors
+		es := host.ExtSubmission{Req: req, Done: func(hc *host.Command) {
+			lat := time.Duration(hc.Complete.Sub(hc.Arrival))
+			ns.record(op, sectors, s.sectorBytes, lat, hc.FlashBytes, hc.Err != nil)
+			rep := wire.Reply{Tag: tag, Status: wire.StatusOK, LatencyNS: uint64(lat)}
+			if hc.Err != nil {
+				rep.Status = wire.StatusErr
+				rep.Payload = []byte(hc.Err.Error())
+			}
+			ioCh <- rep // never blocks: one buffered slot per admitted command
+			<-s.slots
+			<-connSlots
+			reqWG.Done()
+		}}
+		select {
+		case s.sub <- es:
+		case <-s.engineDone:
+			// The engine died under us (scheduler stall): refuse instead
+			// of wedging the reader on a channel nobody drains.
+			<-s.slots
+			<-connSlots
+			reqWG.Done()
+			auxCh <- wire.Reply{Tag: tag, Status: wire.StatusShutdown, Payload: []byte("engine stopped")}
+		}
+	}
+	// Reader is done. Every accepted command still completes — wait for
+	// the callbacks, then let the writer flush the tail and retire.
+	reqWG.Wait()
+	close(ioCh)
+	close(auxCh)
+	<-writerDone
+}
+
+// errAdvanceRejected is the reply text for clock-advance commands on a
+// live connection.
+var errAdvanceRejected = advanceError{}
+
+type advanceError struct{}
+
+func (advanceError) Error() string {
+	return "server: ADVANCE is not servable live; the real-time gate owns the clock"
+}
+
+// connWriter streams replies to the socket, batching frames between
+// channel stalls. A connection that cannot absorb its replies within
+// the write timeout is declared dead; remaining replies are drained and
+// discarded so completion callbacks never back up.
+func (s *Server) connWriter(c net.Conn, ioCh, auxCh <-chan wire.Reply, done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriter(c)
+	dead := false
+	write := func(r wire.Reply) {
+		if dead {
+			return
+		}
+		c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := wire.WriteReply(bw, r); err != nil {
+			dead = true
+		}
+	}
+	flush := func() {
+		if dead {
+			return
+		}
+		c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := bw.Flush(); err != nil {
+			dead = true
+		}
+	}
+	for ioCh != nil || auxCh != nil {
+		// Opportunistically drain whatever is ready, then flush once
+		// before blocking: one syscall per burst, not per reply.
+		select {
+		case r, ok := <-ioCh:
+			if !ok {
+				ioCh = nil
+				continue
+			}
+			write(r)
+		case r, ok := <-auxCh:
+			if !ok {
+				auxCh = nil
+				continue
+			}
+			write(r)
+		default:
+			flush()
+			select {
+			case r, ok := <-ioCh:
+				if !ok {
+					ioCh = nil
+					continue
+				}
+				write(r)
+			case r, ok := <-auxCh:
+				if !ok {
+					auxCh = nil
+					continue
+				}
+				write(r)
+			}
+		}
+	}
+	flush()
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"espftl/internal/ftl"
+	"espftl/internal/nand"
+)
+
+// StatsPage is the /stats document: the server's operating point plus
+// every namespace's snapshot.
+type StatsPage struct {
+	Addr        string           `json:"addr"`
+	Speedup     float64          `json:"speedup"`
+	Realtime    bool             `json:"realtime"`
+	Draining    bool             `json:"draining"`
+	Inflight    int              `json:"inflight"`
+	MaxInflight int              `json:"max_inflight"`
+	Conns       int              `json:"connections"`
+	Namespaces  []NamespaceStats `json:"namespaces"`
+}
+
+// MetricsPage is the /metrics document: device- and FTL-level counters
+// snapshotted atomically against the engine's submissions.
+type MetricsPage struct {
+	Device nand.Counters `json:"device"`
+	FTL    ftl.Stats     `json:"ftl"`
+	// VirtualNowNS is the gate's wall-mapped virtual instant (0 when
+	// serving as fast as possible).
+	VirtualNowNS int64 `json:"virtual_now_ns"`
+}
+
+func (s *Server) httpMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", s.serveStats)
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	return mux
+}
+
+func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
+	s.connMu.Lock()
+	conns := len(s.conns)
+	s.connMu.Unlock()
+	page := StatsPage{
+		Addr:        s.Addr(),
+		Speedup:     s.gate.Speedup(),
+		Realtime:    s.gate.Realtime(),
+		Draining:    s.draining.Load(),
+		Inflight:    s.Inflight(),
+		MaxInflight: s.cfg.MaxInflight,
+		Conns:       conns,
+	}
+	for _, ns := range s.nss {
+		page.Namespaces = append(page.Namespaces, ns.snapshot())
+	}
+	writeJSON(w, page)
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	var page MetricsPage
+	// The guard's lock is the engine's submission lock: the device and
+	// FTL snapshot is taken between — never inside — commands.
+	s.guard.Do(func() {
+		page.Device = s.dev.Counters()
+		page.FTL = s.guard.Unwrap().Stats()
+	})
+	if s.gate.Realtime() {
+		page.VirtualNowNS = int64(s.gate.VirtualNow())
+	}
+	writeJSON(w, page)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"espftl/internal/metrics"
+	"espftl/internal/workload"
+)
+
+// NamespaceSpec declares one tenant namespace: a named, contiguous slice
+// of the device's logical space. Sectors is the exported size; zero
+// means an equal share of whatever the explicit specs leave unclaimed.
+type NamespaceSpec struct {
+	Name    string
+	Sectors int64
+}
+
+// namespace is the runtime state of one tenant: its LBA window plus the
+// per-tenant accounting the engine writes and the introspection
+// endpoints read. The mutex spans only counter updates and snapshots —
+// never I/O.
+type namespace struct {
+	name          string
+	base, sectors int64
+
+	mu             sync.Mutex
+	reads, writes  int64
+	trims, flushes int64
+	errors         int64
+	hostWriteBytes int64
+	flashBytes     int64
+	lat, readLat, writeLat *metrics.Histogram
+}
+
+func newNamespace(name string, base, sectors int64) *namespace {
+	return &namespace{
+		name: name, base: base, sectors: sectors,
+		lat:      metrics.NewHistogram(),
+		readLat:  metrics.NewHistogram(),
+		writeLat: metrics.NewHistogram(),
+	}
+}
+
+// bounds validates a namespace-relative request window.
+func (n *namespace) bounds(lsn int64, sectors int) error {
+	if lsn < 0 || sectors < 0 || lsn+int64(sectors) > n.sectors {
+		return fmt.Errorf("server: range [%d,%d) outside namespace %s (%d sectors)",
+			lsn, lsn+int64(sectors), n.name, n.sectors)
+	}
+	return nil
+}
+
+// record accounts one completed command. flashBytes is the device
+// program traffic the engine attributed to the command (host data plus
+// the GC work it triggered) — the numerator of the namespace's WAF.
+func (n *namespace) record(op workload.Op, sectors, sectorBytes int, lat time.Duration, flashBytes int64, errored bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch op {
+	case workload.OpRead:
+		n.reads++
+		n.readLat.Record(lat)
+	case workload.OpWrite:
+		n.writes++
+		n.writeLat.Record(lat)
+		if !errored {
+			n.hostWriteBytes += int64(sectors) * int64(sectorBytes)
+		}
+	case workload.OpTrim:
+		n.trims++
+	case workload.OpFlush:
+		n.flushes++
+	}
+	n.lat.Record(lat)
+	n.flashBytes += flashBytes
+	if errored {
+		n.errors++
+	}
+}
+
+// LatencySummary is the JSON rendering of a latency distribution, in
+// nanoseconds of virtual (device) time.
+type LatencySummary struct {
+	Count  uint64 `json:"count"`
+	MeanNS int64  `json:"mean_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P95NS  int64  `json:"p95_ns"`
+	P99NS  int64  `json:"p99_ns"`
+	MaxNS  int64  `json:"max_ns"`
+}
+
+func summarize(h *metrics.Histogram) LatencySummary {
+	s := h.Summary()
+	return LatencySummary{
+		Count:  s.Count,
+		MeanNS: int64(s.Mean),
+		P50NS:  int64(s.P50),
+		P95NS:  int64(s.P95),
+		P99NS:  int64(s.P99),
+		MaxNS:  int64(s.Max),
+	}
+}
+
+// NamespaceStats is the per-tenant snapshot served by /stats and STAT.
+type NamespaceStats struct {
+	Name           string         `json:"name"`
+	BaseSector     int64          `json:"base_sector"`
+	Sectors        int64          `json:"sectors"`
+	Reads          int64          `json:"reads"`
+	Writes         int64          `json:"writes"`
+	Trims          int64          `json:"trims"`
+	Flushes        int64          `json:"flushes"`
+	Errors         int64          `json:"errors"`
+	HostWriteBytes int64          `json:"host_write_bytes"`
+	FlashBytes     int64          `json:"flash_bytes"`
+	WAF            float64        `json:"waf"`
+	Latency        LatencySummary `json:"latency"`
+	ReadLatency    LatencySummary `json:"read_latency"`
+	WriteLatency   LatencySummary `json:"write_latency"`
+}
+
+// snapshot renders the namespace's counters; WAF is flash bytes per
+// acknowledged host write byte.
+func (n *namespace) snapshot() NamespaceStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := NamespaceStats{
+		Name:           n.name,
+		BaseSector:     n.base,
+		Sectors:        n.sectors,
+		Reads:          n.reads,
+		Writes:         n.writes,
+		Trims:          n.trims,
+		Flushes:        n.flushes,
+		Errors:         n.errors,
+		HostWriteBytes: n.hostWriteBytes,
+		FlashBytes:     n.flashBytes,
+		Latency:        summarize(n.lat),
+		ReadLatency:    summarize(n.readLat),
+		WriteLatency:   summarize(n.writeLat),
+	}
+	if s.HostWriteBytes > 0 {
+		s.WAF = float64(s.FlashBytes) / float64(s.HostWriteBytes)
+	}
+	return s
+}
+
+// carve lays the namespace specs out as disjoint page-aligned windows
+// over the logical space.
+func carve(specs []NamespaceSpec, logicalSectors int64, pageSectors int) ([]*namespace, error) {
+	if len(specs) == 0 {
+		specs = []NamespaceSpec{{Name: "default"}}
+	}
+	ps := int64(pageSectors)
+	claimed := int64(0)
+	implicit := 0
+	names := make(map[string]bool, len(specs))
+	for i, sp := range specs {
+		if sp.Name == "" {
+			return nil, fmt.Errorf("server: namespace %d has no name", i)
+		}
+		if names[sp.Name] {
+			return nil, fmt.Errorf("server: duplicate namespace %q", sp.Name)
+		}
+		names[sp.Name] = true
+		if sp.Sectors < 0 {
+			return nil, fmt.Errorf("server: namespace %q: negative size", sp.Name)
+		}
+		if sp.Sectors == 0 {
+			implicit++
+			continue
+		}
+		claimed += sp.Sectors / ps * ps
+	}
+	if claimed > logicalSectors {
+		return nil, fmt.Errorf("server: namespaces claim %d of %d logical sectors", claimed, logicalSectors)
+	}
+	share := int64(0)
+	if implicit > 0 {
+		share = (logicalSectors - claimed) / int64(implicit) / ps * ps
+		if share == 0 {
+			return nil, fmt.Errorf("server: no space left for %d unsized namespaces", implicit)
+		}
+	}
+	var out []*namespace
+	base := int64(0)
+	for _, sp := range specs {
+		size := sp.Sectors / ps * ps
+		if sp.Sectors == 0 {
+			size = share
+		}
+		if size == 0 {
+			return nil, fmt.Errorf("server: namespace %q smaller than one page", sp.Name)
+		}
+		out = append(out, newNamespace(sp.Name, base, size))
+		base += size
+	}
+	return out, nil
+}

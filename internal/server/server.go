@@ -1,0 +1,359 @@
+// Package server exports a simulated SSD as a network block device: an
+// NBD-style length-prefixed TCP protocol (internal/wire) in front of the
+// event-driven host scheduler, with multi-tenant namespaces, admission
+// control, and live HTTP introspection.
+//
+// # Architecture
+//
+// The simulator's backbone is a deterministic, single-threaded world:
+// one goroutine owns the FTL, the device, and the virtual clock. The
+// server keeps that world intact by funneling every client request
+// through one channel into the scheduler's external-submission event
+// loop (host.RunExternal). Connection goroutines only parse frames,
+// enforce admission, and forward; completions come back as per-command
+// callbacks on the engine goroutine and are handed to per-connection
+// writer goroutines through buffered channels sized so the engine can
+// never block on a slow or dead client.
+//
+// # Pacing
+//
+// A sim.Gate maps the virtual clock onto the wall clock at a
+// configurable speedup, so the simulated device's latencies shape the
+// latencies clients observe; speedup 0 serves as fast as possible.
+//
+// # Backpressure
+//
+// Admission is two semaphores: a per-connection in-flight cap
+// (advertised in the handshake) and a global budget across tenants. A
+// reader that cannot acquire a slot stops reading its socket, pushing
+// back through TCP flow control.
+//
+// # Drain
+//
+// Shutdown stops accepting, interrupts idle readers, waits for every
+// in-flight command to complete and be answered, then closes the
+// submission channel so the engine retires and reports. No accepted
+// command is dropped.
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"espftl/internal/experiment"
+	"espftl/internal/ftl"
+	"espftl/internal/host"
+	"espftl/internal/nand"
+	"espftl/internal/sim"
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+	// HTTPAddr, when non-empty, serves /stats and /metrics there.
+	HTTPAddr string
+
+	// FTLKind picks the FTL ("cgmFTL", "fgmFTL", "subFTL"; default
+	// subFTL), Geometry the device (default experiment.QuickGeometry),
+	// LogicalFrac the exported fraction of raw capacity (default 0.70).
+	FTLKind     string
+	Geometry    nand.Geometry
+	LogicalFrac float64
+	// PreconditionFrac sequentially prefills this fraction of the logical
+	// space before serving, bringing the FTL to steady state.
+	PreconditionFrac float64
+
+	// Speedup paces virtual time at this many virtual nanoseconds per
+	// wall nanosecond; 0 serves as fast as possible.
+	Speedup float64
+
+	// Namespaces carves the logical space (default: one namespace
+	// "default" spanning everything).
+	Namespaces []NamespaceSpec
+
+	// PerConnInflight caps commands in flight per connection (default
+	// 32); MaxInflight is the global budget across connections (default
+	// 256).
+	PerConnInflight int
+	MaxInflight     int
+
+	// TickEvery and Arbitration configure the host scheduler (defaults
+	// 64, "fifo").
+	TickEvery   int
+	Arbitration string
+
+	// WriteTimeout bounds one reply flush to a client socket; a
+	// connection that cannot absorb its replies within it is declared
+	// dead and drained without blocking the engine (default 5s).
+	WriteTimeout time.Duration
+
+	// Device, FTL and LogicalSectors, when set together, serve this
+	// pre-built stack instead of assembling one — the hook tests use to
+	// serve a device with an armed fault injector or a crash survivor.
+	// The FTL must be freshly constructed: the server performs the
+	// mount (Recover) itself.
+	Device         *nand.Device
+	FTL            ftl.FTL
+	LogicalSectors int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.FTLKind == "" {
+		c.FTLKind = string(experiment.KindSub)
+	}
+	if c.Geometry.Channels == 0 {
+		c.Geometry = experiment.QuickGeometry
+	}
+	if c.LogicalFrac == 0 {
+		c.LogicalFrac = 0.70
+	}
+	if c.PerConnInflight == 0 {
+		c.PerConnInflight = 32
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 256
+	}
+	if c.TickEvery == 0 {
+		c.TickEvery = 64
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Server is one served device: an engine goroutine running the host
+// scheduler's external mode, an accept loop, and per-connection
+// reader/writer pairs.
+type Server struct {
+	cfg   Config
+	dev   *nand.Device
+	guard *ftl.Guard
+	sched *host.Scheduler
+	gate  *sim.Gate
+	nss   []*namespace
+
+	sectorBytes int
+	mounted     ftl.MountReport
+
+	ln     net.Listener
+	httpLn net.Listener
+	httpSv *http.Server
+
+	sub        chan host.ExtSubmission
+	slots      chan struct{}
+	engineDone chan struct{}
+	rep        *host.Report
+	engineErr  error
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+
+	draining atomic.Bool
+	served   atomic.Bool
+}
+
+// New assembles the device stack and carves the namespaces; Serve
+// starts it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	var (
+		dev     *nand.Device
+		f       ftl.FTL
+		logical int64
+		err     error
+	)
+	if cfg.Device != nil {
+		if cfg.FTL == nil || cfg.LogicalSectors == 0 {
+			return nil, fmt.Errorf("server: Device hook requires FTL and LogicalSectors")
+		}
+		dev, f, logical = cfg.Device, cfg.FTL, cfg.LogicalSectors
+	} else {
+		dev, f, logical, err = experiment.Build(experiment.RunConfig{
+			Kind:        experiment.Kind(cfg.FTLKind),
+			Geometry:    cfg.Geometry,
+			LogicalFrac: cfg.LogicalFrac,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Mount before any I/O: on a blank device this is an empty scan; on
+	// a crash survivor it is the real OOB recovery of PR 3.
+	mounted, err := f.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("server: mount: %w", err)
+	}
+	g := dev.Geometry()
+	if cfg.PreconditionFrac > 0 {
+		fill := int64(float64(logical)*cfg.PreconditionFrac) / int64(g.SubpagesPerPage) * int64(g.SubpagesPerPage)
+		if err := experiment.Precondition(f, g.SubpagesPerPage, fill); err != nil {
+			return nil, err
+		}
+		dev.Clock().AdvanceTo(dev.DrainTime())
+	}
+	nss, err := carve(cfg.Namespaces, logical, g.SubpagesPerPage)
+	if err != nil {
+		return nil, err
+	}
+	arb, err := host.NewArbiter(cfg.Arbitration)
+	if err != nil {
+		return nil, err
+	}
+	guard := ftl.NewGuard(f)
+	sched, err := host.New(dev, guard, host.Config{
+		Arbiter:   arb,
+		TickEvery: cfg.TickEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:         cfg,
+		dev:         dev,
+		guard:       guard,
+		sched:       sched,
+		nss:         nss,
+		sectorBytes: g.SubpageBytes,
+		mounted:     mounted,
+		sub:         make(chan host.ExtSubmission),
+		slots:       make(chan struct{}, cfg.MaxInflight),
+		engineDone:  make(chan struct{}),
+		conns:       make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Serve starts the engine, the TCP accept loop, and (when configured)
+// the HTTP introspection listener. It returns once everything is
+// listening; Addr reports the bound address.
+func (s *Server) Serve() error {
+	if s.served.Swap(true) {
+		return fmt.Errorf("server: already serving")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.cfg.HTTPAddr != "" {
+		hln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.httpLn = hln
+		s.httpSv = &http.Server{Handler: s.httpMux()}
+		go s.httpSv.Serve(hln)
+	}
+	// The gate anchors now: virtual time starts flowing against the wall
+	// clock the moment the server can accept work.
+	s.gate = sim.NewGate(s.cfg.Speedup, s.dev.Clock().Now())
+	go func() {
+		rep, err := s.sched.RunExternal(s.sub, s.gate)
+		s.rep, s.engineErr = rep, err
+		close(s.engineDone)
+	}()
+	go s.acceptLoop()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: drain in progress
+		}
+		s.connWG.Add(1)
+		go s.handle(c)
+	}
+}
+
+// Addr returns the bound TCP address ("" before Serve).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// HTTPAddr returns the bound introspection address ("" when disabled).
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Inflight returns the number of commands currently holding global
+// budget slots.
+func (s *Server) Inflight() int { return len(s.slots) }
+
+// Device exposes the served device for tests (fault arming, state
+// probes after drain).
+func (s *Server) Device() *nand.Device { return s.dev }
+
+// FTL exposes the served FTL behind its concurrency guard.
+func (s *Server) FTL() *ftl.Guard { return s.guard }
+
+// MountReport returns the recovery report of the serve-time mount.
+func (s *Server) MountReport() ftl.MountReport { return s.mounted }
+
+// Shutdown drains gracefully: stop accepting, interrupt idle readers,
+// wait for every accepted command to complete and every reply to be
+// written (or its connection declared dead), then retire the engine and
+// return its report. Safe to call once; concurrent callers wait for the
+// same drain.
+func (s *Server) Shutdown() (*host.Report, error) {
+	if s.draining.Swap(true) {
+		<-s.engineDone
+		return s.rep, s.engineErr
+	}
+	s.ln.Close()
+	s.connMu.Lock()
+	for c := range s.conns {
+		// Readers blocked in ReadCmd wake with a deadline error; readers
+		// mid-submission finish their current command first.
+		c.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+	s.connWG.Wait()
+	close(s.sub)
+	<-s.engineDone
+	if s.httpSv != nil {
+		s.httpSv.Close()
+	}
+	return s.rep, s.engineErr
+}
+
+func (s *Server) track(c net.Conn, add bool) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if add {
+		s.conns[c] = struct{}{}
+		if s.draining.Load() {
+			// Shutdown may already have swept the map: make sure this
+			// late connection is interrupted too.
+			c.SetReadDeadline(time.Now())
+		}
+	} else {
+		delete(s.conns, c)
+	}
+}
+
+func (s *Server) lookup(name string) *namespace {
+	for _, ns := range s.nss {
+		if ns.name == name {
+			return ns
+		}
+	}
+	return nil
+}

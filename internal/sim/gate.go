@@ -1,0 +1,78 @@
+package sim
+
+import "time"
+
+// Gate paces virtual time against the wall clock for service mode: a
+// served device's simulated latencies only shape the latencies clients
+// observe if completions are delivered no earlier than their virtual
+// completion instant maps to on the wall clock.
+//
+// A gate is an affine map between the two axes, anchored at construction:
+// speedup S means S nanoseconds of virtual time elapse per wall
+// nanosecond (S=1 is real time, S=100 compresses a 100 s workload into
+// 1 s of wall time). A speedup of 0 (or any non-positive value) is the
+// "as fast as possible" gate used by tests and batch replays: it never
+// waits and maps every virtual instant to the past.
+//
+// The gate itself is stateless after construction and safe for
+// concurrent use.
+type Gate struct {
+	speedup float64
+	origin  time.Time
+	vorigin Time
+	now     func() time.Time
+}
+
+// NewGate anchors a gate at the current wall instant and the given
+// virtual origin (normally the device clock's current reading).
+func NewGate(speedup float64, vorigin Time) *Gate {
+	return NewGateAt(speedup, vorigin, time.Now)
+}
+
+// NewGateAt is NewGate with an injectable wall-clock source, for tests.
+func NewGateAt(speedup float64, vorigin Time, now func() time.Time) *Gate {
+	return &Gate{speedup: speedup, origin: now(), vorigin: vorigin, now: now}
+}
+
+// Realtime reports whether the gate paces at all; false means as fast as
+// possible.
+func (g *Gate) Realtime() bool { return g != nil && g.speedup > 0 }
+
+// Speedup returns the configured virtual-per-wall ratio (0 when not
+// pacing).
+func (g *Gate) Speedup() float64 {
+	if !g.Realtime() {
+		return 0
+	}
+	return g.speedup
+}
+
+// VirtualNow maps the current wall instant onto the virtual axis. A
+// non-pacing gate pins it at the virtual origin: with no wall coupling,
+// arrivals take whatever virtual time the event loop has reached.
+func (g *Gate) VirtualNow() Time {
+	if !g.Realtime() {
+		return g.vorigin
+	}
+	wall := g.now().Sub(g.origin)
+	return g.vorigin + Time(float64(wall)*g.speedup)
+}
+
+// WallUntil returns how long the wall clock has to run before virtual
+// instant v is reached; zero or negative means v has already passed (and
+// always, for a non-pacing gate).
+func (g *Gate) WallUntil(v Time) time.Duration {
+	if !g.Realtime() {
+		return 0
+	}
+	target := g.origin.Add(time.Duration(float64(v-g.vorigin) / g.speedup))
+	return target.Sub(g.now())
+}
+
+// Wait sleeps until virtual instant v is reached on the wall clock; it
+// returns immediately for a non-pacing gate or an instant in the past.
+func (g *Gate) Wait(v Time) {
+	if d := g.WallUntil(v); d > 0 {
+		time.Sleep(d)
+	}
+}

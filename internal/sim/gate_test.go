@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeWall is an injectable wall clock.
+type fakeWall struct{ t time.Time }
+
+func (w *fakeWall) now() time.Time { return w.t }
+
+func TestGateMapsVirtualToWall(t *testing.T) {
+	wall := &fakeWall{t: time.Unix(1000, 0)}
+	// 100x speedup anchored at virtual 5 s.
+	g := NewGateAt(100, Time(5*Second), wall.now)
+	if !g.Realtime() {
+		t.Fatal("pacing gate reports non-realtime")
+	}
+	if got := g.VirtualNow(); got != Time(5*Second) {
+		t.Fatalf("VirtualNow at origin: %v", got)
+	}
+	// 10 ms of wall time = 1 s of virtual time at 100x.
+	wall.t = wall.t.Add(10 * time.Millisecond)
+	if got := g.VirtualNow(); got != Time(6*Second) {
+		t.Fatalf("VirtualNow after 10ms wall: %v (want 6s)", got)
+	}
+	// Virtual 7 s is another 10 ms of wall time away.
+	if d := g.WallUntil(Time(7 * Second)); d != 10*time.Millisecond {
+		t.Fatalf("WallUntil(7s) = %v (want 10ms)", d)
+	}
+	// Already-passed instants owe no wait.
+	if d := g.WallUntil(Time(5 * Second)); d > 0 {
+		t.Fatalf("WallUntil(past) = %v (want <= 0)", d)
+	}
+}
+
+func TestGateAsFastAsPossible(t *testing.T) {
+	wall := &fakeWall{t: time.Unix(1000, 0)}
+	g := NewGateAt(0, Time(3*Second), wall.now)
+	if g.Realtime() {
+		t.Fatal("AFAP gate reports realtime")
+	}
+	wall.t = wall.t.Add(time.Hour)
+	if got := g.VirtualNow(); got != Time(3*Second) {
+		t.Fatalf("AFAP VirtualNow moved to %v", got)
+	}
+	if d := g.WallUntil(Time(1e18)); d != 0 {
+		t.Fatalf("AFAP WallUntil = %v (want 0)", d)
+	}
+	if g.Speedup() != 0 {
+		t.Fatalf("AFAP Speedup = %v", g.Speedup())
+	}
+}
+
+func TestGateNilSafe(t *testing.T) {
+	var g *Gate
+	if g.Realtime() {
+		t.Fatal("nil gate reports realtime")
+	}
+}

@@ -8,7 +8,12 @@
 //	W <lsn> <sectors> <S|->   write (S = synchronous)
 //	R <lsn> <sectors>         read
 //	T <lsn> <sectors>         trim
+//	F                         flush (cache barrier)
 //	A <nanoseconds>           advance virtual time (idle gap)
+//
+// ReadAny additionally understands the wire-trace format of
+// internal/wire: a request stream pre-encoded as the command frames an
+// espclient replays verbatim against a served device.
 package trace
 
 import (
@@ -20,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"espftl/internal/wire"
 	"espftl/internal/workload"
 )
 
@@ -69,6 +75,11 @@ func parseLine(line string) (workload.Request, error) {
 	var req workload.Request
 	atoi := func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
 	switch f[0] {
+	case "F":
+		if len(f) != 1 {
+			return req, fmt.Errorf("flush takes no fields, got %d", len(f)-1)
+		}
+		req = workload.Request{Op: workload.OpFlush}
 	case "A":
 		if len(f) != 2 {
 			return req, fmt.Errorf("advance needs 1 field, got %d", len(f)-1)
@@ -229,6 +240,9 @@ func ReadAny(r io.Reader) ([]workload.Request, error) {
 	}
 	if len(hdr) >= len(magic) && [4]byte(hdr[:4]) == magic {
 		return ReadBinary(br)
+	}
+	if len(hdr) >= len(magic) && [4]byte(hdr[:4]) == wire.TraceMagic() {
+		return wire.ReadTrace(br)
 	}
 	return ReadText(br)
 }

@@ -1,0 +1,414 @@
+// Package wire defines the length-prefixed TCP protocol the espserved
+// block-device service speaks, plus the on-disk "wire trace" format that
+// pre-encodes a request stream as the exact command frames a client
+// replays.
+//
+// Every frame on the wire is a big-endian uint32 body length followed by
+// the body. A connection opens with one handshake exchange — the client's
+// Hello names the namespace it wants, the server's Welcome advertises the
+// namespace geometry and the per-connection in-flight cap — and then
+// carries command frames client-to-server and reply frames
+// server-to-client. Replies are tagged and may arrive out of order; the
+// tag is the client's correlation token and is never interpreted by the
+// server.
+//
+// The simulator carries no payload data (data integrity is tracked by
+// version stamps inside the device model), so READ and WRITE frames are
+// headers only; the protocol is a control-plane twin of an NBD-style
+// block export.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"espftl/internal/workload"
+)
+
+// Version is the protocol version byte carried in the handshake.
+const Version = 1
+
+// MaxFrame bounds any frame body; larger lengths indicate a corrupt or
+// hostile stream and are rejected before allocation.
+const MaxFrame = 1 << 20
+
+// helloMagic opens the client Hello and the server Welcome bodies.
+var helloMagic = [4]byte{'E', 'S', 'P', 'S'}
+
+// traceMagic identifies a wire-trace file ("ESPW" + version 1); the first
+// four bytes are distinct from both the text format and the binary trace
+// magic so trace.ReadAny can dispatch on a 4-byte peek.
+var traceMagic = [5]byte{'E', 'S', 'P', 'W', 1}
+
+// TraceMagic returns the 4-byte prefix that identifies a wire-trace
+// stream, for format sniffing.
+func TraceMagic() [4]byte { return [4]byte{traceMagic[0], traceMagic[1], traceMagic[2], traceMagic[3]} }
+
+// Op is the command opcode.
+type Op uint8
+
+// The wire opcodes. Advance appears only in wire-trace files (a live
+// server's clock is paced by the real-time gate, not by clients); Stat
+// asks the server for a JSON snapshot of the connection's namespace.
+const (
+	OpRead Op = 1 + iota
+	OpWrite
+	OpTrim
+	OpFlush
+	OpStat
+	OpAdvance
+)
+
+// String names the opcode in errors and tooling.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpTrim:
+		return "TRIM"
+	case OpFlush:
+		return "FLUSH"
+	case OpStat:
+		return "STAT"
+	case OpAdvance:
+		return "ADVANCE"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Reply status codes.
+const (
+	// StatusOK acknowledges a completed command; for STAT the payload is
+	// the namespace's JSON snapshot.
+	StatusOK uint8 = 0
+	// StatusErr reports a failed command; the payload is the error text.
+	StatusErr uint8 = 1
+	// StatusShutdown rejects a command submitted while the server drains.
+	StatusShutdown uint8 = 2
+)
+
+// Cmd is one decoded command frame. Arg is the namespace-relative LSN for
+// I/O commands and the idle gap in nanoseconds for ADVANCE.
+type Cmd struct {
+	Op      Op
+	Sync    bool
+	Tag     uint64
+	Arg     uint64
+	Sectors uint32
+}
+
+// cmdBody is the fixed command body length: op, flags, tag, arg, sectors.
+const cmdBody = 1 + 1 + 8 + 8 + 4
+
+// Request converts the command to a host request. STAT has no request
+// form and returns an error.
+func (c Cmd) Request() (workload.Request, error) {
+	switch c.Op {
+	case OpRead:
+		return workload.Request{Op: workload.OpRead, LSN: int64(c.Arg), Sectors: int(c.Sectors)}, nil
+	case OpWrite:
+		return workload.Request{Op: workload.OpWrite, LSN: int64(c.Arg), Sectors: int(c.Sectors), Sync: c.Sync}, nil
+	case OpTrim:
+		return workload.Request{Op: workload.OpTrim, LSN: int64(c.Arg), Sectors: int(c.Sectors)}, nil
+	case OpFlush:
+		return workload.Request{Op: workload.OpFlush}, nil
+	case OpAdvance:
+		return workload.Request{Op: workload.OpAdvance, Gap: time.Duration(c.Arg)}, nil
+	}
+	return workload.Request{}, fmt.Errorf("wire: op %s has no request form", c.Op)
+}
+
+// CmdOf encodes a host request as a tagged command frame body.
+func CmdOf(tag uint64, r workload.Request) (Cmd, error) {
+	c := Cmd{Tag: tag}
+	switch r.Op {
+	case workload.OpRead:
+		c.Op = OpRead
+	case workload.OpWrite:
+		c.Op, c.Sync = OpWrite, r.Sync
+	case workload.OpTrim:
+		c.Op = OpTrim
+	case workload.OpFlush:
+		c.Op = OpFlush
+	case workload.OpAdvance:
+		c.Op = OpAdvance
+		c.Arg = uint64(r.Gap)
+		return c, nil
+	default:
+		return c, fmt.Errorf("wire: cannot encode op %v", r.Op)
+	}
+	if r.Op != workload.OpFlush {
+		c.Arg = uint64(r.LSN)
+		c.Sectors = uint32(r.Sectors)
+	}
+	return c, nil
+}
+
+// AppendCmd appends the framed command to buf and returns the extended
+// slice; callers batch frames into one socket write with it.
+func AppendCmd(buf []byte, c Cmd) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, cmdBody)
+	buf = append(buf, byte(c.Op))
+	var flags byte
+	if c.Sync {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint64(buf, c.Tag)
+	buf = binary.BigEndian.AppendUint64(buf, c.Arg)
+	return binary.BigEndian.AppendUint32(buf, c.Sectors)
+}
+
+// WriteCmd writes one framed command.
+func WriteCmd(w io.Writer, c Cmd) error {
+	_, err := w.Write(AppendCmd(nil, c))
+	return err
+}
+
+// ReadCmd reads one framed command.
+func ReadCmd(r io.Reader) (Cmd, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return Cmd{}, err
+	}
+	return parseCmd(body)
+}
+
+func parseCmd(body []byte) (Cmd, error) {
+	if len(body) != cmdBody {
+		return Cmd{}, fmt.Errorf("wire: command body of %d bytes (want %d)", len(body), cmdBody)
+	}
+	c := Cmd{
+		Op:      Op(body[0]),
+		Sync:    body[1]&1 != 0,
+		Tag:     binary.BigEndian.Uint64(body[2:]),
+		Arg:     binary.BigEndian.Uint64(body[10:]),
+		Sectors: binary.BigEndian.Uint32(body[18:]),
+	}
+	if c.Op < OpRead || c.Op > OpAdvance {
+		return Cmd{}, fmt.Errorf("wire: unknown opcode %d", body[0])
+	}
+	return c, nil
+}
+
+// Reply is one decoded reply frame. LatencyNS is the server-side virtual
+// service latency (completion minus arrival on the simulated clock); the
+// payload carries the error text (StatusErr) or the STAT JSON (StatusOK).
+type Reply struct {
+	Tag       uint64
+	Status    uint8
+	LatencyNS uint64
+	Payload   []byte
+}
+
+// AppendReply appends the framed reply to buf.
+func AppendReply(buf []byte, r Reply) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(8+1+8+len(r.Payload)))
+	buf = binary.BigEndian.AppendUint64(buf, r.Tag)
+	buf = append(buf, r.Status)
+	buf = binary.BigEndian.AppendUint64(buf, r.LatencyNS)
+	return append(buf, r.Payload...)
+}
+
+// WriteReply writes one framed reply.
+func WriteReply(w io.Writer, r Reply) error {
+	_, err := w.Write(AppendReply(nil, r))
+	return err
+}
+
+// ReadReply reads one framed reply.
+func ReadReply(r io.Reader) (Reply, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return Reply{}, err
+	}
+	if len(body) < 17 {
+		return Reply{}, fmt.Errorf("wire: reply body of %d bytes (want >= 17)", len(body))
+	}
+	rep := Reply{
+		Tag:       binary.BigEndian.Uint64(body),
+		Status:    body[8],
+		LatencyNS: binary.BigEndian.Uint64(body[9:]),
+	}
+	if len(body) > 17 {
+		rep.Payload = append([]byte(nil), body[17:]...)
+	}
+	return rep, nil
+}
+
+// Hello is the client's handshake: the namespace it wants to attach to.
+type Hello struct {
+	NS string
+}
+
+// WriteHello writes the framed client handshake.
+func WriteHello(w io.Writer, h Hello) error {
+	if len(h.NS) > 255 {
+		return fmt.Errorf("wire: namespace name of %d bytes (max 255)", len(h.NS))
+	}
+	body := make([]byte, 0, 6+len(h.NS))
+	body = append(body, helloMagic[:]...)
+	body = append(body, Version, byte(len(h.NS)))
+	body = append(body, h.NS...)
+	return writeFrame(w, body)
+}
+
+// ReadHello reads and validates the client handshake.
+func ReadHello(r io.Reader) (Hello, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return Hello{}, err
+	}
+	if len(body) < 6 || [4]byte(body[:4]) != helloMagic {
+		return Hello{}, fmt.Errorf("wire: not an espserved handshake")
+	}
+	if body[4] != Version {
+		return Hello{}, fmt.Errorf("wire: protocol version %d (want %d)", body[4], Version)
+	}
+	n := int(body[5])
+	if len(body) != 6+n {
+		return Hello{}, fmt.Errorf("wire: handshake length mismatch")
+	}
+	return Hello{NS: string(body[6:])}, nil
+}
+
+// Welcome is the server's handshake reply: the namespace geometry and the
+// connection's admission limits. A non-zero Status refuses the
+// connection with Err as the reason.
+type Welcome struct {
+	Status      uint8
+	SectorBytes uint32
+	PageSectors uint32
+	MaxInflight uint32
+	Sectors     uint64
+	Err         string
+}
+
+// WriteWelcome writes the framed server handshake reply.
+func WriteWelcome(w io.Writer, wl Welcome) error {
+	if len(wl.Err) > 255 {
+		wl.Err = wl.Err[:255]
+	}
+	body := make([]byte, 0, 4+1+1+4+4+4+8+1+len(wl.Err))
+	body = append(body, helloMagic[:]...)
+	body = append(body, Version, wl.Status)
+	body = binary.BigEndian.AppendUint32(body, wl.SectorBytes)
+	body = binary.BigEndian.AppendUint32(body, wl.PageSectors)
+	body = binary.BigEndian.AppendUint32(body, wl.MaxInflight)
+	body = binary.BigEndian.AppendUint64(body, wl.Sectors)
+	body = append(body, byte(len(wl.Err)))
+	body = append(body, wl.Err...)
+	return writeFrame(w, body)
+}
+
+// ReadWelcome reads the server handshake reply.
+func ReadWelcome(r io.Reader) (Welcome, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return Welcome{}, err
+	}
+	if len(body) < 27 || [4]byte(body[:4]) != helloMagic {
+		return Welcome{}, fmt.Errorf("wire: not an espserved handshake reply")
+	}
+	if body[4] != Version {
+		return Welcome{}, fmt.Errorf("wire: protocol version %d (want %d)", body[4], Version)
+	}
+	wl := Welcome{
+		Status:      body[5],
+		SectorBytes: binary.BigEndian.Uint32(body[6:]),
+		PageSectors: binary.BigEndian.Uint32(body[10:]),
+		MaxInflight: binary.BigEndian.Uint32(body[14:]),
+		Sectors:     binary.BigEndian.Uint64(body[18:]),
+	}
+	n := int(body[26])
+	if len(body) != 27+n {
+		return Welcome{}, fmt.Errorf("wire: handshake reply length mismatch")
+	}
+	wl.Err = string(body[27:])
+	return wl, nil
+}
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads a length-prefixed frame, bounding the allocation.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds the %d limit", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return body, nil
+}
+
+// WriteTrace writes a request stream as a wire-trace file: the trace
+// magic followed by the exact command frames a client replays, tagged
+// with their stream index. cmd/tracegen emits it with -format wire.
+func WriteTrace(w io.Writer, reqs []workload.Request) error {
+	if _, err := w.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 4+cmdBody)
+	for i, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("wire: request %d: %w", i, err)
+		}
+		c, err := CmdOf(uint64(i), r)
+		if err != nil {
+			return fmt.Errorf("wire: request %d: %w", i, err)
+		}
+		if _, err := w.Write(AppendCmd(buf[:0], c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTrace parses a wire-trace stream back into requests. Tags are
+// replay bookkeeping and are discarded.
+func ReadTrace(r io.Reader) ([]workload.Request, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading trace header: %w", err)
+	}
+	if hdr != traceMagic {
+		return nil, fmt.Errorf("wire: bad trace magic %q", hdr[:])
+	}
+	var reqs []workload.Request
+	for i := 0; ; i++ {
+		c, err := ReadCmd(r)
+		if err == io.EOF {
+			return reqs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wire: trace request %d: %w", i, err)
+		}
+		req, err := c.Request()
+		if err != nil {
+			return nil, fmt.Errorf("wire: trace request %d: %w", i, err)
+		}
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("wire: trace request %d: %w", i, err)
+		}
+		reqs = append(reqs, req)
+	}
+}

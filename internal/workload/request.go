@@ -16,12 +16,15 @@ type Op uint8
 
 // Request kinds. Advance is a pseudo-request that moves virtual time
 // forward without I/O; traces use it to encode idle periods, which matter
-// for retention experiments.
+// for retention experiments. Flush is a host cache-flush barrier: it
+// forces buffered writes to flash and orders against every other request,
+// the command a served block device needs to honor fsync.
 const (
 	OpWrite Op = iota
 	OpRead
 	OpTrim
 	OpAdvance
+	OpFlush
 )
 
 // String names the op for traces and error messages.
@@ -35,6 +38,8 @@ func (o Op) String() string {
 		return "T"
 	case OpAdvance:
 		return "A"
+	case OpFlush:
+		return "F"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -59,6 +64,9 @@ func (r Request) String() string {
 	if r.Op == OpAdvance {
 		return fmt.Sprintf("A %d", r.Gap.Nanoseconds())
 	}
+	if r.Op == OpFlush {
+		return "F"
+	}
 	s := fmt.Sprintf("%s %d %d", r.Op, r.LSN, r.Sectors)
 	if r.Op == OpWrite {
 		if r.Sync {
@@ -77,6 +85,8 @@ func (r Request) Validate() error {
 		if r.Gap < 0 {
 			return fmt.Errorf("workload: negative advance %v", r.Gap)
 		}
+		return nil
+	case OpFlush:
 		return nil
 	case OpWrite, OpRead, OpTrim:
 		if r.LSN < 0 {
