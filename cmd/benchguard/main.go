@@ -89,7 +89,17 @@ func main() {
 
 	baseline, err := parseBench(*baselinePath)
 	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchguard: baseline %q does not exist; seed it from a trusted run:\n", *baselinePath)
+			fmt.Fprintf(os.Stderr, "  go test -bench=. -benchtime=1x -benchmem -run '^$' <packages> > %s\n", *baselinePath)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %q parsed but holds no benchmark lines; every result below would be unguarded.\n", *baselinePath)
+		fmt.Fprintf(os.Stderr, "  Regenerate it with: go test -bench=. -benchtime=1x -benchmem -run '^$' <packages> > %s\n", *baselinePath)
 		os.Exit(2)
 	}
 	current, err := parseBench(*currentPath)
@@ -109,11 +119,13 @@ func main() {
 	sort.Strings(names)
 
 	failed := 0
+	var unguarded []string
 	for _, name := range names {
 		cur := current[name]
 		base, ok := baseline[name]
 		if !ok {
-			fmt.Printf("NEW      %-40s %12.0f ns/op (no baseline; add it on the next refresh)\n", name, cur.nsPerOp)
+			fmt.Printf("NEW      %-40s %12.0f ns/op (no baseline entry)\n", name, cur.nsPerOp)
+			unguarded = append(unguarded, name)
 			continue
 		}
 		ratio := 0.0
@@ -141,6 +153,11 @@ func main() {
 		if _, ok := current[name]; !ok {
 			fmt.Printf("MISSING  %-40s in current run (renamed or deleted?)\n", name)
 		}
+	}
+	if len(unguarded) > 0 {
+		fmt.Printf("benchguard: %d benchmark(s) have no baseline entry and are NOT guarded: %s\n",
+			len(unguarded), strings.Join(unguarded, ", "))
+		fmt.Printf("  Append their lines to %s (from this run's output) to start guarding them.\n", *baselinePath)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s) beyond %.1fx\n", failed, *maxRatio)

@@ -36,9 +36,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	span := flag.Float64("span", 1.0, "fraction of the namespace the synthetic stream touches")
 	stat := flag.Bool("stat", false, "print the namespace's /stats JSON after the run")
+	connectTimeout := flag.Duration("connect-timeout", 5*time.Second, "dial and handshake deadline")
+	deadline := flag.Duration("deadline", 0, "per-request deadline; enables the resilient runner (reconnect, replay, backoff on RETRYABLE)")
 	flag.Parse()
 
-	c, err := server.Dial(*addr, *ns)
+	c, err := server.DialTimeout(*addr, *ns, *connectTimeout)
 	if err != nil {
 		fatal(err)
 	}
@@ -119,7 +121,16 @@ func main() {
 	}
 
 	start := time.Now()
-	cr, err := c.Run(next, *qd, nil)
+	var cr *server.ClientReport
+	if *deadline > 0 {
+		cr, err = c.RunResilient(next, *qd, server.RetryPolicy{
+			ConnectTimeout: *connectTimeout,
+			RequestTimeout: *deadline,
+			Seed:           *seed,
+		}, nil)
+	} else {
+		cr, err = c.Run(next, *qd, nil)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -130,6 +141,9 @@ func main() {
 		cr.Ops, wall.Round(time.Millisecond), float64(cr.Ops)/wall.Seconds())
 	if cr.Errors > 0 || cr.Rejected > 0 {
 		fmt.Printf("  errors            %d errored, %d rejected\n", cr.Errors, cr.Rejected)
+	}
+	if cr.Retries > 0 || cr.Reconnects > 0 {
+		fmt.Printf("  resilience        %d retries, %d reconnects\n", cr.Retries, cr.Reconnects)
 	}
 	printLatency("service (virtual)", cr.Virt)
 	printLatency("round trip (wall)", cr.Wall)

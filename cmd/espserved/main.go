@@ -41,6 +41,9 @@ func main() {
 	tick := flag.Int("tick", 64, "host-scheduler event-loop tick granularity")
 	arb := flag.String("arb", "fifo", "host-scheduler arbitration: fifo or read-priority")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "per-flush reply deadline before a client is declared dead")
+	admitTimeout := flag.Duration("admit-timeout", 0, "admission wait before a command is refused RETRYABLE (0 = wait forever)")
+	watchdog := flag.Duration("watchdog", time.Second, "engine watchdog sampling interval (negative = off)")
+	watchdogStalls := flag.Int("watchdog-stalls", 5, "progress-free watchdog intervals before all namespaces are fenced")
 	flag.Parse()
 
 	specs, err := parseNamespaces(*nsSpec)
@@ -60,6 +63,9 @@ func main() {
 		TickEvery:        *tick,
 		Arbitration:      *arb,
 		WriteTimeout:     *writeTimeout,
+		AdmitTimeout:     *admitTimeout,
+		WatchdogInterval: *watchdog,
+		WatchdogStalls:   *watchdogStalls,
 	}
 	if *full {
 		cfg.Geometry = experiment.ExperimentGeometry

@@ -1,0 +1,772 @@
+// Package chaos runs scripted, seed-deterministic degraded-mode
+// campaigns against a live network server: it composes the PR-1 fault
+// injector (read disturbs, program/erase failures), grown-bad-block
+// storms, engine stalls, torn client connections, dead clients, and
+// sudden power-off into one run, and checks the system-level invariants
+// after each phase — no acknowledged write is ever lost (the PR-3
+// differential model, widened with replay slack for ambiguous resends),
+// every client-visible error carries a typed wire status, a fenced
+// namespace returns to healthy after Recover, and a crashed device
+// remounts into a servable state.
+//
+// The campaign content is deterministic per seed (workload streams and
+// injected faults both draw from seeded RNGs); the timing of torn
+// connections against the reply stream is not, which is exactly why the
+// differential model carries replay slack instead of expecting one
+// golden outcome.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"espftl/internal/core"
+	"espftl/internal/ecc"
+	"espftl/internal/fault"
+	"espftl/internal/ftl"
+	"espftl/internal/ftltest"
+	"espftl/internal/nand"
+	"espftl/internal/server"
+	"espftl/internal/sim"
+	"espftl/internal/wire"
+	"espftl/internal/workload"
+)
+
+// Config seeds one campaign.
+type Config struct {
+	// Seed drives the workload streams and the fault injectors.
+	Seed uint64
+	// Ops is the model-checked operation count of the storm phase
+	// (default 400).
+	Ops int
+	// Logf, when non-nil, narrates the campaign (wire to t.Logf).
+	Logf func(format string, args ...interface{})
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	// StormOps is the number of requests the model client completed
+	// through the storm+torn phase; Reconnects and Retries its
+	// resilience work.
+	StormOps   int64
+	Reconnects int64
+	Retries    int64
+	// Statuses aggregates every final status any campaign client saw,
+	// by wire code.
+	Statuses map[uint8]int64
+	// ShedReadOnly is the breaker-shed count after the bad-block storm.
+	ShedReadOnly int64
+	// MountReport is the post-SPO recovery mount.
+	MountReport ftl.MountReport
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops == 0 {
+		c.Ops = 400
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+const (
+	sectors  = 512 // logical sectors of each campaign device
+	dataNS   = "data"
+	noiseNS  = "noise"
+	churnCap = 30000 // bad-block churn bound before declaring failure
+)
+
+func geometry() nand.Geometry {
+	return nand.Geometry{
+		Channels:        2,
+		ChipsPerChannel: 2,
+		BlocksPerChip:   8,
+		PagesPerBlock:   8,
+		SubpagesPerPage: 4,
+		SubpageBytes:    4096,
+	}
+}
+
+// buildStack assembles a fault-injected device and a StallFTL-wrapped
+// subFTL — the paper's FTL, and the one with the most moving parts to
+// stress.
+func buildStack(prof fault.Profile) (*nand.Device, *fault.Injector, *ftltest.StallFTL, error) {
+	inj, err := fault.NewInjector(prof)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg := nand.DefaultConfig()
+	cfg.Geometry = geometry()
+	cfg.Fault = inj
+	rm := ecc.DefaultRetry
+	cfg.Retry = &rm
+	dev, err := nand.NewDevice(cfg, sim.NewClock(0))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	f, err := core.New(dev, core.DefaultConfig(sectors))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return dev, inj, ftltest.NewStallFTL(f), nil
+}
+
+// stream builds the deterministic model-checked request stream: mixed
+// reads and writes with periodic flushes, no trims (replay slack covers
+// ambiguous writes, not ambiguous trims), ending in a flush.
+func stream(nsSectors int64, pageSectors, n int, seed uint64) ([]workload.Request, error) {
+	gen, err := workload.NewSynthetic(workload.Profile{
+		Name:       "chaos",
+		SmallRatio: 0.6,
+		SyncRatio:  0.4,
+		ReadRatio:  0.3,
+		SmallSizes: []int{1, 2, 3},
+		LargeSizes: []int{4, 8},
+		Zipf:       0.9,
+	}, nsSectors, pageSectors, seed)
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]workload.Request, 0, n)
+	for i := 0; i < n-1; i++ {
+		if i%89 == 88 {
+			reqs = append(reqs, workload.Request{Op: workload.OpFlush})
+			continue
+		}
+		reqs = append(reqs, gen.Next())
+	}
+	return append(reqs, workload.Request{Op: workload.OpFlush}), nil
+}
+
+// Run executes one campaign and returns its summary, or the first
+// invariant violation.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Statuses: make(map[uint8]int64)}
+
+	// ---- Campaign device: probabilistic storm profile ----------------
+	dev, inj, stall, err := buildStack(fault.Profile{
+		Seed:            cfg.Seed,
+		ReadDisturbProb: 2e-3,
+		ReadDisturbBER:  1.6,
+		ProgramFailProb: 5e-4,
+		EraseFailProb:   1e-4,
+		WearSlope:       1.0,
+		RatedPE:         1000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{
+		Device:           dev,
+		FTL:              stall,
+		LogicalSectors:   sectors,
+		Namespaces:       []server.NamespaceSpec{{Name: dataNS}, {Name: noiseNS}},
+		WatchdogInterval: 15 * time.Millisecond,
+		WatchdogStalls:   4,
+		WriteTimeout:     250 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Serve(); err != nil {
+		return nil, err
+	}
+	guard := srv.FTL()
+
+	// The model mirrors the data namespace; the noise namespace hosts
+	// torn and dead clients whose only contract is typed statuses and
+	// reclaimed slots.
+	proxy, err := newTearProxy(srv.Addr(), 4, 700)
+	if err != nil {
+		return nil, err
+	}
+	defer proxy.close()
+
+	c, err := server.DialTimeout(proxy.addr(), dataNS, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	nsSectors := int64(c.Welcome.Sectors)
+	ps := int(c.Welcome.PageSectors)
+	m := ftltest.NewModel(nsSectors)
+
+	// ---- Phase 1: fault storm + torn connections + noise clients -----
+	cfg.Logf("phase 1: storm of %d ops through tearing proxy, noise clients alongside", cfg.Ops)
+	noiseDone := runNoise(srv.Addr(), cfg.Seed^0x6e6f697365)
+	reqs, err := stream(nsSectors, ps, cfg.Ops, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	cr, err := c.RunResilient(func() (workload.Request, bool) {
+		if i >= len(reqs) {
+			return workload.Request{}, false
+		}
+		r := reqs[i]
+		i++
+		return r, true
+	}, 1, server.RetryPolicy{
+		RequestTimeout: 2 * time.Second,
+		MaxReconnects:  64,
+		Seed:           cfg.Seed ^ 0x7265747279,
+		OnReplay: func(r workload.Request) {
+			if r.Op == workload.OpWrite {
+				m.MaybeWrite(r.LSN, r.Sectors)
+			}
+		},
+	}, func(r server.Reply) {
+		if r.Rep.Status != wire.StatusOK {
+			// An errored write is an unacknowledged attempt: the sector's
+			// state is undefined within its reach.
+			if r.Req.Op == workload.OpWrite {
+				m.FailedWrite(r.Req.LSN, r.Req.Sectors)
+			}
+			return
+		}
+		switch r.Req.Op {
+		case workload.OpWrite:
+			m.Write(r.Req.LSN, r.Req.Sectors, r.Req.Sync)
+		case workload.OpFlush:
+			m.Flush()
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: storm phase: %w", err)
+	}
+	<-noiseDone
+	res.StormOps, res.Reconnects, res.Retries = cr.Ops, cr.Reconnects, cr.Retries
+	for st, n := range cr.Statuses {
+		res.Statuses[st] += n
+	}
+	if cr.Ops != int64(len(reqs)) {
+		return nil, fmt.Errorf("chaos: storm phase resolved %d of %d requests", cr.Ops, len(reqs))
+	}
+
+	// ---- Phase 2: engine stall -> watchdog fence -> recover ----------
+	cfg.Logf("phase 2: wedging the engine; expecting the watchdog to fence")
+	if err := stallFenceRecover(srv, stall, c, m, res); err != nil {
+		return nil, fmt.Errorf("chaos: stall phase: %w", err)
+	}
+
+	// ---- Phase 3: grown-bad-block storm -> read-only breaker ---------
+	cfg.Logf("phase 3: erase-failure storm until the capacity floor trips")
+	if err := badBlockStorm(guard, inj, c, m, ps, nsSectors, res); err != nil {
+		return nil, fmt.Errorf("chaos: bad-block phase: %w", err)
+	}
+
+	// ---- Drain and differential check --------------------------------
+	cfg.Logf("drain: shutting down and checking the model")
+	var dataBase int64 = -1
+	payload, err := c.Stat()
+	if err == nil {
+		var ns server.NamespaceStats
+		if err := json.Unmarshal(payload, &ns); err == nil {
+			dataBase = ns.BaseSector
+		}
+	}
+	if dataBase < 0 {
+		return nil, fmt.Errorf("chaos: could not resolve data namespace base")
+	}
+	rep, err := srv.Shutdown()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: shutdown: %w", err)
+	}
+	if rep.Submitted != rep.Completed {
+		return nil, fmt.Errorf("chaos: drain dropped commands: submitted %d completed %d", rep.Submitted, rep.Completed)
+	}
+	for lsn := int64(0); lsn < nsSectors; lsn++ {
+		v := guard.VersionOf(dataBase + lsn)
+		if !m.Acceptable(lsn, v) {
+			return nil, fmt.Errorf("chaos: acked write lost: sector %d at version %d, acceptable %s",
+				lsn, v, m.Describe(lsn))
+		}
+	}
+
+	// Typed-status invariant: every status any client saw is in the
+	// wire vocabulary.
+	for st := range res.Statuses {
+		if !wire.KnownStatus(st) {
+			return nil, fmt.Errorf("chaos: untyped status %d surfaced to a client", st)
+		}
+	}
+
+	// ---- Phase 4: sudden power-off on a fresh stack ------------------
+	cfg.Logf("phase 4: SPO cut mid-stream, remount, verify, re-serve")
+	mount, err := spoPhase(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: SPO phase: %w", err)
+	}
+	res.MountReport = mount
+	return res, nil
+}
+
+// stallFenceRecover wedges the engine with an armed stall, waits for
+// the watchdog fence, checks the fence is client-visible and that
+// recovery is refused while wedged, then releases and recovers.
+func stallFenceRecover(srv *server.Server, stall *ftltest.StallFTL, c *server.Client, m *ftltest.Model, res *Result) error {
+	stall.Arm()
+	// The wedging write goes through a raw second connection so the
+	// model client c stays quiet (its reply will be mirrored on ack).
+	wc, err := rawDial(srv.Addr(), dataNS, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	defer wc.close()
+	const wedgeLSN, wedgeSectors = 0, 4
+	cmd, err := wire.CmdOf(1, workload.Request{Op: workload.OpWrite, LSN: wedgeLSN, Sectors: wedgeSectors})
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteCmd(wc.conn, cmd); err != nil {
+		return err
+	}
+	<-stall.Stalled()
+
+	if err := waitFor(5*time.Second, func() bool {
+		return srv.Stalled() && srv.Health(dataNS) == server.Fenced
+	}); err != nil {
+		return fmt.Errorf("watchdog never fenced: %w", err)
+	}
+
+	// The fence must be a typed, client-visible condition.
+	st, err := probe(srv.Addr(), dataNS, workload.Request{Op: workload.OpRead, LSN: 0, Sectors: 4})
+	if err != nil {
+		return fmt.Errorf("fence probe: %w", err)
+	}
+	res.Statuses[st]++
+	if st != wire.StatusFenced {
+		return fmt.Errorf("fenced namespace answered %s, want NAMESPACE_FENCED", wire.StatusName(st))
+	}
+
+	// Recovery against a wedged engine must refuse, not hang.
+	if _, err := srv.Recover(dataNS); err == nil {
+		return fmt.Errorf("Recover succeeded while the engine was wedged")
+	}
+
+	stall.Release()
+	r, err := wire.ReadReply(wc.conn)
+	if err != nil {
+		return fmt.Errorf("wedged write reply: %w", err)
+	}
+	res.Statuses[r.Status]++
+	if r.Status == wire.StatusOK {
+		m.Write(wedgeLSN, wedgeSectors, false)
+	} else {
+		m.FailedWrite(wedgeLSN, wedgeSectors)
+	}
+
+	// The stall resolved: both namespaces must recover to healthy.
+	if err := waitFor(5*time.Second, func() bool {
+		h, err := srv.Recover(dataNS)
+		return err == nil && h == server.Healthy
+	}); err != nil {
+		return fmt.Errorf("namespace never recovered: %w", err)
+	}
+	if _, err := srv.Recover(noiseNS); err != nil {
+		return fmt.Errorf("noise namespace recovery: %w", err)
+	}
+
+	// Recovered means serving: one write, one read, both OK.
+	var statuses []uint8
+	if _, err := c.RunRequests([]workload.Request{
+		{Op: workload.OpWrite, LSN: 0, Sectors: 4},
+		{Op: workload.OpRead, LSN: 0, Sectors: 4},
+	}, 1, func(r server.Reply) { statuses = append(statuses, r.Rep.Status) }); err != nil {
+		return fmt.Errorf("post-recovery serve: %w", err)
+	}
+	for _, st := range statuses {
+		res.Statuses[st]++
+	}
+	if len(statuses) != 2 || statuses[0] != wire.StatusOK || statuses[1] != wire.StatusOK {
+		return fmt.Errorf("post-recovery serve statuses: %v", statuses)
+	}
+	m.Write(0, 4, false)
+	return nil
+}
+
+// badBlockStorm scripts every erase to fail, churns writes until the
+// capacity floor degrades the device to read-only, and checks the
+// breaker sheds writes while reads keep flowing.
+func badBlockStorm(guard *ftl.Guard, inj *fault.Injector, c *server.Client, m *ftltest.Model, ps int, nsSectors int64, res *Result) error {
+	// The injector is single-threaded with the engine; scripting the
+	// storm under the guard's lock lands it between commands.
+	guard.Do(func() {
+		inj.Script(fault.Event{Kind: fault.KindErase, Chip: -1, Block: -1, Count: 10000})
+	})
+
+	write := func(lsn int64) (uint8, error) {
+		var status uint8
+		_, err := c.RunRequests([]workload.Request{
+			{Op: workload.OpWrite, LSN: lsn, Sectors: ps},
+		}, 1, func(r server.Reply) { status = r.Rep.Status })
+		return status, err
+	}
+
+	lastOK := int64(-1)
+	sawReadOnly := false
+	pages := nsSectors / int64(ps)
+	for i := 0; i < churnCap && !sawReadOnly; i++ {
+		lsn := (int64(i) % pages) * int64(ps)
+		st, err := write(lsn)
+		if err != nil {
+			return err
+		}
+		res.Statuses[st]++
+		switch st {
+		case wire.StatusOK:
+			m.Write(lsn, ps, false)
+			lastOK = lsn
+		case wire.StatusReadOnly:
+			sawReadOnly = true
+		case wire.StatusErr, wire.StatusUncorrectable:
+			// Collateral of the storm: the errored write's reach is
+			// undefined (may have landed, may have unmapped the old copy).
+			m.FailedWrite(lsn, ps)
+		default:
+			return fmt.Errorf("unexpected churn status %s", wire.StatusName(st))
+		}
+	}
+	if !sawReadOnly {
+		return fmt.Errorf("device never degraded to read-only in %d writes", churnCap)
+	}
+	if lastOK < 0 {
+		return fmt.Errorf("no write landed before the floor tripped")
+	}
+
+	// Breaker open: writes shed with READ_ONLY, reads still served.
+	st, err := write(lastOK)
+	if err != nil {
+		return err
+	}
+	res.Statuses[st]++
+	if st != wire.StatusReadOnly {
+		return fmt.Errorf("post-floor write answered %s, want READ_ONLY", wire.StatusName(st))
+	}
+	var readStatus uint8
+	if _, err := c.RunRequests([]workload.Request{
+		{Op: workload.OpRead, LSN: lastOK, Sectors: ps},
+	}, 1, func(r server.Reply) { readStatus = r.Rep.Status }); err != nil {
+		return err
+	}
+	res.Statuses[readStatus]++
+	if readStatus != wire.StatusOK {
+		return fmt.Errorf("read in read-only mode answered %s", wire.StatusName(readStatus))
+	}
+
+	payload, err := c.Stat()
+	if err != nil {
+		return err
+	}
+	var ns server.NamespaceStats
+	if err := json.Unmarshal(payload, &ns); err != nil {
+		return err
+	}
+	if ns.Health != "read-only" {
+		return fmt.Errorf("namespace health %q after the floor tripped", ns.Health)
+	}
+	if ns.ShedCommands == 0 {
+		return fmt.Errorf("breaker shed nothing despite read-only health")
+	}
+	res.ShedReadOnly = ns.ShedCommands
+	return nil
+}
+
+// spoPhase serves a fresh stack, cuts power mid-stream, drains, remounts
+// through the server (its mount is the PR-3 OOB recovery), verifies the
+// model, and serves new work after the crash.
+func spoPhase(cfg Config) (ftl.MountReport, error) {
+	var none ftl.MountReport
+	dev, inj, stall, err := buildStack(fault.Profile{Seed: cfg.Seed ^ 0x73706f})
+	if err != nil {
+		return none, err
+	}
+	srv, err := server.New(server.Config{
+		Device:           dev,
+		FTL:              stall,
+		LogicalSectors:   sectors,
+		WatchdogInterval: -1, // a dead device errors fast; no stalls here
+	})
+	if err != nil {
+		return none, err
+	}
+	cut := dev.OpCount() + 200
+	inj.ArmSPO(cut, true)
+	if err := srv.Serve(); err != nil {
+		return none, err
+	}
+	c, err := server.DialTimeout(srv.Addr(), "default", 2*time.Second)
+	if err != nil {
+		return none, err
+	}
+	defer c.Close()
+
+	reqs, err := stream(sectors, int(c.Welcome.PageSectors), 500, cfg.Seed^0x737472)
+	if err != nil {
+		return none, err
+	}
+	// Depth-1 mirror with the stop-at-the-cut contract of the PR-3
+	// checker: after the first error nothing can reach flash.
+	m := ftltest.NewModel(sectors)
+	dead := false
+	cr, err := c.RunRequests(reqs, 1, func(r server.Reply) {
+		if dead {
+			return
+		}
+		if r.Rep.Status != wire.StatusOK {
+			dead = true
+			if r.Req.Op == workload.OpWrite {
+				m.CrashWrite(r.Req.LSN, r.Req.Sectors)
+			}
+			return
+		}
+		switch r.Req.Op {
+		case workload.OpWrite:
+			m.Write(r.Req.LSN, r.Req.Sectors, r.Req.Sync)
+		case workload.OpFlush:
+			m.Flush()
+		}
+	})
+	if err != nil {
+		return none, fmt.Errorf("SPO client run: %w", err)
+	}
+	if inj.SPOArmed() {
+		return none, fmt.Errorf("power never died: %d device ops, armed at %d", dev.OpCount(), cut)
+	}
+	if cr.Errors == 0 {
+		return none, fmt.Errorf("no client-visible errors despite the power cut")
+	}
+	if dev.Alive() {
+		return none, fmt.Errorf("device still alive after SPO")
+	}
+	rep, err := srv.Shutdown()
+	if err != nil {
+		return none, fmt.Errorf("shutdown on dead device: %w", err)
+	}
+	if rep.Submitted != rep.Completed {
+		return none, fmt.Errorf("drain dropped commands on dead device: %d vs %d", rep.Submitted, rep.Completed)
+	}
+
+	// Power on and remount THROUGH the server: New performs the OOB
+	// recovery, then the recovered state must satisfy the model and
+	// serve fresh work.
+	dev.PowerOn()
+	f2, err := core.New(dev, core.DefaultConfig(sectors))
+	if err != nil {
+		return none, err
+	}
+	srv2, err := server.New(server.Config{
+		Device:         dev,
+		FTL:            f2,
+		LogicalSectors: sectors,
+	})
+	if err != nil {
+		return none, fmt.Errorf("remount: %w", err)
+	}
+	mount := srv2.MountReport()
+	guard := srv2.FTL()
+	for lsn := int64(0); lsn < sectors; lsn++ {
+		v := guard.VersionOf(lsn)
+		if !m.Acceptable(lsn, v) {
+			return none, fmt.Errorf("post-SPO sector %d at version %d, acceptable %s", lsn, v, m.Describe(lsn))
+		}
+	}
+	if err := srv2.Serve(); err != nil {
+		return none, err
+	}
+	c2, err := server.DialTimeout(srv2.Addr(), "default", 2*time.Second)
+	if err != nil {
+		return none, err
+	}
+	defer c2.Close()
+	cr2, err := c2.RunRequests([]workload.Request{
+		{Op: workload.OpWrite, LSN: 0, Sectors: 4, Sync: true},
+		{Op: workload.OpRead, LSN: 0, Sectors: 4},
+	}, 1, nil)
+	if err != nil {
+		return none, err
+	}
+	if cr2.Ops != 2 || cr2.Errors != 0 {
+		return none, fmt.Errorf("post-recovery serve: %+v", cr2)
+	}
+	if _, err := srv2.Shutdown(); err != nil {
+		return none, err
+	}
+	return mount, nil
+}
+
+// probe opens one raw connection, issues one request, and returns the
+// reply status.
+func probe(addr, ns string, req workload.Request) (uint8, error) {
+	rc, err := rawDial(addr, ns, 2*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	defer rc.close()
+	cmd, err := wire.CmdOf(1, req)
+	if err != nil {
+		return 0, err
+	}
+	if err := wire.WriteCmd(rc.conn, cmd); err != nil {
+		return 0, err
+	}
+	rc.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	r, err := wire.ReadReply(rc.conn)
+	if err != nil {
+		return 0, err
+	}
+	return r.Status, nil
+}
+
+// rawClient is a frame-level connection for campaign actors that
+// deliberately misbehave (or probe) below the Client abstraction.
+type rawClient struct {
+	conn net.Conn
+	wl   wire.Welcome
+}
+
+func rawDial(addr, ns string, timeout time.Duration) (*rawClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := wire.WriteHello(conn, wire.Hello{NS: ns}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	wl, err := wire.ReadWelcome(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if wl.Status != wire.StatusOK {
+		conn.Close()
+		return nil, fmt.Errorf("chaos: handshake refused: %s", wl.Err)
+	}
+	conn.SetDeadline(time.Time{})
+	return &rawClient{conn: conn, wl: wl}, nil
+}
+
+func (r *rawClient) close() { r.conn.Close() }
+
+// runNoise launches the badly-behaved tenants of the storm phase on the
+// noise namespace: a client that blasts writes and tears the connection
+// without reading a single reply, and a dead client that submits work
+// and then never drains its socket. Their invariant is simply that the
+// server survives them (slots reclaim, engine never blocks); the drain
+// at campaign end proves it.
+func runNoise(addr string, seed uint64) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := sim.NewRNG(seed)
+		for round := 0; round < 3; round++ {
+			rc, err := rawDial(addr, noiseNS, time.Second)
+			if err != nil {
+				return
+			}
+			nsSectors := int64(rc.wl.Sectors)
+			buf := make([]byte, 0, 64)
+			for i := 0; i < 40; i++ {
+				lsn := rng.Int63n(nsSectors - 8)
+				cmd, err := wire.CmdOf(uint64(i), workload.Request{Op: workload.OpWrite, LSN: lsn, Sectors: 1 + rng.Intn(4)})
+				if err != nil {
+					break
+				}
+				if _, err := rc.conn.Write(wire.AppendCmd(buf[:0], cmd)); err != nil {
+					break
+				}
+			}
+			// Round 0 and 1: tear abruptly with replies unread. Round 2:
+			// play dead for a moment so the write-timeout path runs too.
+			if round == 2 {
+				time.Sleep(300 * time.Millisecond)
+			}
+			rc.close()
+		}
+	}()
+	return done
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(d time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("condition not reached within %v", d)
+}
+
+// tearProxy forwards TCP between client and backend, cutting the
+// connection after a byte budget of server->client traffic for the
+// first `tears` connections.
+type tearProxy struct {
+	ln     net.Listener
+	target string
+	tears  atomic.Int32
+	limit  int
+}
+
+func newTearProxy(target string, tears int32, limit int) (*tearProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &tearProxy{ln: ln, target: target, limit: limit}
+	p.tears.Store(tears)
+	go p.run()
+	return p, nil
+}
+
+func (p *tearProxy) addr() string { return p.ln.Addr().String() }
+func (p *tearProxy) close()       { p.ln.Close() }
+
+func (p *tearProxy) run() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		s, err := net.Dial("tcp", p.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		go func() {
+			tearing := p.tears.Add(-1) >= 0
+			go func() { io.Copy(s, c); s.Close() }()
+			if !tearing {
+				io.Copy(c, s)
+				c.Close()
+				return
+			}
+			buf := make([]byte, 256)
+			n := 0
+			for n < p.limit {
+				m, err := s.Read(buf)
+				if m > 0 {
+					if _, werr := c.Write(buf[:m]); werr != nil {
+						break
+					}
+					n += m
+				}
+				if err != nil {
+					c.Close()
+					return
+				}
+			}
+			c.Close()
+			s.Close()
+		}()
+	}
+}

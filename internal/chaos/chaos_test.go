@@ -1,0 +1,47 @@
+package chaos_test
+
+import (
+	"strconv"
+	"testing"
+
+	"espftl/internal/chaos"
+	"espftl/internal/wire"
+)
+
+// TestCampaignSeeds runs two short seeded campaigns end to end: fault
+// storm through a tearing proxy with noise clients, watchdog
+// fence/recover, grown-bad-block storm to read-only, drain with the
+// differential model check, and an SPO cut with remount and re-serve.
+// The campaign's own invariants are the assertions; here we check it
+// completes and its summary is sane.
+func TestCampaignSeeds(t *testing.T) {
+	for _, seed := range []uint64{2, 41} {
+		seed := seed
+		t.Run("seed-"+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			res, err := chaos.Run(chaos.Config{Seed: seed, Ops: 300, Logf: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.StormOps != 300 {
+				t.Errorf("storm completed %d of 300 ops", res.StormOps)
+			}
+			if res.ShedReadOnly == 0 {
+				t.Error("read-only breaker never shed")
+			}
+			if res.Statuses[wire.StatusFenced] == 0 {
+				t.Error("no client ever saw NAMESPACE_FENCED")
+			}
+			if res.Statuses[wire.StatusReadOnly] == 0 {
+				t.Error("no client ever saw READ_ONLY")
+			}
+			for st := range res.Statuses {
+				if !wire.KnownStatus(st) {
+					t.Errorf("untyped status %d reached a client", st)
+				}
+			}
+			t.Logf("campaign: %d storm ops, %d reconnects, %d retries, statuses %v, mount %+v",
+				res.StormOps, res.Reconnects, res.Retries, res.Statuses, res.MountReport)
+		})
+	}
+}

@@ -243,6 +243,10 @@ func (f *FTL) reclaimEmptySubBlock() bool {
 // Name implements ftl.FTL.
 func (f *FTL) Name() string { return "subFTL" }
 
+// ReadOnly implements ftl.HealthProber: grown-bad blocks have eaten the
+// spare capacity down to the floor.
+func (f *FTL) ReadOnly() bool { return f.man.ReadOnly() }
+
 // SubRegionBlocks returns the current subpage-region block count.
 func (f *FTL) SubRegionBlocks() int { return f.subBlocks }
 

@@ -66,6 +66,10 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 // Name implements ftl.FTL.
 func (f *FTL) Name() string { return "cgmFTL" }
 
+// ReadOnly implements ftl.HealthProber: grown-bad blocks have eaten the
+// spare capacity down to the floor.
+func (f *FTL) ReadOnly() bool { return f.man.ReadOnly() }
+
 // forEachPage splits a sector range into per-logical-page slot lists.
 func (f *FTL) forEachPage(lsn int64, sectors int, fn func(lpn int64, slots []int) error) error {
 	ps := int64(f.pageSecs)

@@ -121,6 +121,10 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 // Name implements ftl.FTL.
 func (f *FTL) Name() string { return "fgmFTL" }
 
+// ReadOnly implements ftl.HealthProber: grown-bad blocks have eaten the
+// spare capacity down to the floor.
+func (f *FTL) ReadOnly() bool { return f.man.ReadOnly() }
+
 func (f *FTL) allocPage(forGC bool) (nand.PageID, error) {
 	g := f.dev.Geometry()
 	st := &f.host

@@ -81,6 +81,15 @@ func (r MountReport) String() string {
 		r.PagesScanned, r.BlocksAdopted, r.LiveSectors, r.StaleSubpages, r.TornPages, r.MaxSeq, r.Duration)
 }
 
+// HealthProber exposes whether the FTL has degraded to read-only
+// service (spare capacity exhausted by grown-bad blocks). The network
+// server uses it after a remount to decide whether a fenced namespace
+// can return to healthy or must land directly in read-only. The probe
+// must not change state.
+type HealthProber interface {
+	ReadOnly() bool
+}
+
 // VersionProber exposes the FTL's view of a sector's recovered version: the
 // version of the live copy a read would return, or 0 when the sector is
 // unmapped. The crash-consistency checker compares it against the reference

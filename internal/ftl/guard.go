@@ -16,16 +16,17 @@ import (
 // between — never inside — submissions.
 //
 // Guard implements FTL and always offers the optional interfaces
-// (Submitter, ChipProbe, VersionProber), degrading gracefully when the
-// wrapped FTL lacks one: ChipOf reports unrouted and VersionOf reports
-// unmapped, both indistinguishable from an FTL that never implements the
-// probe.
+// (Submitter, ChipProbe, VersionProber, HealthProber), degrading
+// gracefully when the wrapped FTL lacks one: ChipOf reports unrouted,
+// VersionOf reports unmapped, and ReadOnly reports healthy, all
+// indistinguishable from an FTL that never implements the probe.
 type Guard struct {
 	mu sync.Mutex
 	f  FTL
 	s  Submitter
 	cp ChipProbe
 	vp VersionProber
+	hp HealthProber
 }
 
 // NewGuard wraps f. The zero-cost path stays available through Unwrap
@@ -35,6 +36,7 @@ func NewGuard(f FTL) *Guard {
 	g.s, _ = f.(Submitter)
 	g.cp, _ = f.(ChipProbe)
 	g.vp, _ = f.(VersionProber)
+	g.hp, _ = f.(HealthProber)
 	return g
 }
 
@@ -133,6 +135,17 @@ func (g *Guard) ChipOf(lsn int64) int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.cp.ChipOf(lsn)
+}
+
+// ReadOnly implements HealthProber; false (never degraded) when the
+// wrapped FTL has no probe.
+func (g *Guard) ReadOnly() bool {
+	if g.hp == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hp.ReadOnly()
 }
 
 // VersionOf implements VersionProber; 0 (unmapped) when the wrapped FTL

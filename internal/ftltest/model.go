@@ -21,13 +21,19 @@ import (
 //     loses never-flushed data to zero).
 //
 // After recovery, the version of every sector must satisfy Acceptable:
-// durable <= v <= acked, or v in the extra set. Anything else is either a
-// lost acknowledged write (v < durable), invented data (v > acked), or a
-// resurrection the history cannot explain.
+// durable <= v <= acked (+ replay slack, see MaybeWrite), or v in the
+// extra set. Anything else is either a lost acknowledged write
+// (v < durable), invented data (v > acked+slack), or a resurrection the
+// history cannot explain.
 type Model struct {
 	acked   []uint32
 	durable []uint32
 	extra   []map[uint32]struct{}
+	// slack widens a sector's upper bound by the number of ambiguous
+	// (sent, unacknowledged, replayed) writes — see MaybeWrite. Nil
+	// until the first ambiguity; sparse because torn connections touch
+	// few sectors.
+	slack map[int64]uint32
 }
 
 // NewModel returns a reference disk of the given logical size, all sectors
@@ -69,6 +75,37 @@ func (m *Model) CrashWrite(lsn int64, sectors int) {
 	}
 }
 
+// MaybeWrite records a write whose application is ambiguous: it was
+// sent and MAY have been applied, but the acknowledgment was lost (the
+// connection died between submission and reply, so the client will
+// replay it). The FTL bumps its per-sector version once per applied
+// write; every ambiguous send the device might have applied therefore
+// leaves the model's acked counter potentially one behind, permanently.
+// MaybeWrite widens the sector's acceptable interval upward by one
+// version of slack: durable <= v <= acked + slack.
+func (m *Model) MaybeWrite(lsn int64, sectors int) {
+	if m.slack == nil {
+		m.slack = make(map[int64]uint32)
+	}
+	for i := int64(0); i < int64(sectors); i++ {
+		m.slack[lsn+i]++
+	}
+}
+
+// FailedWrite records a write the FTL returned an error for: never
+// acknowledged, so the sector's state is undefined within the attempt's
+// reach. The live version counter bumps once per attempt regardless of
+// the outcome (so the upper bound widens by one slack, as for an
+// ambiguous replay), and a failed overwrite may have invalidated the old
+// copy before the new one was mapped, legally exposing an unmapped
+// sector (version 0).
+func (m *Model) FailedWrite(lsn int64, sectors int) {
+	m.MaybeWrite(lsn, sectors)
+	for i := int64(0); i < int64(sectors); i++ {
+		m.addExtra(lsn+i, 0)
+	}
+}
+
 // Flush records a completed flush: everything acknowledged is on flash.
 func (m *Model) Flush() {
 	copy(m.durable, m.acked)
@@ -93,7 +130,7 @@ func (m *Model) Trim(lsn int64, sectors int) {
 // Acceptable reports whether a recovered FTL exposing version v for lsn is
 // consistent with the recorded history.
 func (m *Model) Acceptable(lsn int64, v uint32) bool {
-	if m.durable[lsn] <= v && v <= m.acked[lsn] {
+	if m.durable[lsn] <= v && v <= m.acked[lsn]+m.slack[lsn] {
 		return true
 	}
 	_, ok := m.extra[lsn][v]
@@ -102,7 +139,10 @@ func (m *Model) Acceptable(lsn int64, v uint32) bool {
 
 // Describe renders lsn's acceptable set for failure messages.
 func (m *Model) Describe(lsn int64) string {
-	s := fmt.Sprintf("[%d,%d]", m.durable[lsn], m.acked[lsn])
+	s := fmt.Sprintf("[%d,%d]", m.durable[lsn], m.acked[lsn]+m.slack[lsn])
+	if m.slack[lsn] > 0 {
+		s += fmt.Sprintf(" (slack %d)", m.slack[lsn])
+	}
 	if len(m.extra[lsn]) > 0 {
 		vs := make([]int, 0, len(m.extra[lsn]))
 		for v := range m.extra[lsn] {

@@ -1,0 +1,81 @@
+package ftltest
+
+import (
+	"sync/atomic"
+
+	"espftl/internal/ftl"
+)
+
+// StallFTL wraps an FTL so tests can wedge the engine on demand: while
+// armed, the next Write or Read blocks until Release. It deliberately
+// does NOT implement ftl.Submitter — the guard then falls back to the
+// synchronous path, so the block lands on the engine goroutine itself,
+// exactly the stall the server's watchdog exists to detect. The health
+// and version probes are delegated so recovery checks still work once
+// the stall is released.
+type StallFTL struct {
+	ftl.FTL
+	armed   atomic.Bool
+	release chan struct{}
+	stalled chan struct{}
+}
+
+// NewStallFTL wraps f, initially disarmed.
+func NewStallFTL(f ftl.FTL) *StallFTL {
+	return &StallFTL{
+		FTL:     f,
+		release: make(chan struct{}),
+		stalled: make(chan struct{}, 1),
+	}
+}
+
+// Arm makes the next Write or Read block until Release.
+func (s *StallFTL) Arm() { s.armed.Store(true) }
+
+// Stalled returns a channel that receives once a command has entered
+// the stall — the test's cue that the engine is now wedged.
+func (s *StallFTL) Stalled() <-chan struct{} { return s.stalled }
+
+// Release unblocks the stalled command (and disarms). Call at most once.
+func (s *StallFTL) Release() { close(s.release) }
+
+func (s *StallFTL) maybeStall() {
+	if !s.armed.Swap(false) {
+		return
+	}
+	select {
+	case s.stalled <- struct{}{}:
+	default:
+	}
+	<-s.release
+}
+
+// Write implements ftl.FTL, stalling first when armed.
+func (s *StallFTL) Write(lsn int64, sectors int, sync bool) error {
+	s.maybeStall()
+	return s.FTL.Write(lsn, sectors, sync)
+}
+
+// Read implements ftl.FTL, stalling first when armed.
+func (s *StallFTL) Read(lsn int64, sectors int) error {
+	s.maybeStall()
+	return s.FTL.Read(lsn, sectors)
+}
+
+// ReadOnly implements ftl.HealthProber by delegation; false when the
+// wrapped FTL has no probe.
+func (s *StallFTL) ReadOnly() bool {
+	if hp, ok := s.FTL.(ftl.HealthProber); ok {
+		return hp.ReadOnly()
+	}
+	return false
+}
+
+// VersionOf implements ftl.VersionProber by delegation; 0 when the
+// wrapped FTL has no prober.
+func (s *StallFTL) VersionOf(lsn int64) uint32 {
+	if vp, ok := s.FTL.(ftl.VersionProber); ok {
+		return vp.VersionOf(lsn)
+	}
+	return 0
+}

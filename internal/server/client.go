@@ -17,18 +17,32 @@ import (
 // concurrent use; open one per goroutine.
 type Client struct {
 	conn net.Conn
+	// addr and ns are remembered so RunResilient can reconnect.
+	addr, ns string
 	// Welcome is the server's handshake reply: namespace geometry and
 	// the advertised in-flight cap.
 	Welcome wire.Welcome
 }
 
 // Dial connects to an espserved endpoint and attaches to the named
-// namespace.
+// namespace, blocking as long as the OS lets it.
 func Dial(addr, ns string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, ns, 0)
+}
+
+// DialTimeout is Dial with a bound covering both the TCP connect and
+// the handshake round-trip; 0 means no bound. A dead or blackholed
+// address fails within the timeout instead of hanging.
+func DialTimeout(addr, ns string, timeout time.Duration) (*Client, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
+	conn.SetDeadline(deadline) // zero deadline = none
 	if err := wire.WriteHello(conn, wire.Hello{NS: ns}); err != nil {
 		conn.Close()
 		return nil, err
@@ -42,7 +56,8 @@ func Dial(addr, ns string) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("server refused %q: %s", ns, wl.Err)
 	}
-	return &Client{conn: conn, Welcome: wl}, nil
+	conn.SetDeadline(time.Time{})
+	return &Client{conn: conn, addr: addr, ns: ns, Welcome: wl}, nil
 }
 
 // Close tears the connection down.
@@ -50,13 +65,26 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // ClientReport aggregates one run's client-side view.
 type ClientReport struct {
-	// Ops counts completed commands; Errors those that returned
-	// StatusErr; Rejected those refused with StatusShutdown.
+	// Ops counts completed commands; Errors those that returned a
+	// non-OK final status other than SHUTTING_DOWN; Rejected those
+	// refused with StatusShutdown.
 	Ops, Errors, Rejected int64
+	// Retries counts RETRYABLE requeues; Reconnects successful
+	// re-dials mid-run (both zero outside RunResilient).
+	Retries, Reconnects int64
+	// Statuses histograms every final reply status by wire code.
+	Statuses map[uint8]int64
 	// Virt is the distribution of server-reported virtual service
 	// latencies; Wall the wall-clock round-trip times this client
 	// observed.
 	Virt, Wall *metrics.Histogram
+}
+
+func (r *ClientReport) count(status uint8) {
+	if r.Statuses == nil {
+		r.Statuses = make(map[uint8]int64)
+	}
+	r.Statuses[status]++
 }
 
 // Reply pairs a completed request with its wire reply, for the Run
@@ -116,11 +144,13 @@ func (c *Client) Run(next func() (workload.Request, bool), depth int, onReply fu
 				return
 			}
 			rep.Ops++
+			rep.count(r.Status)
 			switch r.Status {
-			case wire.StatusErr:
-				rep.Errors++
+			case wire.StatusOK:
 			case wire.StatusShutdown:
 				rep.Rejected++
+			default:
+				rep.Errors++
 			}
 			rep.Wall.Record(time.Since(p.sent))
 			rep.Virt.Record(time.Duration(r.LatencyNS))

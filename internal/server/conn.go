@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"espftl/internal/ftl"
 	"espftl/internal/host"
 	"espftl/internal/wire"
 	"espftl/internal/workload"
@@ -29,17 +30,22 @@ func (s *Server) handle(c net.Conn) {
 	if err != nil {
 		return
 	}
+	// ReadHello already rejected versions above ours, so the client's
+	// version is the negotiated one; replies are downgraded to its
+	// status vocabulary at the writer.
+	version := hello.Version
 	ns := s.lookup(hello.NS)
 	if ns == nil {
-		wire.WriteWelcome(c, wire.Welcome{Status: wire.StatusErr, Err: "unknown namespace " + hello.NS})
+		wire.WriteWelcome(c, wire.Welcome{Version: version, Status: wire.StatusErr, Err: "unknown namespace " + hello.NS})
 		return
 	}
 	if s.draining.Load() {
-		wire.WriteWelcome(c, wire.Welcome{Status: wire.StatusShutdown, Err: "server draining"})
+		wire.WriteWelcome(c, wire.Welcome{Version: version, Status: wire.StatusShutdown, Err: "server draining"})
 		return
 	}
 	g := s.dev.Geometry()
 	err = wire.WriteWelcome(c, wire.Welcome{
+		Version:     version,
 		SectorBytes: uint32(g.SubpageBytes),
 		PageSectors: uint32(g.SubpagesPerPage),
 		MaxInflight: uint32(s.cfg.PerConnInflight),
@@ -52,7 +58,7 @@ func (s *Server) handle(c net.Conn) {
 	ioCh := make(chan wire.Reply, s.cfg.PerConnInflight)
 	auxCh := make(chan wire.Reply, 4)
 	writerDone := make(chan struct{})
-	go s.connWriter(c, ioCh, auxCh, writerDone)
+	go s.connWriter(c, version, ioCh, auxCh, writerDone)
 
 	connSlots := make(chan struct{}, s.cfg.PerConnInflight)
 	var reqWG sync.WaitGroup
@@ -68,6 +74,13 @@ func (s *Server) handle(c net.Conn) {
 		}
 		if s.draining.Load() {
 			auxCh <- wire.Reply{Tag: cmd.Tag, Status: wire.StatusShutdown, Payload: []byte("server draining")}
+			continue
+		}
+		// The fence is absolute: a namespace the watchdog (or an
+		// operator) fenced sheds everything but STAT before parsing.
+		if ns.health.load() == Fenced {
+			ns.health.shed.Add(1)
+			auxCh <- wire.Reply{Tag: cmd.Tag, Status: wire.StatusFenced, Payload: []byte("namespace " + ns.name + " fenced")}
 			continue
 		}
 		req, err := cmd.Request()
@@ -86,16 +99,22 @@ func (s *Server) handle(c net.Conn) {
 			auxCh <- wire.Reply{Tag: cmd.Tag, Status: wire.StatusErr, Payload: []byte(err.Error())}
 			continue
 		}
+		// The read-only circuit breaker: once a write has come back
+		// ftl.ErrReadOnly, later writes and trims are shed here instead
+		// of burning an engine round-trip each to fail identically.
+		// Reads and flushes still flow.
+		if (req.Op == workload.OpWrite || req.Op == workload.OpTrim) && ns.health.load() >= ReadOnly {
+			ns.health.shed.Add(1)
+			auxCh <- wire.Reply{Tag: cmd.Tag, Status: wire.StatusReadOnly, Payload: []byte(ftlReadOnlyMsg)}
+			continue
+		}
 		req.LSN += ns.base
 
 		// Admission: the per-connection cap, then the global budget.
 		// Blocking here stops the socket read loop — TCP backpressure.
-		connSlots <- struct{}{}
-		select {
-		case s.slots <- struct{}{}:
-		case <-s.engineDone:
-			<-connSlots
-			auxCh <- wire.Reply{Tag: cmd.Tag, Status: wire.StatusShutdown, Payload: []byte("engine stopped")}
+		// With AdmitTimeout set, a slot that does not free in time turns
+		// into RETRYABLE so the client can back off instead of wedging.
+		if !s.admit(connSlots, cmd.Tag, auxCh) {
 			continue
 		}
 
@@ -104,12 +123,14 @@ func (s *Server) handle(c net.Conn) {
 		es := host.ExtSubmission{Req: req, Done: func(hc *host.Command) {
 			lat := time.Duration(hc.Complete.Sub(hc.Arrival))
 			ns.record(op, sectors, s.sectorBytes, lat, hc.FlashBytes, hc.Err != nil)
-			rep := wire.Reply{Tag: tag, Status: wire.StatusOK, LatencyNS: uint64(lat)}
+			status, rung := classify(hc.Err)
+			ns.health.escalate(rung)
+			rep := wire.Reply{Tag: tag, Status: status, LatencyNS: uint64(lat)}
 			if hc.Err != nil {
-				rep.Status = wire.StatusErr
 				rep.Payload = []byte(hc.Err.Error())
 			}
 			ioCh <- rep // never blocks: one buffered slot per admitted command
+			s.progress.Add(1)
 			<-s.slots
 			<-connSlots
 			reqWG.Done()
@@ -133,6 +154,44 @@ func (s *Server) handle(c net.Conn) {
 	<-writerDone
 }
 
+// ftlReadOnlyMsg is the breaker's reply payload, matching what the
+// engine path reports so clients see one read-only message either way.
+var ftlReadOnlyMsg = ftl.ErrReadOnly.Error()
+
+// admit acquires the per-connection then the global admission slot,
+// sharing one AdmitTimeout budget across both. It returns false after
+// replying (RETRYABLE on timeout, SHUTTING_DOWN on engine exit) when
+// the command was not admitted.
+func (s *Server) admit(connSlots chan struct{}, tag uint64, auxCh chan<- wire.Reply) bool {
+	var timeout <-chan time.Time
+	if s.cfg.AdmitTimeout > 0 {
+		t := time.NewTimer(s.cfg.AdmitTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	refuse := func(status uint8, msg string) bool {
+		auxCh <- wire.Reply{Tag: tag, Status: status, Payload: []byte(msg)}
+		return false
+	}
+	select {
+	case connSlots <- struct{}{}:
+	case <-s.engineDone:
+		return refuse(wire.StatusShutdown, "engine stopped")
+	case <-timeout:
+		return refuse(wire.StatusRetryable, "admission timed out; retry with backoff")
+	}
+	select {
+	case s.slots <- struct{}{}:
+	case <-s.engineDone:
+		<-connSlots
+		return refuse(wire.StatusShutdown, "engine stopped")
+	case <-timeout:
+		<-connSlots
+		return refuse(wire.StatusRetryable, "admission timed out; retry with backoff")
+	}
+	return true
+}
+
 // errAdvanceRejected is the reply text for clock-advance commands on a
 // live connection.
 var errAdvanceRejected = advanceError{}
@@ -146,8 +205,10 @@ func (advanceError) Error() string {
 // connWriter streams replies to the socket, batching frames between
 // channel stalls. A connection that cannot absorb its replies within
 // the write timeout is declared dead; remaining replies are drained and
-// discarded so completion callbacks never back up.
-func (s *Server) connWriter(c net.Conn, ioCh, auxCh <-chan wire.Reply, done chan<- struct{}) {
+// discarded so completion callbacks never back up. The writer is the
+// one place every reply passes through, so it owns the downgrade to the
+// connection's negotiated status vocabulary.
+func (s *Server) connWriter(c net.Conn, version uint8, ioCh, auxCh <-chan wire.Reply, done chan<- struct{}) {
 	defer close(done)
 	bw := bufio.NewWriter(c)
 	dead := false
@@ -155,6 +216,7 @@ func (s *Server) connWriter(c net.Conn, ioCh, auxCh <-chan wire.Reply, done chan
 		if dead {
 			return
 		}
+		r.Status = wire.DowngradeStatus(version, r.Status)
 		c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		if err := wire.WriteReply(bw, r); err != nil {
 			dead = true

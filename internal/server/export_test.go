@@ -1,0 +1,7 @@
+package server
+
+import "net"
+
+// RawConn exposes a Client's underlying connection to the external test
+// package, for tests that speak wire frames directly.
+func RawConn(c *Client) net.Conn { return c.conn }

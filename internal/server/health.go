@@ -1,0 +1,196 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"espftl/internal/ftl"
+	"espftl/internal/nand"
+	"espftl/internal/wire"
+)
+
+// Health is a namespace's position in the degraded-mode ladder. The
+// machine only escalates on its own — healthy → degraded → read-only →
+// fenced — driven by the error classes completions carry; de-escalation
+// is an explicit administrative act (Server.Recover).
+type Health int32
+
+const (
+	// Healthy serves everything.
+	Healthy Health = iota
+	// Degraded serves everything but has returned I/O errors
+	// (uncorrectable reads, transient program failures); a warning
+	// state surfaced in /stats and STAT.
+	Degraded
+	// ReadOnly sheds writes and trims with StatusReadOnly before
+	// admission (the circuit breaker): the FTL's spare capacity is
+	// exhausted and every write would burn an engine round-trip to
+	// fail. Reads and flushes still flow.
+	ReadOnly
+	// Fenced sheds everything except STAT: the watchdog caught the
+	// engine stalled, or recovery was judged impossible. Fencing is what
+	// keeps one wedged tenant from hanging every other connection's
+	// admission budget.
+	Fenced
+)
+
+// String renders the health for /stats and STAT payloads.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case ReadOnly:
+		return "read-only"
+	case Fenced:
+		return "fenced"
+	}
+	return "unknown"
+}
+
+// health is the lock-free per-namespace state machine. Escalation uses
+// CAS so concurrent completions racing to report errors can only move
+// the state up the ladder, never down; reset is a plain store reserved
+// for Server.Recover.
+type health struct {
+	state atomic.Int32
+	shed  atomic.Int64 // commands refused by the breaker
+}
+
+func (h *health) load() Health { return Health(h.state.Load()) }
+
+// escalate raises the state to at least target, never lowering it.
+func (h *health) escalate(target Health) {
+	for {
+		cur := h.state.Load()
+		if cur >= int32(target) {
+			return
+		}
+		if h.state.CompareAndSwap(cur, int32(target)) {
+			return
+		}
+	}
+}
+
+// reset is the administrative de-escalation used by Server.Recover.
+func (h *health) reset(to Health) { h.state.Store(int32(to)) }
+
+// classify maps an engine completion error to the wire status a client
+// sees and the health rung the namespace escalates to. A nil error is
+// (StatusOK, Healthy) — which escalate() treats as a no-op.
+func classify(err error) (status uint8, target Health) {
+	switch {
+	case err == nil:
+		return wire.StatusOK, Healthy
+	case errors.Is(err, ftl.ErrReadOnly):
+		return wire.StatusReadOnly, ReadOnly
+	case errors.Is(err, nand.ErrUncorrectable):
+		return wire.StatusUncorrectable, Degraded
+	default:
+		return wire.StatusErr, Degraded
+	}
+}
+
+// --- Watchdog -------------------------------------------------------
+
+// watchdog detects an engine stall: commands in flight but no
+// completion progress across WatchdogStalls consecutive intervals. The
+// engine goroutine is the single thread that owns the FTL and device; a
+// submission that never completes (a wedged FTL, a deadlocked fault
+// path) therefore freezes every tenant at once, with readers blocked in
+// admission and no error ever surfacing. The watchdog turns that
+// silent hang into an explicit, observable state: it fences every
+// namespace (new commands are refused with NAMESPACE_FENCED) and marks
+// the server stalled in /stats. In-flight commands stay wedged — the
+// engine thread cannot be safely killed — but no new work joins them.
+func (s *Server) watchdog(interval time.Duration, stalls int) {
+	defer close(s.watchdogDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	lastProgress := s.progress.Load()
+	quiet := 0
+	for {
+		select {
+		case <-s.watchdogStop:
+			return
+		case <-s.engineDone:
+			return
+		case <-t.C:
+		}
+		prog := s.progress.Load()
+		if prog != lastProgress || s.Inflight() == 0 {
+			lastProgress = prog
+			quiet = 0
+			continue
+		}
+		quiet++
+		if quiet < stalls {
+			continue
+		}
+		if s.stalled.CompareAndSwap(false, true) {
+			s.progressAtFence.Store(prog)
+			for _, ns := range s.nss {
+				ns.health.escalate(Fenced)
+			}
+		}
+	}
+}
+
+// Stalled reports whether the watchdog has declared the engine stalled.
+func (s *Server) Stalled() bool { return s.stalled.Load() }
+
+// Health returns the named namespace's current health, or Fenced for an
+// unknown name (the safe answer for a namespace that cannot serve).
+func (s *Server) Health(name string) Health {
+	ns := s.lookup(name)
+	if ns == nil {
+		return Fenced
+	}
+	return ns.health.load()
+}
+
+// Recover is the administrative de-escalation path: it probes the FTL's
+// actual condition and resets the named namespace to what the device
+// can support — Healthy normally, ReadOnly when the FTL reports its
+// spare capacity is still exhausted. A namespace fenced by the watchdog
+// only recovers once the engine has made progress again (the stall
+// resolved); recovering a namespace in front of a still-wedged engine
+// would just wedge its clients anew.
+func (s *Server) Recover(name string) (Health, error) {
+	ns := s.lookup(name)
+	if ns == nil {
+		return Fenced, errUnknownNamespace(name)
+	}
+	if s.stalled.Load() {
+		// Liveness probe: the stall is resolved once the wedged commands
+		// drained or the engine has completed anything since the fence.
+		// Refusing otherwise matters because the FTL probe below takes
+		// the guard lock — the very lock a wedged engine is sitting on.
+		if s.Inflight() > 0 && s.progress.Load() == s.progressAtFence.Load() {
+			return ns.health.load(), errStillStalled{}
+		}
+		s.stalled.Store(false)
+	}
+	to := Healthy
+	if s.guard.ReadOnly() {
+		to = ReadOnly
+	}
+	ns.health.reset(to)
+	return to, nil
+}
+
+type errStillStalled struct{}
+
+func (errStillStalled) Error() string {
+	return "server: engine still stalled; cannot recover namespace"
+}
+
+func errUnknownNamespace(name string) error {
+	return errNS(name)
+}
+
+type errNS string
+
+func (e errNS) Error() string { return "server: unknown namespace " + string(e) }

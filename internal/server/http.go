@@ -15,6 +15,7 @@ type StatsPage struct {
 	Speedup     float64          `json:"speedup"`
 	Realtime    bool             `json:"realtime"`
 	Draining    bool             `json:"draining"`
+	Stalled     bool             `json:"stalled"`
 	Inflight    int              `json:"inflight"`
 	MaxInflight int              `json:"max_inflight"`
 	Conns       int              `json:"connections"`
@@ -47,6 +48,7 @@ func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
 		Speedup:     s.gate.Speedup(),
 		Realtime:    s.gate.Realtime(),
 		Draining:    s.draining.Load(),
+		Stalled:     s.stalled.Load(),
 		Inflight:    s.Inflight(),
 		MaxInflight: s.cfg.MaxInflight,
 		Conns:       conns,

@@ -1,0 +1,81 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"espftl/internal/host"
+	"espftl/internal/server"
+	"espftl/internal/wire"
+	"espftl/internal/workload"
+)
+
+// TestStatsDuringDrain holds a drain open with a stalled in-flight
+// write and checks the HTTP listener keeps answering while it lasts —
+// /stats reports Draining:true — and is shut down cleanly (connection
+// refused, not leaked) once the drain completes.
+func TestStatsDuringDrain(t *testing.T) {
+	srv, stall := stallServer(t, server.Config{
+		HTTPAddr:         "127.0.0.1:0",
+		WatchdogInterval: -1,
+	})
+	httpAddr := srv.HTTPAddr()
+
+	c, err := server.Dial(srv.Addr(), "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	stall.Arm()
+	cmd, err := wire.CmdOf(1, workload.Request{Op: workload.OpWrite, LSN: 0, Sectors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteCmd(conn(c), cmd); err != nil {
+		t.Fatal(err)
+	}
+	<-stall.Stalled()
+
+	done := make(chan *host.Report, 1)
+	go func() {
+		rep, err := srv.Shutdown()
+		if err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		done <- rep
+	}()
+
+	// The drain is blocked on the stalled write; /stats must still
+	// answer and must say so.
+	waitFor(t, 5*time.Second, "/stats to report draining", func() bool {
+		resp, err := http.Get("http://" + httpAddr + "/stats")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var page server.StatsPage
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			return false
+		}
+		return page.Draining
+	})
+
+	stall.Release()
+	select {
+	case rep := <-done:
+		if rep.Submitted != rep.Completed {
+			t.Fatalf("drain dropped commands: submitted %d completed %d", rep.Submitted, rep.Completed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never completed after the stall released")
+	}
+
+	// The HTTP listener must be gone, not leaked.
+	waitFor(t, 5*time.Second, "HTTP listener to close", func() bool {
+		_, err := http.Get("http://" + httpAddr + "/stats")
+		return err != nil
+	})
+}

@@ -25,6 +25,10 @@ type namespace struct {
 	name          string
 	base, sectors int64
 
+	// health is the tenant's degraded-mode state machine; lock-free so
+	// completions escalate and readers shed without touching mu.
+	health health
+
 	mu             sync.Mutex
 	reads, writes  int64
 	trims, flushes int64
@@ -108,6 +112,8 @@ type NamespaceStats struct {
 	Name           string         `json:"name"`
 	BaseSector     int64          `json:"base_sector"`
 	Sectors        int64          `json:"sectors"`
+	Health         string         `json:"health"`
+	ShedCommands   int64          `json:"shed_commands"`
 	Reads          int64          `json:"reads"`
 	Writes         int64          `json:"writes"`
 	Trims          int64          `json:"trims"`
@@ -130,6 +136,8 @@ func (n *namespace) snapshot() NamespaceStats {
 		Name:           n.name,
 		BaseSector:     n.base,
 		Sectors:        n.sectors,
+		Health:         n.health.load().String(),
+		ShedCommands:   n.health.shed.Load(),
 		Reads:          n.reads,
 		Writes:         n.writes,
 		Trims:          n.trims,

@@ -37,6 +37,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -92,6 +93,20 @@ type Config struct {
 	// dead and drained without blocking the engine (default 5s).
 	WriteTimeout time.Duration
 
+	// AdmitTimeout bounds how long a reader waits for an admission slot
+	// before answering RETRYABLE instead; 0 blocks forever (pure TCP
+	// backpressure, the pre-degraded-mode behavior).
+	AdmitTimeout time.Duration
+
+	// WatchdogInterval is the engine-stall watchdog's sampling period
+	// (default 1s; negative disables). WatchdogStalls consecutive
+	// samples with commands in flight but no completion progress fence
+	// every namespace (default 5). Raise the interval when pacing with
+	// a large slow-down factor: a legitimately gated command must
+	// complete within Interval×Stalls of wall time.
+	WatchdogInterval time.Duration
+	WatchdogStalls   int
+
 	// Device, FTL and LogicalSectors, when set together, serve this
 	// pre-built stack instead of assembling one — the hook tests use to
 	// serve a device with an armed fault injector or a crash survivor.
@@ -127,6 +142,12 @@ func (c Config) withDefaults() Config {
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 5 * time.Second
 	}
+	if c.WatchdogInterval == 0 {
+		c.WatchdogInterval = time.Second
+	}
+	if c.WatchdogStalls == 0 {
+		c.WatchdogStalls = 5
+	}
 	return c
 }
 
@@ -160,6 +181,14 @@ type Server struct {
 
 	draining atomic.Bool
 	served   atomic.Bool
+
+	// progress counts completions; the watchdog samples it to tell a
+	// stalled engine (inflight > 0, progress frozen) from an idle one.
+	progress        atomic.Uint64
+	progressAtFence atomic.Uint64
+	stalled         atomic.Bool
+	watchdogStop    chan struct{}
+	watchdogDone    chan struct{}
 }
 
 // New assembles the device stack and carves the namespaces; Serve
@@ -262,6 +291,11 @@ func (s *Server) Serve() error {
 		s.rep, s.engineErr = rep, err
 		close(s.engineDone)
 	}()
+	if s.cfg.WatchdogInterval > 0 {
+		s.watchdogStop = make(chan struct{})
+		s.watchdogDone = make(chan struct{})
+		go s.watchdog(s.cfg.WatchdogInterval, s.cfg.WatchdogStalls)
+	}
 	go s.acceptLoop()
 	return nil
 }
@@ -318,6 +352,12 @@ func (s *Server) Shutdown() (*host.Report, error) {
 		return s.rep, s.engineErr
 	}
 	s.ln.Close()
+	if s.watchdogStop != nil {
+		// The drain waits for in-flight commands below; a paced tail
+		// must not be mistaken for a stall and fenced mid-drain.
+		close(s.watchdogStop)
+		<-s.watchdogDone
+	}
 	s.connMu.Lock()
 	for c := range s.conns {
 		// Readers blocked in ReadCmd wake with a deadline error; readers
@@ -329,7 +369,12 @@ func (s *Server) Shutdown() (*host.Report, error) {
 	close(s.sub)
 	<-s.engineDone
 	if s.httpSv != nil {
-		s.httpSv.Close()
+		// Graceful HTTP teardown: in-flight /stats and /metrics requests
+		// (a drain-watcher polling for Draining:true, say) finish before
+		// the listener dies; laggards are cut at the timeout.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		s.httpSv.Shutdown(ctx)
+		cancel()
 	}
 	return s.rep, s.engineErr
 }

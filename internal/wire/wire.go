@@ -27,8 +27,15 @@ import (
 	"espftl/internal/workload"
 )
 
-// Version is the protocol version byte carried in the handshake.
-const Version = 1
+// Version is the newest protocol version this package speaks. Version 2
+// added the typed degraded-mode reply statuses (READ_ONLY, UNCORRECTABLE,
+// NAMESPACE_FENCED, RETRYABLE); the frame layouts are unchanged, so the
+// handshake negotiates down to MinVersion and the server downgrades
+// status codes a version-1 peer would not recognize.
+const Version = 2
+
+// MinVersion is the oldest handshake version still accepted.
+const MinVersion = 1
 
 // MaxFrame bounds any frame body; larger lengths indicate a corrupt or
 // hostile stream and are rejected before allocation.
@@ -80,16 +87,75 @@ func (o Op) String() string {
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
 
-// Reply status codes.
+// Reply status codes. The first three are the version-1 vocabulary;
+// version 2 added the degraded-mode statuses below them, so a failure
+// reaches clients as typed data instead of an opaque error string or a
+// dropped connection.
 const (
 	// StatusOK acknowledges a completed command; for STAT the payload is
 	// the namespace's JSON snapshot.
 	StatusOK uint8 = 0
 	// StatusErr reports a failed command; the payload is the error text.
 	StatusErr uint8 = 1
-	// StatusShutdown rejects a command submitted while the server drains.
+	// StatusShutdown rejects a command submitted while the server drains
+	// (SHUTTING_DOWN): reconnecting is pointless, drain and exit.
 	StatusShutdown uint8 = 2
+	// StatusReadOnly rejects a write because the device has degraded to
+	// read-only service (spare capacity exhausted by grown bad blocks).
+	// Reads keep working; writes will keep failing until an operator
+	// intervenes.
+	StatusReadOnly uint8 = 3
+	// StatusUncorrectable reports a read whose raw bit error rate
+	// exceeded the ECC correction capability even after read-retry: the
+	// sector's data is lost. Retrying the same read will not help.
+	StatusUncorrectable uint8 = 4
+	// StatusFenced rejects a command because the namespace has been
+	// fenced — the engine watchdog detected a stall, or an operator
+	// fenced it — and stays fenced until recovered server-side.
+	StatusFenced uint8 = 5
+	// StatusRetryable reports a transient refusal (admission budget
+	// exhausted within the configured wait, recovery in progress): the
+	// client should back off and resend the same command.
+	StatusRetryable uint8 = 6
 )
+
+// statusNames indexes the status vocabulary for tooling and errors.
+var statusNames = [...]string{
+	StatusOK:            "OK",
+	StatusErr:           "ERROR",
+	StatusShutdown:      "SHUTTING_DOWN",
+	StatusReadOnly:      "READ_ONLY",
+	StatusUncorrectable: "UNCORRECTABLE",
+	StatusFenced:        "NAMESPACE_FENCED",
+	StatusRetryable:     "RETRYABLE",
+}
+
+// StatusName names a reply status for reports and errors.
+func StatusName(s uint8) string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("Status(%d)", s)
+}
+
+// KnownStatus reports whether s is part of the typed vocabulary — the
+// chaos harness's invariant that no untyped status ever reaches a client.
+func KnownStatus(s uint8) bool { return int(s) < len(statusNames) }
+
+// Retryable reports whether a status invites the client to back off and
+// resend the same command.
+func Retryable(s uint8) bool { return s == StatusRetryable }
+
+// DowngradeStatus maps a status onto the vocabulary of the negotiated
+// handshake version: a version-1 peer receives the nearest status it
+// understands (SHUTTING_DOWN survives; every other degraded-mode status
+// collapses to ERROR, with the payload text still carrying the detail).
+func DowngradeStatus(version uint8, s uint8) uint8 {
+	if version >= 2 || s <= StatusShutdown {
+		return s
+	}
+	return StatusErr
+}
 
 // Cmd is one decoded command frame. Arg is the namespace-relative LSN for
 // I/O commands and the idle gap in nanoseconds for ADVANCE.
@@ -240,9 +306,11 @@ func ReadReply(r io.Reader) (Reply, error) {
 	return rep, nil
 }
 
-// Hello is the client's handshake: the namespace it wants to attach to.
+// Hello is the client's handshake: the namespace it wants to attach to
+// and the protocol version it speaks (zero means the current Version).
 type Hello struct {
-	NS string
+	NS      string
+	Version uint8
 }
 
 // WriteHello writes the framed client handshake.
@@ -250,14 +318,20 @@ func WriteHello(w io.Writer, h Hello) error {
 	if len(h.NS) > 255 {
 		return fmt.Errorf("wire: namespace name of %d bytes (max 255)", len(h.NS))
 	}
+	v := h.Version
+	if v == 0 {
+		v = Version
+	}
 	body := make([]byte, 0, 6+len(h.NS))
 	body = append(body, helloMagic[:]...)
-	body = append(body, Version, byte(len(h.NS)))
+	body = append(body, v, byte(len(h.NS)))
 	body = append(body, h.NS...)
 	return writeFrame(w, body)
 }
 
-// ReadHello reads and validates the client handshake.
+// ReadHello reads and validates the client handshake, accepting any
+// version in [MinVersion, Version]; the caller serves the connection at
+// the returned version.
 func ReadHello(r io.Reader) (Hello, error) {
 	body, err := readFrame(r)
 	if err != nil {
@@ -266,21 +340,25 @@ func ReadHello(r io.Reader) (Hello, error) {
 	if len(body) < 6 || [4]byte(body[:4]) != helloMagic {
 		return Hello{}, fmt.Errorf("wire: not an espserved handshake")
 	}
-	if body[4] != Version {
-		return Hello{}, fmt.Errorf("wire: protocol version %d (want %d)", body[4], Version)
+	if body[4] < MinVersion || body[4] > Version {
+		return Hello{}, fmt.Errorf("wire: protocol version %d (want %d..%d)", body[4], MinVersion, Version)
 	}
 	n := int(body[5])
 	if len(body) != 6+n {
 		return Hello{}, fmt.Errorf("wire: handshake length mismatch")
 	}
-	return Hello{NS: string(body[6:])}, nil
+	return Hello{NS: string(body[6:]), Version: body[4]}, nil
 }
 
 // Welcome is the server's handshake reply: the namespace geometry and the
 // connection's admission limits. A non-zero Status refuses the
-// connection with Err as the reason.
+// connection with Err as the reason. Version echoes the negotiated
+// protocol version (the minimum of the client's Hello and the server's
+// Version; zero on write means the current Version), so an old client
+// sees its own version byte and decodes the reply unchanged.
 type Welcome struct {
 	Status      uint8
+	Version     uint8
 	SectorBytes uint32
 	PageSectors uint32
 	MaxInflight uint32
@@ -293,9 +371,13 @@ func WriteWelcome(w io.Writer, wl Welcome) error {
 	if len(wl.Err) > 255 {
 		wl.Err = wl.Err[:255]
 	}
+	v := wl.Version
+	if v == 0 {
+		v = Version
+	}
 	body := make([]byte, 0, 4+1+1+4+4+4+8+1+len(wl.Err))
 	body = append(body, helloMagic[:]...)
-	body = append(body, Version, wl.Status)
+	body = append(body, v, wl.Status)
 	body = binary.BigEndian.AppendUint32(body, wl.SectorBytes)
 	body = binary.BigEndian.AppendUint32(body, wl.PageSectors)
 	body = binary.BigEndian.AppendUint32(body, wl.MaxInflight)
@@ -314,10 +396,11 @@ func ReadWelcome(r io.Reader) (Welcome, error) {
 	if len(body) < 27 || [4]byte(body[:4]) != helloMagic {
 		return Welcome{}, fmt.Errorf("wire: not an espserved handshake reply")
 	}
-	if body[4] != Version {
-		return Welcome{}, fmt.Errorf("wire: protocol version %d (want %d)", body[4], Version)
+	if body[4] < MinVersion || body[4] > Version {
+		return Welcome{}, fmt.Errorf("wire: protocol version %d (want %d..%d)", body[4], MinVersion, Version)
 	}
 	wl := Welcome{
+		Version:     body[4],
 		Status:      body[5],
 		SectorBytes: binary.BigEndian.Uint32(body[6:]),
 		PageSectors: binary.BigEndian.Uint32(body[10:]),

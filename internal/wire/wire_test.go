@@ -94,11 +94,11 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.NS != "tenant-a" {
-		t.Fatalf("namespace: got %q", h.NS)
+	if h.NS != "tenant-a" || h.Version != Version {
+		t.Fatalf("hello: got %+v", h)
 	}
 
-	wl := Welcome{SectorBytes: 4096, PageSectors: 4, MaxInflight: 32, Sectors: 1 << 20}
+	wl := Welcome{Version: Version, SectorBytes: 4096, PageSectors: 4, MaxInflight: 32, Sectors: 1 << 20}
 	buf.Reset()
 	if err := WriteWelcome(&buf, wl); err != nil {
 		t.Fatal(err)
@@ -122,6 +122,89 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	}
 	if got.Status != StatusErr || got.Err != refuse.Err {
 		t.Fatalf("refusal round trip: got %+v", got)
+	}
+}
+
+// TestHandshakeVersionNegotiation: a version-1 Hello still decodes (the
+// server serves the connection at version 1), a Welcome echoing version 1
+// round-trips, and a version from the future is refused.
+func TestHandshakeVersionNegotiation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, Hello{NS: "old", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHello(&buf)
+	if err != nil {
+		t.Fatalf("version-1 hello refused: %v", err)
+	}
+	if h.Version != 1 || h.NS != "old" {
+		t.Fatalf("version-1 hello: got %+v", h)
+	}
+
+	buf.Reset()
+	wl := Welcome{Version: 1, SectorBytes: 4096, PageSectors: 4, MaxInflight: 8, Sectors: 4096}
+	if err := WriteWelcome(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWelcome(&buf)
+	if err != nil {
+		t.Fatalf("version-1 welcome refused: %v", err)
+	}
+	if got != wl {
+		t.Fatalf("version-1 welcome: sent %+v, got %+v", wl, got)
+	}
+
+	buf.Reset()
+	if err := WriteHello(&buf, Hello{NS: "future", Version: Version + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHello(&buf); err == nil {
+		t.Fatal("hello from the future accepted")
+	}
+}
+
+// TestStatusVocabulary pins the typed status surface: names, the known
+// set, and the downgrade map an old connection sees.
+func TestStatusVocabulary(t *testing.T) {
+	all := []uint8{StatusOK, StatusErr, StatusShutdown, StatusReadOnly,
+		StatusUncorrectable, StatusFenced, StatusRetryable}
+	names := map[uint8]string{
+		StatusOK:            "OK",
+		StatusErr:           "ERROR",
+		StatusShutdown:      "SHUTTING_DOWN",
+		StatusReadOnly:      "READ_ONLY",
+		StatusUncorrectable: "UNCORRECTABLE",
+		StatusFenced:        "NAMESPACE_FENCED",
+		StatusRetryable:     "RETRYABLE",
+	}
+	for _, s := range all {
+		if !KnownStatus(s) {
+			t.Errorf("status %d not known", s)
+		}
+		if StatusName(s) != names[s] {
+			t.Errorf("StatusName(%d) = %q, want %q", s, StatusName(s), names[s])
+		}
+	}
+	if KnownStatus(200) || StatusName(200) != "Status(200)" {
+		t.Errorf("unknown status handling: known=%v name=%q", KnownStatus(200), StatusName(200))
+	}
+	if !Retryable(StatusRetryable) || Retryable(StatusReadOnly) {
+		t.Error("Retryable misclassifies")
+	}
+
+	// Version 2 passes everything through; version 1 keeps the original
+	// vocabulary and collapses the rest to ERROR.
+	for _, s := range all {
+		if got := DowngradeStatus(2, s); got != s {
+			t.Errorf("v2 downgrade changed %s to %s", StatusName(s), StatusName(got))
+		}
+		want := s
+		if s > StatusShutdown {
+			want = StatusErr
+		}
+		if got := DowngradeStatus(1, s); got != want {
+			t.Errorf("v1 downgrade of %s = %s, want %s", StatusName(s), StatusName(got), StatusName(want))
+		}
 	}
 }
 
