@@ -9,6 +9,8 @@ import (
 
 	"espftl/internal/buffer"
 	"espftl/internal/experiment"
+	"espftl/internal/ftl/cgm"
+	"espftl/internal/gc"
 	"espftl/internal/mapping"
 	"espftl/internal/nand"
 	"espftl/internal/sim"
@@ -71,6 +73,10 @@ func BenchmarkAblationFaultRecovery(b *testing.B) { benchFigure(b, experiment.Ab
 // arbitration grid and reports tail latency.
 func BenchmarkAblationScheduler(b *testing.B) { benchFigure(b, experiment.AblationScheduler) }
 
+// BenchmarkAblationGCPolicy sweeps GC victim policy × queue depth and
+// reports read tail latency and WAF under sustained write pressure.
+func BenchmarkAblationGCPolicy(b *testing.B) { benchFigure(b, experiment.AblationGCPolicy) }
+
 // BenchmarkExtSubpageRead measures the §7 subpage-read extension.
 func BenchmarkExtSubpageRead(b *testing.B) { benchFigure(b, experiment.ExtSubpageRead) }
 
@@ -122,6 +128,61 @@ func BenchmarkFTLWrite(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkGCStep measures one bounded incremental collection step —
+// victim selection over the per-block view plus up to StepPages page
+// relocations — on a page-mapped store whose blocks are half invalid.
+func BenchmarkGCStep(b *testing.B) {
+	mk := func() *cgm.FTL {
+		cfg := nand.DefaultConfig()
+		cfg.Geometry = Geometry{
+			Channels: 8, ChipsPerChannel: 4, BlocksPerChip: 16,
+			PagesPerBlock: 32, SubpagesPerPage: 4, SubpageBytes: 4096,
+		}
+		dev, err := nand.NewDevice(cfg, sim.NewClock(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := dev.Geometry()
+		ps := int64(g.SubpagesPerPage)
+		logical := int64(float64(g.TotalSubpages())*0.50) / ps * ps
+		f, err := cgm.New(dev, cgm.Config{
+			LogicalSectors:  logical,
+			GCReserveBlocks: g.Chips() + 4,
+			// Slack above the block count makes every Tick run one step
+			// regardless of pool pressure: the loop measures the step
+			// machinery, not the trigger heuristics.
+			GC: gc.Options{Policy: "greedy", StepPages: 8, BackgroundSlack: g.TotalBlocks()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Fill the logical space, then overwrite every other page, so the
+		// collector always finds half-valid victims with real copy work.
+		for pass := int64(1); pass <= 2; pass++ {
+			for lsn := int64(0); lsn < logical; lsn += ps * pass {
+				if err := f.Write(lsn, int(ps), false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		return f
+	}
+	f := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Long runs wear the small drive out (steps erase blocks); swap in
+		// a fresh pressured drive periodically, off the clock.
+		if i > 0 && i%10000 == 0 {
+			b.StopTimer()
+			f = mk()
+			b.StartTimer()
+		}
+		if err := f.Tick(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -40,6 +40,9 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "global in-flight budget across connections")
 	tick := flag.Int("tick", 64, "host-scheduler event-loop tick granularity")
 	arb := flag.String("arb", "fifo", "host-scheduler arbitration: fifo or read-priority")
+	gcPolicy := flag.String("gc-policy", "greedy", "GC victim policy: greedy, cost-benefit or windowed")
+	gcStep := flag.Int("gc-step", 0, "pages copied per GC collection step (0 = whole-block drains)")
+	gcBg := flag.Int("gc-bg", 0, "background-GC slack in free blocks above the reserve (0 = foreground-only GC)")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "per-flush reply deadline before a client is declared dead")
 	admitTimeout := flag.Duration("admit-timeout", 0, "admission wait before a command is refused RETRYABLE (0 = wait forever)")
 	watchdog := flag.Duration("watchdog", time.Second, "engine watchdog sampling interval (negative = off)")
@@ -51,21 +54,24 @@ func main() {
 		fatal(err)
 	}
 	cfg := server.Config{
-		Addr:             *addr,
-		HTTPAddr:         *httpAddr,
-		FTLKind:          *ftlName,
-		LogicalFrac:      *logicalFrac,
-		PreconditionFrac: *precondition,
-		Speedup:          *speedup,
-		Namespaces:       specs,
-		PerConnInflight:  *connInflight,
-		MaxInflight:      *maxInflight,
-		TickEvery:        *tick,
-		Arbitration:      *arb,
-		WriteTimeout:     *writeTimeout,
-		AdmitTimeout:     *admitTimeout,
-		WatchdogInterval: *watchdog,
-		WatchdogStalls:   *watchdogStalls,
+		Addr:              *addr,
+		HTTPAddr:          *httpAddr,
+		FTLKind:           *ftlName,
+		LogicalFrac:       *logicalFrac,
+		PreconditionFrac:  *precondition,
+		Speedup:           *speedup,
+		Namespaces:        specs,
+		PerConnInflight:   *connInflight,
+		MaxInflight:       *maxInflight,
+		TickEvery:         *tick,
+		Arbitration:       *arb,
+		GCPolicy:          *gcPolicy,
+		GCStepPages:       *gcStep,
+		GCBackgroundSlack: *gcBg,
+		WriteTimeout:      *writeTimeout,
+		AdmitTimeout:      *admitTimeout,
+		WatchdogInterval:  *watchdog,
+		WatchdogStalls:    *watchdogStalls,
 	}
 	if *full {
 		cfg.Geometry = experiment.ExperimentGeometry

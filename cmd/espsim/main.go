@@ -53,6 +53,9 @@ func main() {
 	faultProgram := flag.Float64("fault-program", -1, "program-failure probability per program op (-1 = profile default)")
 	faultErase := flag.Float64("fault-erase", -1, "erase-failure probability per erase op (-1 = profile default)")
 	faultFactory := flag.Float64("fault-factory", -1, "factory-bad block fraction (-1 = profile default)")
+	gcPolicy := flag.String("gc-policy", "greedy", "GC victim policy: greedy, cost-benefit or windowed")
+	gcStep := flag.Int("gc-step", 0, "pages copied per GC collection step (0 = whole-block drains)")
+	gcBg := flag.Int("gc-bg", 0, "background-GC slack in free blocks above the reserve (0 = foreground-only GC)")
 	qd := flag.Int("qd", 0, "closed-loop queue depth; > 0 runs the host scheduler (1 = serial-equivalent)")
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s; > 0 runs the host scheduler (overrides -qd)")
 	queues := flag.Int("queues", 1, "submission-queue lanes for the host scheduler")
@@ -89,6 +92,9 @@ func main() {
 		Seed:              *seed,
 		SubRegionFrac:     *subFrac,
 		EnableSubpageRead: *subread,
+		GCPolicy:          *gcPolicy,
+		GCStepPages:       *gcStep,
+		GCBackgroundSlack: *gcBg,
 		QueueDepth:        *qd,
 		ArrivalRate:       *rate,
 		NumQueues:         *queues,
@@ -240,6 +246,10 @@ func main() {
 	fmt.Printf("  host writes/reads %d / %d (small writes %d)\n", s.HostWriteReqs, s.HostReadReqs, s.SmallWriteReqs)
 	fmt.Printf("  request WAF       %.3f   overall WAF %.3f\n", s.AvgRequestWAF(), s.OverallWAF())
 	fmt.Printf("  GC invocations    %d (moved %d sectors)   erases %d\n", s.GCInvocations, s.GCMovedSectors, s.Device.Erases)
+	if s.GCSteps > 0 {
+		fmt.Printf("  GC engine         %s policy: %d steps, %d pages copied, %d preemptions\n",
+			s.GCPolicy, s.GCSteps, s.GCPagesCopied, s.GCPreemptions)
+	}
 	fmt.Printf("  RMW ops           %d\n", s.RMWOps)
 	if res.Kind == experiment.KindSub {
 		fmt.Printf("  subFTL: shifts %d  advances %d  evictions %d  retention moves %d  reclaims %d\n",

@@ -18,12 +18,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"espftl/internal/buffer"
 	"espftl/internal/ftl"
 	"espftl/internal/ftl/fullpage"
+	"espftl/internal/gc"
 	"espftl/internal/mapping"
 	"espftl/internal/nand"
 	"espftl/internal/sim"
@@ -57,6 +59,10 @@ type Config struct {
 	// DisableRetention turns off the retention manager. Used by failure-
 	// injection tests that demonstrate why it must exist.
 	DisableRetention bool
+	// GC selects the victim policy, step budget and background slack for
+	// both regions' collectors. The zero value (greedy, whole-block, no
+	// background) is the legacy behaviour.
+	GC gc.Options
 }
 
 // DefaultConfig fills in the paper's parameters for a given logical space.
@@ -116,11 +122,19 @@ type FTL struct {
 	gcDest    nand.BlockID // persistent GC destination block (round 0)
 	gcDestSet bool
 
-	// collecting marks the subpage-GC victim currently being drained, so
-	// reentrant reclaim (via evictions into the full-page region) cannot
-	// recycle and re-allocate it mid-scan.
-	collecting    nand.BlockID
-	collectingSet bool
+	// subCol drives region GC incrementally; its in-flight victim is what
+	// keeps reentrant reclaim (via evictions into the full-page region)
+	// from recycling and re-allocating the block being drained mid-scan.
+	subCol *gc.Collector
+	// gcPage / gcEvictAll checkpoint the in-flight victim's scan position
+	// and pressure-valve verdict across preempted collection steps.
+	gcPage     int
+	gcEvictAll bool
+	gcSlack    int
+	// gcDebt paces the incremental write tax's region pre-drain: subpages
+	// written to the region since the last paced step (capped so an idle
+	// stretch cannot bank an unbounded burst of collection).
+	gcDebt int
 
 	buf       *buffer.Aligned
 	pageSecs  int
@@ -172,7 +186,13 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 		subQuota:  subQuota,
 		buf:       buffer.NewAligned(g.SubpagesPerPage, cfg.BufferSectors),
 		pageSecs:  g.SubpagesPerPage,
+		gcSlack:   cfg.GC.BackgroundSlack,
 	}
+	pol, err := gc.NewPolicy(cfg.GC)
+	if err != nil {
+		return nil, err
+	}
+	f.subCol = gc.NewCollector(pol, cfg.GC.StepPages)
 	stripe := g.Chips()
 	if cap := subQuota / 3; stripe > cap {
 		stripe = cap
@@ -194,6 +214,9 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 		return nil, err
 	}
 	f.full = store
+	if err := store.SetGC(cfg.GC); err != nil {
+		return nil, err
+	}
 	store.SetReclaim(f.reclaimEmptySubBlock)
 	// Degrade to read-only once grown-bad blocks eat the spare capacity
 	// down to the minimum the FTL needs to keep writing: enough blocks for
@@ -221,7 +244,7 @@ func (f *FTL) reclaimEmptySubBlock() bool {
 		if (f.gcDestSet && id == f.gcDest) || f.isActive(id) {
 			continue
 		}
-		if f.collectingSet && id == f.collecting {
+		if f.subCol.InFlight(id) {
 			continue
 		}
 		if err := f.man.Recycle(id); err != nil {
@@ -300,6 +323,13 @@ func (f *FTL) dropFullCopy(lsn int64) {
 // writes go straight to the subpage region; small async writes stage in
 // the aligned buffer hoping to merge into full pages.
 func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
+	if err := f.write(lsn, sectors, sync); err != nil {
+		return err
+	}
+	return f.payGC()
+}
+
+func (f *FTL) write(lsn int64, sectors int, sync bool) error {
 	if err := f.ver.CheckRange(lsn, sectors); err != nil {
 		return err
 	}
@@ -461,25 +491,105 @@ func (f *FTL) Flush() error {
 			return err
 		}
 	}
+	return f.payGC()
+}
+
+// payGC is the incremental write tax: with a budgeted collector, each
+// host write settles at most one bounded collection step of whichever
+// debt is due — a preempted region victim first (it pins a block
+// mid-drain), then the free pool when it is at or below the reserve,
+// then the subpage region's paced pre-drain. Region GC has no pool
+// watermark to key on (its foreground trigger is running out of
+// advanceable rounds, which flickers with every host overwrite), so its
+// debt is paced by consumption instead: at quota, every subpage written
+// eventually costs one GC visit, and the tax keeps collection that far
+// ahead. Legacy (unbudgeted) configurations pay nothing here and keep
+// their whole-block foreground drains bit-for-bit.
+func (f *FTL) payGC() error {
+	if !f.subCol.Budgeted() {
+		return nil
+	}
+	if f.subCol.Active() {
+		return f.stepSubGC()
+	}
+	if f.man.FreeCount() <= f.cfg.GCReserveBlocks {
+		if _, err := f.full.StepOnce(); err != nil {
+			if errors.Is(err, gc.ErrNoVictim) {
+				// The spare space lives in the subpage region.
+				return f.stepSubGC()
+			}
+			return err
+		}
+		return nil
+	}
+	if f.subBlocks >= f.subQuota && f.gcDebt >= f.cfg.GC.StepPages {
+		f.gcDebt -= f.cfg.GC.StepPages
+		return f.stepSubGC()
+	}
 	return nil
 }
 
-// Tick implements ftl.FTL: run the retention manager when due.
+// Tick implements ftl.FTL: run the retention manager when due, then — with
+// background GC slack configured — one bounded collection step whenever
+// the free pool is within the slack of the out-of-space reserve or a
+// preempted victim is pending. The pool is the right pressure signal:
+// region-round exhaustion flickers with every host overwrite, so
+// pre-draining on it only sacrifices open blocks' remaining rounds.
+// Ticks are background-class commands in the host scheduler, so these
+// steps yield to pending host reads.
 func (f *FTL) Tick() error {
-	if f.cfg.DisableRetention {
+	if !f.cfg.DisableRetention {
+		now := f.dev.Clock().Now()
+		if now.Sub(f.lastScrub) >= f.cfg.ScrubInterval {
+			f.lastScrub = now
+			if err := f.scrubRetention(now); err != nil {
+				return err
+			}
+		}
+	}
+	if f.gcSlack <= 0 {
 		return nil
 	}
-	now := f.dev.Clock().Now()
-	if now.Sub(f.lastScrub) < f.cfg.ScrubInterval {
+	// A preempted region victim pins its block mid-drain: finish it first.
+	if f.subCol.Active() {
+		return f.stepSubGC()
+	}
+	col := f.full.Collector()
+	if !col.Active() && f.man.FreeCount() > f.cfg.GCReserveBlocks+f.gcSlack {
 		return nil
 	}
-	f.lastScrub = now
-	return f.scrubRetention(now)
+	if _, err := f.full.StepOnce(); err != nil {
+		if errors.Is(err, gc.ErrNoVictim) {
+			// The spare space lives in the subpage region: step its
+			// collector instead.
+			return f.stepSubGC()
+		}
+		return err
+	}
+	return nil
+}
+
+// stepSubGC runs one budgeted region-GC step, swallowing "nothing
+// collectable" — not an error for opportunistic background work. The
+// open-victim fallback is enabled: region blocks only reach StateFull
+// after exhausting every round, so most drains sacrifice an open block's
+// remaining rounds — and Tick only steps here when a foreground drain
+// that would pick the same victim is at most gcSlack refills away.
+func (f *FTL) stepSubGC() error {
+	if _, err := f.subCol.Step(&subTarget{f: f, fb: true}); err != nil && !errors.Is(err, gc.ErrNoVictim) {
+		return err
+	}
+	return nil
 }
 
 // Stats implements ftl.FTL.
 func (f *FTL) Stats() ftl.Stats {
 	s := f.stats
+	col := f.full.Collector()
+	s.GCSteps = col.Steps() + f.subCol.Steps()
+	s.GCPagesCopied = col.PagesCopied() + f.subCol.PagesCopied()
+	s.GCPreemptions = col.Preemptions() + f.subCol.Preemptions()
+	s.GCPolicy = col.PolicyName()
 	s.MappingBytes = f.full.MappingBytes() + f.hash.MemoryBytes()
 	s.SectorBytes = int64(f.dev.Geometry().SubpageBytes)
 	s.GrownBadBlocks = int64(f.man.BadCount())

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"espftl/internal/ftl"
+	"espftl/internal/gc"
 	"espftl/internal/mapping"
 	"espftl/internal/nand"
 )
@@ -197,7 +198,7 @@ func (f *FTL) pickAdvance(preferChip int) (nand.BlockID, bool) {
 		if f.gcDestSet && id == f.gcDest {
 			continue
 		}
-		if f.isActive(id) {
+		if f.isActive(id) || f.subCol.InFlight(id) {
 			continue
 		}
 		if f.meta[b].round >= f.pageSecs-1 {
@@ -238,7 +239,7 @@ func (f *FTL) pickOpenVictim() (nand.BlockID, bool) {
 		if !f.meta[b].inUse || f.man.State(id) != ftl.StateOpen {
 			continue
 		}
-		if (f.gcDestSet && id == f.gcDest) || f.isActive(id) {
+		if (f.gcDestSet && id == f.gcDest) || f.isActive(id) || f.subCol.InFlight(id) {
 			continue
 		}
 		if v := f.man.Valid(id); v < bestValid {
@@ -469,6 +470,11 @@ func (f *FTL) allocSubBlock(chip int) (nand.BlockID, error) {
 // several subpages at once). attrPerSector is the per-sector small-write
 // flash attribution.
 func (f *FTL) subWriteRun(lsns []int64, attrPerSector int64) error {
+	// Accrue write-tax debt: at quota every subpage written eventually
+	// costs region GC one visit. The cap bounds post-idle step bursts.
+	if f.gcDebt += len(lsns); f.gcDebt > 4*f.cfg.GC.StepPages {
+		f.gcDebt = 4 * f.cfg.GC.StepPages
+	}
 	guard := 2*f.subQuota*f.dev.Geometry().SubpagesPerBlock() + 64
 	for len(lsns) > 0 {
 		n, err := f.subPass(lsns, attrPerSector)
@@ -601,62 +607,111 @@ func (f *FTL) gcMoveGroup(survs []survivor, pageStamps []nand.Stamp) error {
 	return nil
 }
 
-// collectSubOnce performs one subpage-region GC pass (paper §4.2): take
-// the terminally exhausted block with the fewest valid subpages; subpages
-// that were updated at least once since entering the region are hot and
-// move to the GC destination block, never-updated ones are cold and are
-// evicted to the full-page region; then erase the victim.
+// collectSubOnce performs one whole subpage-region GC collection (paper
+// §4.2) through the region collector: take the terminally exhausted block
+// with the fewest valid subpages (or, failing that, the fullest-free open
+// block, sacrificing its remaining rounds); subpages that were updated at
+// least once since entering the region are hot and move to the GC
+// destination block, never-updated ones are cold and are evicted to the
+// full-page region; then erase the victim. A background-preempted victim
+// is resumed and finished first.
 func (f *FTL) collectSubOnce() error {
-	victim, ok := f.man.Victim(ftl.RoleSub, nil)
-	if !ok {
-		// No terminally exhausted block: reclaim the fullest-free open
-		// block instead, sacrificing its remaining rounds.
-		victim, ok = f.pickOpenVictim()
+	if err := f.subCol.Collect(&subTarget{f: f, fb: true}); err != nil {
+		if errors.Is(err, gc.ErrNoVictim) {
+			return fmt.Errorf("core: subpage GC has no victim (%d region blocks, %d free)", f.subBlocks, f.man.FreeCount())
+		}
+		return err
 	}
-	if !ok {
-		return fmt.Errorf("core: subpage GC has no victim (%d region blocks, %d free)", f.subBlocks, f.man.FreeCount())
+	return nil
+}
+
+// subTarget adapts the subpage region to the collector's Target: one Work
+// call relocates one victim page's survivors (the collector's page-scale
+// work unit). fb enables the open-block fallback — foreground collection
+// must reclaim something, background stepping must not sacrifice an open
+// block's remaining rounds.
+type subTarget struct {
+	f  *FTL
+	fb bool
+}
+
+// View exposes the full (terminally exhausted) subpage-region blocks to
+// the victim policy, excluding any in-flight victim.
+func (t *subTarget) View() gc.View {
+	f := t.f
+	return f.man.GCView(ftl.RoleSub, f.dev.Geometry().SubpagesPerBlock(), f.subCol.InFlight)
+}
+
+// Fallback reclaims the fullest-free open block when no block is
+// terminally exhausted (foreground only).
+func (t *subTarget) Fallback() (nand.BlockID, bool) {
+	if !t.fb {
+		return 0, false
 	}
+	return t.f.pickOpenVictim()
+}
+
+// Begin checkpoints a fresh victim: reset the page cursor and take the
+// pressure-valve verdict once, so preempted steps resume consistently.
+// A victim with most slots still valid means the region is saturated with
+// data the host is not invalidating fast enough; keeping it would make GC
+// a pure rotation, so everything in such victims is evicted and the
+// region always converges to its hot core.
+func (t *subTarget) Begin(b nand.BlockID) {
+	f := t.f
 	f.stats.GCInvocations++
-	f.collecting, f.collectingSet = victim, true
-	defer func() { f.collectingSet = false }()
+	f.gcPage = 0
+	f.gcEvictAll = f.man.Valid(b) > f.dev.Geometry().SubpagesPerBlock()/2
+}
+
+// Work relocates the survivors of the victim's next occupied page. Pages
+// with no survivors are skipped free of budget; the cursor advances only
+// after a page fully relocates, so an error-side retry reprocesses the
+// remaining survivors of the same page.
+func (t *subTarget) Work(victim nand.BlockID) (int, bool, error) {
+	f := t.f
 	g := f.dev.Geometry()
-	// Pressure valve: a victim with most slots still valid means the
-	// region is saturated with data the host is not invalidating fast
-	// enough; keeping it would make GC a pure rotation. Evict everything
-	// in such victims so the region always converges to its hot core.
-	evictAll := f.man.Valid(victim) > g.SubpagesPerBlock()/2
-	for pi := 0; pi < g.PagesPerBlock; pi++ {
-		p := g.PageOf(victim, pi)
+	for f.gcPage < g.PagesPerBlock {
+		p := g.PageOf(victim, f.gcPage)
 		survs := f.survivorsIn(p, f.pageSecs)
 		if len(survs) == 0 {
+			f.gcPage++
 			continue
 		}
 		pageStamps, err := f.readPageVerified(p, survs)
 		if err != nil {
-			return err
+			return 0, false, err
 		}
 		var hot []survivor
 		for _, sv := range survs {
 			// Stale survivors take the eviction path regardless of heat:
 			// dropping them would destroy the sector's only durable
 			// incarnation at the victim erase (see stale).
-			if !f.stale(sv.lsn, sv.spn) && f.updated[sv.lsn] && !f.cfg.DisableHotColdGC && !evictAll {
+			if !f.stale(sv.lsn, sv.spn) && f.updated[sv.lsn] && !f.cfg.DisableHotColdGC && !f.gcEvictAll {
 				hot = append(hot, sv)
 				continue
 			}
 			if err := f.evictSector(sv.lsn); err != nil {
-				return err
+				return 0, false, err
 			}
 			f.stats.Evictions++
 		}
 		if len(hot) > 0 {
 			if err := f.gcMoveGroup(hot, pageStamps); err != nil {
-				return err
+				return 0, false, err
 			}
 		}
+		f.gcPage++
+		return len(survs), f.gcPage >= g.PagesPerBlock, nil
 	}
-	// Evictions above route through the full-page region, whose capacity
-	// work may already have reclaimed this victim once it emptied.
+	return 0, true, nil
+}
+
+// Release erases the drained victim and returns it to the pool. Evictions
+// route through the full-page region, whose capacity work may already have
+// reclaimed this victim once it emptied.
+func (t *subTarget) Release(victim nand.BlockID) error {
+	f := t.f
 	if f.man.State(victim) != ftl.StateFree {
 		if err := f.man.Recycle(victim); err != nil {
 			return err

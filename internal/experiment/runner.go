@@ -17,6 +17,7 @@ import (
 	"espftl/internal/ftl"
 	"espftl/internal/ftl/cgm"
 	"espftl/internal/ftl/fgm"
+	"espftl/internal/gc"
 	"espftl/internal/host"
 	"espftl/internal/metrics"
 	"espftl/internal/nand"
@@ -89,6 +90,21 @@ type RunConfig struct {
 	DisableRetention  bool    // subFTL ablation
 	OpportunisticFill bool    // fgmFTL extension
 	EnableSubpageRead bool    // device extension (paper §7 future work)
+
+	// GC policy-engine knobs, shared by every FTL's collectors. GCPolicy
+	// selects victim selection ("greedy", "cost-benefit", "windowed";
+	// empty = greedy), GCStepPages bounds the pages copied per collection
+	// step (0 = whole-block drains), and GCBackgroundSlack lets Tick run
+	// collection steps while the free pool is within that many blocks of
+	// the reserve (0 = foreground-only, the legacy behaviour).
+	GCPolicy          string
+	GCStepPages       int
+	GCBackgroundSlack int
+	// BGDeferLimit caps how many scheduler events a background Tick
+	// yields to pending host reads before dispatching anyway (0 = the
+	// host scheduler's default). Lower values trade read priority for
+	// background-GC throughput under sustained load.
+	BGDeferLimit int
 
 	// FaultProfile, when non-nil, arms the device's fault injector with
 	// this profile and enables the stepped read-retry recovery path.
@@ -174,14 +190,20 @@ func buildFTL(kind Kind, dev *nand.Device, cfg RunConfig, logicalSectors int64) 
 	// The GC reserve scales with the chip count so GC relocation can use
 	// a meaningful fraction of the device's parallelism.
 	reserve := dev.Geometry().Chips() + 4
+	gcOpts := gc.Options{
+		Policy:          cfg.GCPolicy,
+		StepPages:       cfg.GCStepPages,
+		BackgroundSlack: cfg.GCBackgroundSlack,
+	}
 	switch kind {
 	case KindCGM:
-		return cgm.New(dev, cgm.Config{LogicalSectors: logicalSectors, GCReserveBlocks: reserve})
+		return cgm.New(dev, cgm.Config{LogicalSectors: logicalSectors, GCReserveBlocks: reserve, GC: gcOpts})
 	case KindFGM:
 		return fgm.New(dev, fgm.Config{
 			LogicalSectors:    logicalSectors,
 			GCReserveBlocks:   reserve,
 			OpportunisticFill: cfg.OpportunisticFill,
+			GC:                gcOpts,
 		})
 	case KindSub:
 		sc := core.DefaultConfig(logicalSectors)
@@ -189,6 +211,7 @@ func buildFTL(kind Kind, dev *nand.Device, cfg RunConfig, logicalSectors int64) 
 		sc.GCReserveBlocks = reserve
 		sc.DisableHotColdGC = cfg.DisableHotColdGC
 		sc.DisableRetention = cfg.DisableRetention
+		sc.GC = gcOpts
 		return core.New(dev, sc)
 	}
 	return nil, fmt.Errorf("experiment: unknown FTL kind %q", kind)
@@ -284,9 +307,10 @@ func Run(cfg RunConfig) (*Result, error) {
 			return nil, err
 		}
 		sched, err := host.New(dev, f, host.Config{
-			Queues:    cfg.NumQueues,
-			Arbiter:   arb,
-			TickEvery: cfg.TickEvery,
+			Queues:               cfg.NumQueues,
+			Arbiter:              arb,
+			TickEvery:            cfg.TickEvery,
+			BackgroundDeferLimit: cfg.BGDeferLimit,
 		})
 		if err != nil {
 			return nil, err

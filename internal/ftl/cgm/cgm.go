@@ -4,10 +4,12 @@
 package cgm
 
 import (
+	"errors"
 	"fmt"
 
 	"espftl/internal/ftl"
 	"espftl/internal/ftl/fullpage"
+	"espftl/internal/gc"
 	"espftl/internal/nand"
 	"espftl/internal/workload"
 )
@@ -19,6 +21,10 @@ type Config struct {
 	LogicalSectors int64
 	// GCReserveBlocks is the free-pool floor that triggers GC.
 	GCReserveBlocks int
+	// GC selects the victim policy, step budget and background slack.
+	// The zero value (greedy, whole-block, no background) is the legacy
+	// behaviour.
+	GC gc.Options
 }
 
 // FTL is the cgmFTL instance.
@@ -30,6 +36,8 @@ type FTL struct {
 	store *fullpage.Store
 
 	pageSecs int
+	gcSlack  int
+	reserve  int
 }
 
 var _ ftl.FTL = (*FTL)(nil)
@@ -49,9 +57,14 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 		man:      ftl.NewManager(dev),
 		ver:      ftl.NewVersions(cfg.LogicalSectors),
 		pageSecs: g.SubpagesPerPage,
+		gcSlack:  cfg.GC.BackgroundSlack,
+		reserve:  cfg.GCReserveBlocks,
 	}
 	store, err := fullpage.New(dev, f.man, f.ver, &f.stats, ftl.RoleFull, cfg.LogicalSectors/ps, cfg.GCReserveBlocks, 0)
 	if err != nil {
+		return nil, err
+	}
+	if err := store.SetGC(cfg.GC); err != nil {
 		return nil, err
 	}
 	f.store = store
@@ -116,7 +129,7 @@ func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
 	for i := 0; i < sectors; i++ {
 		f.ver.Bump(lsn+int64(i), small)
 	}
-	return f.forEachPage(lsn, sectors, func(lpn int64, slots []int) error {
+	if err := f.forEachPage(lsn, sectors, func(lpn int64, slots []int) error {
 		// Attribution: a small request is charged the full pages it
 		// forces flash to program (w(r) = S_full/s for a lone sector).
 		var attr int64
@@ -124,7 +137,12 @@ func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
 			attr = int64(g.PageBytes())
 		}
 		return f.store.WriteSectors(lpn, slots, attr)
-	})
+	}); err != nil {
+		return err
+	}
+	// Incremental write tax: one bounded collection step while the pool
+	// is in debt (no-op for an unbudgeted collector).
+	return f.store.Pay()
 }
 
 // Read implements ftl.FTL.
@@ -155,12 +173,38 @@ func (f *FTL) Trim(lsn int64, sectors int) error {
 // Flush implements ftl.FTL; cgmFTL is unbuffered.
 func (f *FTL) Flush() error { return nil }
 
-// Tick implements ftl.FTL; cgmFTL has no time-based maintenance.
-func (f *FTL) Tick() error { return nil }
+// Tick implements ftl.FTL: with background GC slack configured, run one
+// bounded collection step whenever the free pool is within the slack of
+// the out-of-space reserve (or a preempted victim is pending). Ticks
+// are background-class commands in the host scheduler, so these steps
+// yield to pending host reads via the BackgroundDeferLimit machinery.
+func (f *FTL) Tick() error {
+	if f.gcSlack <= 0 {
+		return nil
+	}
+	col := f.store.Collector()
+	if !col.Active() && f.man.FreeCount() > f.reserve+f.gcSlack {
+		return nil
+	}
+	if _, err := f.store.StepOnce(); err != nil {
+		// Nothing collectable yet (all blocks open or already clean) is
+		// not an error for opportunistic background work.
+		if errors.Is(err, gc.ErrNoVictim) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
 
 // Stats implements ftl.FTL.
 func (f *FTL) Stats() ftl.Stats {
 	s := f.stats
+	col := f.store.Collector()
+	s.GCSteps = col.Steps()
+	s.GCPagesCopied = col.PagesCopied()
+	s.GCPreemptions = col.Preemptions()
+	s.GCPolicy = col.PolicyName()
 	s.MappingBytes = f.store.MappingBytes()
 	s.SectorBytes = int64(f.dev.Geometry().SubpageBytes)
 	s.GrownBadBlocks = int64(f.man.BadCount())

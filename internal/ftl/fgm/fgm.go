@@ -12,6 +12,7 @@ import (
 
 	"espftl/internal/buffer"
 	"espftl/internal/ftl"
+	"espftl/internal/gc"
 	"espftl/internal/mapping"
 	"espftl/internal/nand"
 	"espftl/internal/workload"
@@ -33,6 +34,10 @@ type Config struct {
 	// of padding. Off by default to match the baseline the paper
 	// evaluates; the ablation benches quantify the difference.
 	OpportunisticFill bool
+	// GC selects the victim policy, step budget and background slack.
+	// The zero value (greedy, whole-block, no background) is the legacy
+	// behaviour.
+	GC gc.Options
 }
 
 // FTL is the fgmFTL instance.
@@ -54,6 +59,23 @@ type FTL struct {
 	// one stripe for host writes and one for GC relocations.
 	host stripe
 	gc   stripe
+
+	// col drives victim selection and incremental draining. gcCursor is
+	// the scan-phase page cursor, gcStaged the live sectors awaiting
+	// repack, gcChunk a reusable chunk buffer — together the per-victim
+	// checkpoint the collector resumes across steps.
+	col      *gc.Collector
+	gcSlack  int
+	gcCursor int
+	gcStaged []gcStage
+	gcChunk  []int64
+}
+
+// gcStage records one live sector found during the GC scan phase: the
+// logical sector and the physical subpage it was staged from, so the
+// repack phase can drop entries whose mapping moved between steps.
+type gcStage struct {
+	lsn, spn int64
 }
 
 // appendPoint is one open block being filled sequentially, pinned to a
@@ -82,6 +104,20 @@ func newStripe(width, chips int) stripe {
 	return s
 }
 
+// borrow returns a set append point with page capacity left, if any. When
+// the free pool is at its margin, a GC destination refill reuses another
+// point's open block instead of allocating: chip parallelism degrades but
+// one fresh destination block always covers a whole drain (a victim has at
+// most PagesPerBlock live pages), so collection never exhausts the pool.
+func (s *stripe) borrow(pagesPerBlock int) *appendPoint {
+	for i := range s.points {
+		if s.points[i].set && s.points[i].cursor < pagesPerBlock {
+			return &s.points[i]
+		}
+	}
+	return nil
+}
+
 var _ ftl.FTL = (*FTL)(nil)
 
 // New builds an fgmFTL over the device.
@@ -105,7 +141,13 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 		oppFill:  cfg.OpportunisticFill,
 		host:     newStripe(g.Chips(), g.Chips()),
 		gc:       newStripe(min(g.Chips(), max(1, cfg.GCReserveBlocks-4)), g.Chips()),
+		gcSlack:  cfg.GC.BackgroundSlack,
 	}
+	pol, err := gc.NewPolicy(cfg.GC)
+	if err != nil {
+		return nil, err
+	}
+	f.col = gc.NewCollector(pol, cfg.GC.StepPages)
 	for i := range f.rmap {
 		f.rmap[i] = mapping.None
 	}
@@ -139,12 +181,33 @@ func (f *FTL) allocPage(forGC bool) (nand.PageID, error) {
 	}
 	if !ap.set {
 		if !forGC {
-			for f.man.FreeCount() <= f.reserve {
+			// With a budgeted collector the reserve becomes a cushion:
+			// allocate through it while the write tax repays the debt in
+			// bounded steps, holding back only a hard floor — a failure
+			// recovery margin plus the one destination refill a drain may
+			// need (past the margin, refills borrow open destination
+			// blocks; see stripe.borrow).
+			floor := f.reserve
+			if f.col.Budgeted() {
+				if floor = 8; floor > f.reserve {
+					floor = f.reserve
+				}
+			}
+			for f.man.FreeCount() <= floor {
 				if err := f.collectOnce(); err != nil {
 					return 0, err
 				}
 			}
+		} else if f.col.Budgeted() && f.man.FreeCount() <= 4 {
+			// The pool is at its recovery margin: reuse an open destination
+			// block rather than allocate. Legacy mode never gets here — its
+			// reserve covers a full-stripe rollover.
+			if bp := st.borrow(g.PagesPerBlock); bp != nil {
+				ap = bp
+			}
 		}
+	}
+	if !ap.set {
 		b, ok := f.man.AllocOnChip(ftl.RoleFull, ap.chip)
 		if !ok {
 			return 0, fmt.Errorf("fgm: free pool exhausted")
@@ -277,6 +340,18 @@ func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
 			return err
 		}
 	}
+	return f.pay()
+}
+
+// pay is the incremental write tax: one bounded collection step while
+// the free pool is at or below the reserve (no-op when unbudgeted).
+func (f *FTL) pay() error {
+	if !f.col.Budgeted() || f.man.FreeCount() > f.reserve {
+		return nil
+	}
+	if _, err := f.col.Step((*fgmTarget)(f)); err != nil && !errors.Is(err, gc.ErrNoVictim) {
+		return err
+	}
 	return nil
 }
 
@@ -342,21 +417,83 @@ func (f *FTL) Flush() error {
 	return nil
 }
 
-// Tick implements ftl.FTL; fgmFTL has no time-based maintenance.
-func (f *FTL) Tick() error { return nil }
-
-// collectOnce performs one GC pass: pick the min-valid victim, re-pack its
-// valid sectors into the GC append point, recycle it.
-func (f *FTL) collectOnce() error {
-	victim, ok := f.man.Victim(ftl.RoleFull, nil)
-	if !ok {
-		return fmt.Errorf("fgm: GC has no victim (%d free)", f.man.FreeCount())
+// Tick implements ftl.FTL: with background GC slack configured, run one
+// bounded collection step whenever the free pool is within the slack of
+// the out-of-space reserve (or a preempted victim is pending). Ticks
+// are background-class commands in the host scheduler, so these steps
+// yield to pending host reads via the BackgroundDeferLimit machinery.
+func (f *FTL) Tick() error {
+	if f.gcSlack <= 0 {
+		return nil
 	}
-	f.stats.GCInvocations++
+	if !f.col.Active() && f.man.FreeCount() > f.reserve+f.gcSlack {
+		return nil
+	}
+	if _, err := f.col.Step((*fgmTarget)(f)); err != nil {
+		// Nothing collectable yet is not an error for opportunistic
+		// background work.
+		if errors.Is(err, gc.ErrNoVictim) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// collectOnce drains one whole victim through the collector: the legacy
+// foreground (out-of-space) contract of freeing exactly one block per
+// call. A victim a background step left checkpointed mid-drain is
+// finished first.
+func (f *FTL) collectOnce() error {
+	if err := f.col.Collect((*fgmTarget)(f)); err != nil {
+		if errors.Is(err, gc.ErrNoVictim) {
+			return fmt.Errorf("fgm: GC has no victim (%d free)", f.man.FreeCount())
+		}
+		return err
+	}
+	return nil
+}
+
+// fgmTarget is fgmFTL's gc.Target face. Collection runs in two phases
+// riding one checkpoint: first the victim is scanned page by page
+// (live sectors staged, dead pages skipped free of budget), then the
+// staged sectors are repacked one physical page per Work call. The
+// repack drops entries whose mapping moved between steps — an
+// overwrite made the staged copy stale, or a trim cleared it, and
+// reprogramming a trimmed sector would resurrect it.
+type fgmTarget FTL
+
+func (t *fgmTarget) ftl() *FTL { return (*FTL)(t) }
+
+// View implements gc.Target: full-role blocks, valid counted in
+// subpage sectors, the in-flight victim excluded.
+func (t *fgmTarget) View() gc.View {
+	f := t.ftl()
 	g := f.dev.Geometry()
-	var staged []int64
-	for pi := 0; pi < g.PagesPerBlock; pi++ {
-		p := g.PageOf(victim, pi)
+	return f.man.GCView(ftl.RoleFull, g.SubpagesPerBlock(), f.col.InFlight)
+}
+
+// Fallback implements gc.Target; fgm has no secondary victim source.
+func (t *fgmTarget) Fallback() (nand.BlockID, bool) { return 0, false }
+
+// Begin implements gc.Target: reset the two-phase checkpoint.
+func (t *fgmTarget) Begin(b nand.BlockID) {
+	f := t.ftl()
+	f.stats.GCInvocations++
+	f.gcCursor = 0
+	f.gcStaged = f.gcStaged[:0]
+}
+
+// Work implements gc.Target.
+func (t *fgmTarget) Work(victim nand.BlockID) (int, bool, error) {
+	f := t.ftl()
+	g := f.dev.Geometry()
+	// Phase 1: scan the victim, staging live sectors. One page read per
+	// Work call; pages with nothing live cost no device work and are
+	// skipped without charging the step budget.
+	for f.gcCursor < g.PagesPerBlock {
+		p := g.PageOf(victim, f.gcCursor)
+		f.gcCursor++
 		// Find live sectors in this page before paying for the read.
 		var liveSlots []int
 		for slot := 0; slot < f.pageSecs; slot++ {
@@ -371,40 +508,55 @@ func (f *FTL) collectOnce() error {
 		}
 		stamps, errs, err := f.dev.ReadPage(p)
 		if err != nil {
-			return err
+			return 0, false, err
 		}
 		for _, slot := range liveSlots {
 			if errs[slot] != nil {
-				return fmt.Errorf("fgm: GC lost subpage %d of block %d: %w", slot, victim, errs[slot])
+				return 0, false, fmt.Errorf("fgm: GC lost subpage %d of block %d: %w", slot, victim, errs[slot])
 			}
-			staged = append(staged, stamps[slot].LSN)
+			f.gcStaged = append(f.gcStaged, gcStage{lsn: stamps[slot].LSN, spn: int64(g.SubpageOf(p, slot))})
+		}
+		return 0, false, nil
+	}
+	// Phase 2: repack, one physical page per call, dropping entries
+	// whose mapping moved since they were staged.
+	chunk := f.gcChunk[:0]
+	for len(f.gcStaged) > 0 && len(chunk) < f.pageSecs {
+		st := f.gcStaged[0]
+		f.gcStaged = f.gcStaged[1:]
+		if f.rmap[st.spn] != st.lsn || f.table.Lookup(st.lsn) != st.spn {
+			continue
+		}
+		chunk = append(chunk, st.lsn)
+	}
+	f.gcChunk = chunk
+	if len(chunk) == 0 {
+		return 0, true, nil
+	}
+	if err := f.programPacked(chunk, true); err != nil {
+		return 0, false, err
+	}
+	for _, lsn := range chunk {
+		f.stats.GCMovedSectors++
+		if f.ver.SmallOrigin(lsn) {
+			f.stats.SmallFlashBytes += int64(g.SubpageBytes)
 		}
 	}
-	for len(staged) > 0 {
-		n := f.pageSecs
-		if n > len(staged) {
-			n = len(staged)
-		}
-		if err := f.programPacked(staged[:n], true); err != nil {
-			return err
-		}
-		for _, lsn := range staged[:n] {
-			f.stats.GCMovedSectors++
-			if f.ver.SmallOrigin(lsn) {
-				f.stats.SmallFlashBytes += int64(g.SubpageBytes)
-			}
-		}
-		staged = staged[n:]
-	}
-	if err := f.man.Recycle(victim); err != nil {
-		return err
-	}
-	return nil
+	return 1, len(f.gcStaged) == 0, nil
+}
+
+// Release implements gc.Target: recycle the drained victim.
+func (t *fgmTarget) Release(victim nand.BlockID) error {
+	return t.ftl().man.Recycle(victim)
 }
 
 // Stats implements ftl.FTL.
 func (f *FTL) Stats() ftl.Stats {
 	s := f.stats
+	s.GCSteps = f.col.Steps()
+	s.GCPagesCopied = f.col.PagesCopied()
+	s.GCPreemptions = f.col.Preemptions()
+	s.GCPolicy = f.col.PolicyName()
 	s.MappingBytes = f.table.MemoryBytes()
 	s.SectorBytes = int64(f.dev.Geometry().SubpageBytes)
 	s.GrownBadBlocks = int64(f.man.BadCount())

@@ -178,6 +178,9 @@ type Stats struct {
 	RMWOps         int64 // read-modify-write operations
 	GCInvocations  int64 // garbage collection victim selections
 	GCMovedSectors int64 // valid sectors copied by GC
+	GCSteps        int64 // incremental collection steps (one per budgeted increment)
+	GCPagesCopied  int64 // relocation programs issued by the collectors
+	GCPreemptions  int64 // background steps that stopped at the page budget
 	RoundAdvances  int64 // subFTL: erase-free round advancements of a block
 	SubShifts      int64 // subFTL: valid subpages shifted to the next subpage
 	Evictions      int64 // subFTL: cold subpages evicted to the full-page region
@@ -192,6 +195,11 @@ type Stats struct {
 	// GrownBadBlocks snapshots the retired-block count (factory plus
 	// grown) at Stats() time; like MappingBytes it is not diffed by Sub.
 	GrownBadBlocks int64
+
+	// GCPolicy names the victim-selection policy driving the collectors
+	// ("greedy", "cost-benefit", "windowed"); a label, not a counter, so
+	// Sub keeps it.
+	GCPolicy string
 
 	// MappingBytes is the L2P translation memory footprint.
 	MappingBytes int64
@@ -220,6 +228,9 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.RMWOps -= prev.RMWOps
 	d.GCInvocations -= prev.GCInvocations
 	d.GCMovedSectors -= prev.GCMovedSectors
+	d.GCSteps -= prev.GCSteps
+	d.GCPagesCopied -= prev.GCPagesCopied
+	d.GCPreemptions -= prev.GCPreemptions
 	d.RoundAdvances -= prev.RoundAdvances
 	d.SubShifts -= prev.SubShifts
 	d.Evictions -= prev.Evictions

@@ -12,6 +12,7 @@ import (
 	"math/bits"
 
 	"espftl/internal/ftl"
+	"espftl/internal/gc"
 	"espftl/internal/mapping"
 	"espftl/internal/nand"
 )
@@ -52,10 +53,31 @@ type Store struct {
 	// dynamic block-role conversion). It reports whether a block was
 	// returned to the pool.
 	reclaim func() bool
+
+	// col drives victim selection and incremental draining; gcCursor is
+	// the per-victim page cursor the collector's checkpoint resumes at.
+	col      *gc.Collector
+	gcCursor int
 }
 
 // SetReclaim installs the cross-region reclaim hook.
 func (s *Store) SetReclaim(fn func() bool) { s.reclaim = fn }
+
+// SetGC replaces the store's collector with one configured from opts.
+// Call it before any I/O; the default is whole-block greedy, which is
+// bit-identical to the legacy hardcoded GC.
+func (s *Store) SetGC(opts gc.Options) error {
+	p, err := gc.NewPolicy(opts)
+	if err != nil {
+		return err
+	}
+	s.col = gc.NewCollector(p, opts.StepPages)
+	return nil
+}
+
+// Collector exposes the store's collector for stats snapshots and
+// in-flight checks.
+func (s *Store) Collector() *gc.Collector { return s.col }
 
 // appendPoint is one open block being filled sequentially, pinned to a
 // preferred chip so the stripe covers the device's parallelism.
@@ -81,6 +103,20 @@ func newStripe(width, chips int) stripe {
 		s.points[i].chip = i * chips / width
 	}
 	return s
+}
+
+// borrow returns a set append point with page capacity left, if any. When
+// the free pool is at its margin, a GC destination refill reuses another
+// point's open block instead of allocating: chip parallelism degrades but
+// one fresh destination block always covers a whole drain (a victim has at
+// most PagesPerBlock live pages), so collection never exhausts the pool.
+func (s *stripe) borrow(pagesPerBlock int) *appendPoint {
+	for i := range s.points {
+		if s.points[i].set && s.points[i].cursor < pagesPerBlock {
+			return &s.points[i]
+		}
+	}
+	return nil
 }
 
 // openBlocks counts currently held blocks in the stripe.
@@ -148,6 +184,7 @@ func New(dev *nand.Device, man *ftl.Manager, ver *ftl.Versions, stats *ftl.Stats
 	for i := range s.rmap {
 		s.rmap[i] = mapping.None
 	}
+	s.col = gc.NewCollector(gc.Greedy{}, 0)
 	return s, nil
 }
 
@@ -185,8 +222,23 @@ func (s *Store) ChipOf(lpn int64) int {
 }
 
 // ensureCapacity runs GC until the role can take one more block: the free
-// pool is above the reserve and the role quota has slack.
+// pool is above the reserve and the role quota has slack. With a budgeted
+// collector the reserve's upper half is a cushion instead: allocation
+// proceeds while bounded steps (the write tax and background ticks) repay
+// the debt, and whole-victim drains happen only at the hard floor — the
+// bound that turns occasional whole-drain stalls into per-write steps.
 func (s *Store) ensureCapacity() error {
+	if s.col.Budgeted() {
+		for s.man.FreeCount() <= s.hardFloor() || (s.maxBlocks > 0 && s.blocks >= s.maxBlocks) {
+			if s.reclaim != nil && s.man.FreeCount() <= s.hardFloor() && s.reclaim() {
+				continue
+			}
+			if err := s.CollectOnce(); err != nil {
+				return err
+			}
+		}
+		return s.Pay()
+	}
 	for s.man.FreeCount() <= s.reserve || (s.maxBlocks > 0 && s.blocks >= s.maxBlocks) {
 		if s.reclaim != nil && s.man.FreeCount() <= s.reserve && s.reclaim() {
 			continue
@@ -194,6 +246,36 @@ func (s *Store) ensureCapacity() error {
 		if err := s.CollectOnce(); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// hardFloor is the free-pool level below which even a budgeted collector
+// drains whole victims. The legacy reserve is not slack — it guarantees
+// the full-width GC destination stripe can roll over (all points refilling
+// in lockstep) without recursing into GC. The budgeted cushion instead
+// caps destination refills at one block per drain (allocPage borrows open
+// destination blocks past the margin), so the floor only needs: a failure
+// recovery margin (4), that one refill, and headroom for subFTL's
+// unguarded region-GC destination (up to 2 blocks mid-step).
+func (s *Store) hardFloor() int {
+	const need = 8
+	if need > s.reserve {
+		return s.reserve
+	}
+	return need
+}
+
+// Pay runs one bounded collection step if the collector is budgeted and
+// the free pool is at or below the reserve — the incremental write tax.
+// "Nothing collectable" is not a debt the payer can settle; it is
+// swallowed so callers stay on their host path.
+func (s *Store) Pay() error {
+	if !s.col.Budgeted() || s.man.FreeCount() > s.reserve {
+		return nil
+	}
+	if _, err := s.StepOnce(); err != nil && !errors.Is(err, gc.ErrNoVictim) {
+		return err
 	}
 	return nil
 }
@@ -219,7 +301,16 @@ func (s *Store) allocPage(forGC bool) (nand.PageID, error) {
 			if err := s.ensureCapacity(); err != nil {
 				return 0, err
 			}
+		} else if s.col.Budgeted() && s.man.FreeCount() <= 4 {
+			// The pool is at its recovery margin: reuse an open destination
+			// block rather than allocate (see stripe.borrow). Legacy mode
+			// never gets here — its reserve covers a full-stripe rollover.
+			if bp := st.borrow(g.PagesPerBlock); bp != nil {
+				ap = bp
+			}
 		}
+	}
+	if !ap.set {
 		b, ok := s.man.AllocOnChip(s.role, ap.chip)
 		if !ok {
 			return 0, fmt.Errorf("fullpage: free pool exhausted (role %v)", s.role)
@@ -382,19 +473,64 @@ func (s *Store) TrimSectors(lpn int64, slots []int) {
 	}
 }
 
-// CollectOnce performs one GC pass: select the fullest-free victim of the
-// role, relocate its valid pages to the GC append stripe, and recycle it.
-// Open (append-point) blocks are never victims: Victim only considers
-// blocks in the full state.
+// CollectOnce drains one whole victim through the collector: the legacy
+// foreground (out-of-space) contract of freeing exactly one block per
+// call. If a background step left a victim checkpointed mid-drain, that
+// victim is finished first — the unified in-flight exclusion.
 func (s *Store) CollectOnce() error {
-	victim, ok := s.man.Victim(s.role, nil)
-	if !ok {
-		return fmt.Errorf("fullpage: GC has no victim (role %v, %d blocks, %d free)", s.role, s.blocks, s.man.FreeCount())
+	if err := s.col.Collect((*storeTarget)(s)); err != nil {
+		if errors.Is(err, gc.ErrNoVictim) {
+			return fmt.Errorf("fullpage: GC has no victim (role %v, %d blocks, %d free)", s.role, s.blocks, s.man.FreeCount())
+		}
+		return err
 	}
+	return nil
+}
+
+// StepOnce runs one bounded background collection step (at most the
+// configured StepPages relocations), reporting whether a block was
+// freed. It returns gc.ErrNoVictim untranslated so opportunistic
+// callers (Tick) can swallow "nothing collectable yet" cheaply.
+func (s *Store) StepOnce() (bool, error) {
+	return s.col.Step((*storeTarget)(s))
+}
+
+// storeTarget is the Store's gc.Target face: the collector decides which
+// block to drain and when to preempt; these methods do the page moves.
+type storeTarget Store
+
+func (t *storeTarget) store() *Store { return (*Store)(t) }
+
+// View implements gc.Target. The in-flight victim is excluded from
+// selection by construction (it cannot be re-picked while checkpointed).
+func (t *storeTarget) View() gc.View {
+	s := t.store()
+	return s.man.GCView(s.role, s.dev.Geometry().PagesPerBlock, s.col.InFlight)
+}
+
+// Fallback implements gc.Target; the full-page store has no secondary
+// victim source.
+func (t *storeTarget) Fallback() (nand.BlockID, bool) { return 0, false }
+
+// Begin implements gc.Target: one invocation per victim, cursor reset.
+func (t *storeTarget) Begin(b nand.BlockID) {
+	s := t.store()
 	s.stats.GCInvocations++
+	s.gcCursor = 0
+}
+
+// Work implements gc.Target: relocate the next live page of the victim.
+// Stale pages are skipped within one call (they cost no device work), so
+// the step budget counts actual relocations.
+func (t *storeTarget) Work(victim nand.BlockID) (int, bool, error) {
+	s := t.store()
 	g := s.dev.Geometry()
-	for pi := 0; pi < g.PagesPerBlock && s.man.Valid(victim) > 0; pi++ {
-		p := g.PageOf(victim, pi)
+	for {
+		if s.gcCursor >= g.PagesPerBlock || s.man.Valid(victim) == 0 {
+			return 0, true, nil
+		}
+		p := g.PageOf(victim, s.gcCursor)
+		s.gcCursor++
 		lpn := s.rmap[p]
 		if lpn == mapping.None || s.table.Lookup(lpn) != int64(p) {
 			continue // stale copy
@@ -402,15 +538,15 @@ func (s *Store) CollectOnce() error {
 		// Relocate: read the old page, then rewrite the live sectors.
 		_, errs, err := s.dev.ReadPage(p)
 		if err != nil {
-			return err
+			return 0, false, err
 		}
 		for slot := 0; slot < s.pageSecs; slot++ {
 			if s.masks[lpn]&(1<<slot) != 0 && errs[slot] != nil {
-				return fmt.Errorf("fullpage: GC lost sector %d of lpn %d: %w", slot, lpn, errs[slot])
+				return 0, false, fmt.Errorf("fullpage: GC lost sector %d of lpn %d: %w", slot, lpn, errs[slot])
 			}
 		}
 		if err := s.programPage(lpn, true); err != nil {
-			return err
+			return 0, false, err
 		}
 		// Attribute relocation of small-origin sectors to the request WAF.
 		for slot := 0; slot < s.pageSecs; slot++ {
@@ -423,7 +559,14 @@ func (s *Store) CollectOnce() error {
 				s.stats.SmallFlashBytes += int64(g.SubpageBytes)
 			}
 		}
+		done := s.gcCursor >= g.PagesPerBlock || s.man.Valid(victim) == 0
+		return 1, done, nil
 	}
+}
+
+// Release implements gc.Target: recycle the drained victim.
+func (t *storeTarget) Release(victim nand.BlockID) error {
+	s := t.store()
 	if err := s.man.Recycle(victim); err != nil {
 		return err
 	}

@@ -54,6 +54,19 @@ func (g *Guard) Do(fn func()) {
 	fn()
 }
 
+// TryDo runs fn under the guard's lock only if the lock is immediately
+// available, reporting whether fn ran. Introspection paths that must
+// never block behind a busy or stalled engine (the wire protocol's STAT
+// command) use it and fall back to a cached snapshot.
+func (g *Guard) TryDo(fn func()) bool {
+	if !g.mu.TryLock() {
+		return false
+	}
+	defer g.mu.Unlock()
+	fn()
+	return true
+}
+
 // Name implements FTL without locking: it is immutable.
 func (g *Guard) Name() string { return g.f.Name() }
 

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 
+	"espftl/internal/gc"
 	"espftl/internal/nand"
+	"espftl/internal/sim"
 )
 
 // Role is the dynamic purpose of a block. In subFTL the role is "decided
@@ -56,6 +58,11 @@ type blockMeta struct {
 	// stays in StateFull until GC drains it; once empty it Recycles into
 	// StateBad instead of returning to the pool.
 	bad bool
+	// lastInval is the virtual time the block last lost a valid unit (or
+	// was sealed full, whichever came later): the age input of the
+	// cost-benefit and windowed GC policies. Never consulted for free or
+	// open blocks.
+	lastInval sim.Time
 }
 
 // Manager owns block lifecycle for an FTL: a wear-aware free pool kept as
@@ -207,6 +214,7 @@ func (m *Manager) MarkFull(b nand.BlockID) {
 		panic(fmt.Sprintf("ftl: MarkFull on block %d in state %d", b, m.meta[b].state))
 	}
 	m.meta[b].state = StateFull
+	m.meta[b].lastInval = m.dev.Clock().Now()
 }
 
 // Adopt installs a scanned block's state at mount time: the block leaves
@@ -220,7 +228,7 @@ func (m *Manager) Adopt(b nand.BlockID, role Role, valid int) error {
 		return fmt.Errorf("ftl: adopting block %d in state %d", b, m.meta[b].state)
 	}
 	m.removeFree(b)
-	m.meta[b] = blockMeta{state: StateFull, role: role, valid: valid}
+	m.meta[b] = blockMeta{state: StateFull, role: role, valid: valid, lastInval: m.dev.Clock().Now()}
 	return nil
 }
 
@@ -322,14 +330,23 @@ func (m *Manager) State(b nand.BlockID) BlockState { return m.meta[b].state }
 func (m *Manager) Role(b nand.BlockID) Role        { return m.meta[b].role }
 func (m *Manager) Valid(b nand.BlockID) int        { return m.meta[b].valid }
 
-// AddValid adjusts the valid-unit count of a block.
+// AddValid adjusts the valid-unit count of a block. Invalidations
+// (negative deltas) refresh the block's last-invalidate timestamp, the
+// age signal the cost-benefit and windowed policies select on.
 func (m *Manager) AddValid(b nand.BlockID, delta int) {
 	v := m.meta[b].valid + delta
 	if v < 0 {
 		panic(fmt.Sprintf("ftl: block %d valid count went negative", b))
 	}
 	m.meta[b].valid = v
+	if delta < 0 {
+		m.meta[b].lastInval = m.dev.Clock().Now()
+	}
 }
+
+// LastInvalidate returns the virtual time b last lost a valid unit (or
+// was sealed, for blocks untouched since MarkFull/Adopt).
+func (m *Manager) LastInvalidate(b nand.BlockID) sim.Time { return m.meta[b].lastInval }
 
 // Victim returns the full block of the given role with the fewest valid
 // units (greedy GC policy; subFTL's §4.2 policy is the same selection).
@@ -396,3 +413,40 @@ func (m *Manager) TotalValid(role Role) int {
 	}
 	return sum
 }
+
+// gcView adapts the manager's bookkeeping to the policy engine's
+// read-only selection view: candidates are the full blocks of one role,
+// minus whatever the exclude hook (the collector's in-flight check)
+// vetoes.
+type gcView struct {
+	m       *Manager
+	role    Role
+	units   int
+	exclude func(nand.BlockID) bool
+}
+
+// GCView builds a gc.View over the manager's blocks of one role.
+// unitsPerBlock is the valid-count denominator in the owning FTL's
+// units; exclude (optional) vetoes individual candidates — every FTL
+// passes its collector's InFlight so the block being drained can never
+// be selected again, the unified replacement for the ad-hoc nil/guard
+// exclude arguments the FTLs used to thread into Victim.
+func (m *Manager) GCView(role Role, unitsPerBlock int, exclude func(nand.BlockID) bool) gc.View {
+	return &gcView{m: m, role: role, units: unitsPerBlock, exclude: exclude}
+}
+
+func (v *gcView) Blocks() int { return len(v.m.meta) }
+
+func (v *gcView) Candidate(b nand.BlockID) bool {
+	mt := &v.m.meta[b]
+	if mt.state != StateFull || mt.role != v.role {
+		return false
+	}
+	return v.exclude == nil || !v.exclude(b)
+}
+
+func (v *gcView) Valid(b nand.BlockID) int               { return v.m.meta[b].valid }
+func (v *gcView) UnitsPerBlock() int                     { return v.units }
+func (v *gcView) EraseCount(b nand.BlockID) int          { return v.m.dev.EraseCount(b) }
+func (v *gcView) LastInvalidate(b nand.BlockID) sim.Time { return v.m.meta[b].lastInval }
+func (v *gcView) Now() sim.Time                          { return v.m.dev.Clock().Now() }

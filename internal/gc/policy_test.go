@@ -1,0 +1,177 @@
+package gc
+
+import (
+	"testing"
+
+	"espftl/internal/nand"
+	"espftl/internal/sim"
+)
+
+// fakeView is a synthetic selection view for policy tests.
+type fakeView struct {
+	valid  []int // -1 marks a non-candidate
+	inval  []sim.Time
+	erases []int
+	units  int
+	now    sim.Time
+}
+
+func (v *fakeView) Blocks() int                   { return len(v.valid) }
+func (v *fakeView) Candidate(b nand.BlockID) bool { return v.valid[b] >= 0 }
+func (v *fakeView) Valid(b nand.BlockID) int      { return v.valid[b] }
+func (v *fakeView) UnitsPerBlock() int            { return v.units }
+func (v *fakeView) EraseCount(b nand.BlockID) int { return v.erases[b] }
+func (v *fakeView) Now() sim.Time                 { return v.now }
+func (v *fakeView) LastInvalidate(b nand.BlockID) sim.Time {
+	return v.inval[b]
+}
+
+func newFakeView(valid []int, inval []sim.Time, units int, now sim.Time) *fakeView {
+	return &fakeView{valid: valid, inval: inval, erases: make([]int, len(valid)), units: units, now: now}
+}
+
+func TestGreedyMinValidLowestID(t *testing.T) {
+	v := newFakeView([]int{5, 2, -1, 2, 7}, make([]sim.Time, 5), 8, 100)
+	b, ok := Greedy{}.SelectVictim(v)
+	if !ok || b != 1 {
+		t.Fatalf("greedy picked %d ok=%v, want block 1 (min valid, lowest id)", b, ok)
+	}
+}
+
+func TestGreedyNoCandidates(t *testing.T) {
+	v := newFakeView([]int{-1, -1}, make([]sim.Time, 2), 8, 0)
+	if _, ok := (Greedy{}).SelectVictim(v); ok {
+		t.Fatal("greedy found a victim in an empty view")
+	}
+}
+
+func TestCostBenefitPrefersColdBlock(t *testing.T) {
+	// Block 0: fewer valid units but invalidated just now (hot).
+	// Block 1: more valid units but cold for ages. Cost-benefit must
+	// pick the cold one; greedy would pick the hot one.
+	valid := []int{2, 4}
+	inval := []sim.Time{1000, 0}
+	v := newFakeView(valid, inval, 8, 1001)
+	if b, _ := (Greedy{}).SelectVictim(v); b != 0 {
+		t.Fatalf("greedy sanity: picked %d, want 0", b)
+	}
+	b, ok := CostBenefit{}.SelectVictim(v)
+	if !ok || b != 1 {
+		t.Fatalf("cost-benefit picked %d ok=%v, want cold block 1", b, ok)
+	}
+}
+
+func TestCostBenefitDeadBlockWinsImmediately(t *testing.T) {
+	v := newFakeView([]int{3, 0, 1}, []sim.Time{0, 1000, 0}, 8, 1001)
+	b, ok := CostBenefit{}.SelectVictim(v)
+	if !ok || b != 1 {
+		t.Fatalf("cost-benefit picked %d ok=%v, want dead block 1", b, ok)
+	}
+}
+
+func TestCostBenefitTieKeepsLowestID(t *testing.T) {
+	// Identical candidates: strict > on the score keeps the first seen.
+	v := newFakeView([]int{3, 3, 3}, []sim.Time{5, 5, 5}, 8, 100)
+	b, ok := CostBenefit{}.SelectVictim(v)
+	if !ok || b != 0 {
+		t.Fatalf("cost-benefit picked %d ok=%v, want lowest id 0 on ties", b, ok)
+	}
+}
+
+func TestWindowedGreedyRestrictsToOldest(t *testing.T) {
+	// Block 3 has the global minimum valid count but is the youngest;
+	// with W=2 only blocks 1 and 2 (the oldest) are in the window, and
+	// the min-valid of those is block 2.
+	valid := []int{6, 5, 4, 1}
+	inval := []sim.Time{30, 10, 20, 40}
+	// units = 16 keeps every block within the reclaim cutoff (1 + 15/2 = 8)
+	// so this test isolates the window restriction.
+	v := newFakeView(valid, inval, 16, 100)
+	b, ok := WindowedGreedy{W: 2}.SelectVictim(v)
+	if !ok || b != 2 {
+		t.Fatalf("windowed picked %d ok=%v, want 2 (min valid inside 2-oldest window)", b, ok)
+	}
+	// A window covering everything degenerates to plain greedy.
+	b, ok = WindowedGreedy{W: 16}.SelectVictim(v)
+	if !ok || b != 3 {
+		t.Fatalf("wide window picked %d ok=%v, want greedy answer 3", b, ok)
+	}
+}
+
+func TestWindowedGreedyDefaultWindow(t *testing.T) {
+	valid := make([]int, 12)
+	inval := make([]sim.Time, 12)
+	for i := range valid {
+		valid[i] = 12 - i           // youngest blocks have fewest valid
+		inval[i] = sim.Time(i * 10) // ascending age: block 0 oldest
+	}
+	// units = 32 keeps every block within the reclaim cutoff (1 + 31/2 = 16)
+	// so this test isolates the default window size.
+	v := newFakeView(valid, inval, 32, 1000)
+	b, ok := WindowedGreedy{}.SelectVictim(v)
+	// Default window = 8 oldest = blocks 0..7; min valid there is block 7.
+	if !ok || b != 7 {
+		t.Fatalf("default-window picked %d ok=%v, want 7", b, ok)
+	}
+}
+
+func TestReclaimCutoffExcludesNearFullColdBlocks(t *testing.T) {
+	// Block 1 is ancient but nearly full (7/8 valid): cleaning it reclaims
+	// one unit per erase, the age-driven thrash that melts a device under
+	// pool pressure. Both age-aware policies must skip it: the cutoff is
+	// 2 + (8-2)/2 = 5, so only blocks 0 and 2 are eligible.
+	valid := []int{2, 7, 4}
+	inval := []sim.Time{900, 0, 10}
+	v := newFakeView(valid, inval, 8, 1000)
+	if b, ok := (CostBenefit{}).SelectVictim(v); !ok || b == 1 {
+		t.Fatalf("cost-benefit picked %d ok=%v, want a block under the reclaim cutoff", b, ok)
+	}
+	if b, ok := (WindowedGreedy{W: 1}).SelectVictim(v); !ok || b != 2 {
+		t.Fatalf("windowed picked %d ok=%v, want 2 (oldest eligible)", b, ok)
+	}
+	// When every candidate is near-full (a freshly filled device) the
+	// cutoff must not empty the candidate set.
+	v = newFakeView([]int{8, 8}, []sim.Time{0, 5}, 8, 1000)
+	if _, ok := (CostBenefit{}).SelectVictim(v); !ok {
+		t.Fatal("cost-benefit found no victim in an all-full view")
+	}
+	if _, ok := (WindowedGreedy{}).SelectVictim(v); !ok {
+		t.Fatal("windowed found no victim in an all-full view")
+	}
+}
+
+func TestPoliciesDeterministic(t *testing.T) {
+	v := newFakeView([]int{4, 2, 7, 2, 0, -1, 3}, []sim.Time{9, 3, 7, 3, 2, 0, 5}, 8, 50)
+	for _, p := range []Policy{Greedy{}, CostBenefit{}, WindowedGreedy{W: 3}} {
+		first, ok := p.SelectVictim(v)
+		if !ok {
+			t.Fatalf("%s found no victim", p.Name())
+		}
+		for i := 0; i < 10; i++ {
+			if b, _ := p.SelectVictim(v); b != first {
+				t.Fatalf("%s nondeterministic: %d then %d", p.Name(), first, b)
+			}
+		}
+	}
+}
+
+func TestNewPolicyResolver(t *testing.T) {
+	for name, want := range map[string]string{
+		"":             "greedy",
+		"greedy":       "greedy",
+		"cost-benefit": "cost-benefit",
+		"cb":           "cost-benefit",
+		"windowed":     "windowed",
+	} {
+		p, err := NewPolicy(Options{Policy: name})
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("NewPolicy(%q) = %s, want %s", name, p.Name(), want)
+		}
+	}
+	if _, err := NewPolicy(Options{Policy: "lru"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

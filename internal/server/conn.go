@@ -68,7 +68,9 @@ func (s *Server) handle(c net.Conn) {
 			break // client gone, stream corrupt, or drain interrupt
 		}
 		if cmd.Op == wire.OpStat {
-			payload, _ := json.Marshal(ns.snapshot())
+			st := ns.snapshot()
+			st.GC = s.gcSnapshot()
+			payload, _ := json.Marshal(st)
 			auxCh <- wire.Reply{Tag: cmd.Tag, Status: wire.StatusOK, Payload: payload}
 			continue
 		}

@@ -19,7 +19,42 @@ type StatsPage struct {
 	Inflight    int              `json:"inflight"`
 	MaxInflight int              `json:"max_inflight"`
 	Conns       int              `json:"connections"`
+	GC          GCStats          `json:"gc"`
 	Namespaces  []NamespaceStats `json:"namespaces"`
+}
+
+// GCStats is the device-level collector snapshot served in /stats and in
+// STAT payloads: which victim policy drives garbage collection and how
+// much incremental work it has done.
+type GCStats struct {
+	Policy      string `json:"policy"`
+	Steps       int64  `json:"steps"`
+	PagesCopied int64  `json:"pages_copied"`
+	Preemptions int64  `json:"preemptions"`
+}
+
+// gcSnapshot reads the FTL's collector counters between engine commands.
+// STAT must never block behind a busy or stalled engine, so a contended
+// guard lock falls back to the last snapshot taken (zero before any).
+func (s *Server) gcSnapshot() GCStats {
+	var out GCStats
+	ok := s.guard.TryDo(func() {
+		st := s.guard.Unwrap().Stats()
+		out = GCStats{
+			Policy:      st.GCPolicy,
+			Steps:       st.GCSteps,
+			PagesCopied: st.GCPagesCopied,
+			Preemptions: st.GCPreemptions,
+		}
+	})
+	if ok {
+		s.lastGC.Store(out)
+		return out
+	}
+	if v := s.lastGC.Load(); v != nil {
+		return v.(GCStats)
+	}
+	return GCStats{}
 }
 
 // MetricsPage is the /metrics document: device- and FTL-level counters
@@ -52,6 +87,7 @@ func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
 		Inflight:    s.Inflight(),
 		MaxInflight: s.cfg.MaxInflight,
 		Conns:       conns,
+		GC:          s.gcSnapshot(),
 	}
 	for _, ns := range s.nss {
 		page.Namespaces = append(page.Namespaces, ns.snapshot())

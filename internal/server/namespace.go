@@ -29,12 +29,12 @@ type namespace struct {
 	// completions escalate and readers shed without touching mu.
 	health health
 
-	mu             sync.Mutex
-	reads, writes  int64
-	trims, flushes int64
-	errors         int64
-	hostWriteBytes int64
-	flashBytes     int64
+	mu                     sync.Mutex
+	reads, writes          int64
+	trims, flushes         int64
+	errors                 int64
+	hostWriteBytes         int64
+	flashBytes             int64
 	lat, readLat, writeLat *metrics.Histogram
 }
 
@@ -125,6 +125,9 @@ type NamespaceStats struct {
 	Latency        LatencySummary `json:"latency"`
 	ReadLatency    LatencySummary `json:"read_latency"`
 	WriteLatency   LatencySummary `json:"write_latency"`
+	// GC is the device-level collector snapshot, shared by every
+	// namespace; the STAT path fills it after snapshot().
+	GC GCStats `json:"gc"`
 }
 
 // snapshot renders the namespace's counters; WAF is flash bytes per

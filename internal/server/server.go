@@ -88,6 +88,16 @@ type Config struct {
 	TickEvery   int
 	Arbitration string
 
+	// GCPolicy, GCStepPages and GCBackgroundSlack configure the FTL's
+	// garbage-collection engine: victim policy ("greedy", "cost-benefit",
+	// "windowed"), pages copied per collection step (0 = whole-block),
+	// and how close to the reserve the free pool may fall before Tick
+	// runs background steps (0 = foreground-only GC). Ignored when the
+	// Device hook supplies a pre-built FTL.
+	GCPolicy          string
+	GCStepPages       int
+	GCBackgroundSlack int
+
 	// WriteTimeout bounds one reply flush to a client socket; a
 	// connection that cannot absorb its replies within it is declared
 	// dead and drained without blocking the engine (default 5s).
@@ -189,6 +199,10 @@ type Server struct {
 	stalled         atomic.Bool
 	watchdogStop    chan struct{}
 	watchdogDone    chan struct{}
+
+	// lastGC caches the newest GCStats snapshot so STAT can answer
+	// without blocking behind a busy engine.
+	lastGC atomic.Value
 }
 
 // New assembles the device stack and carves the namespaces; Serve
@@ -208,9 +222,12 @@ func New(cfg Config) (*Server, error) {
 		dev, f, logical = cfg.Device, cfg.FTL, cfg.LogicalSectors
 	} else {
 		dev, f, logical, err = experiment.Build(experiment.RunConfig{
-			Kind:        experiment.Kind(cfg.FTLKind),
-			Geometry:    cfg.Geometry,
-			LogicalFrac: cfg.LogicalFrac,
+			Kind:              experiment.Kind(cfg.FTLKind),
+			Geometry:          cfg.Geometry,
+			LogicalFrac:       cfg.LogicalFrac,
+			GCPolicy:          cfg.GCPolicy,
+			GCStepPages:       cfg.GCStepPages,
+			GCBackgroundSlack: cfg.GCBackgroundSlack,
 		})
 		if err != nil {
 			return nil, err

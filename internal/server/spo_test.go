@@ -4,8 +4,8 @@ import (
 	"testing"
 	"time"
 
-	"espftl/internal/ftl"
 	"espftl/internal/core"
+	"espftl/internal/ftl"
 	"espftl/internal/ftltest"
 	"espftl/internal/nand"
 	"espftl/internal/server"
