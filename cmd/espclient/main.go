@@ -9,6 +9,11 @@
 //	espclient -addr 127.0.0.1:9750 -profile varmail -n 50000 -qd 8
 //	espclient -trace workload.bin -qd 16 -ns tenant-a
 //	espclient -profile ycsb -n 10000 -stat
+//	espclient -conns 4 -qd 8 -n 100000
+//
+// -conns opens N parallel connections that split the request budget;
+// against a sharded espserved this is what drives more than one engine
+// at once. The report merges all connections.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"espftl/internal/metrics"
@@ -32,7 +38,8 @@ func main() {
 	rsynch := flag.Float64("rsynch", 1.0, "r_synch for the sweep profile")
 	tracePath := flag.String("trace", "", "replay this trace file (binary, text or wire format) instead of a profile")
 	n := flag.Int("n", 50000, "request count (profiles only)")
-	qd := flag.Int("qd", 8, "closed-loop queue depth")
+	qd := flag.Int("qd", 8, "closed-loop queue depth per connection")
+	conns := flag.Int("conns", 1, "parallel connections splitting the request budget")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	span := flag.Float64("span", 1.0, "fraction of the namespace the synthetic stream touches")
 	stat := flag.Bool("stat", false, "print the namespace's /stats JSON after the run")
@@ -49,9 +56,14 @@ func main() {
 	fmt.Printf("espclient: %q on %s: %d sectors of %d B, %d-sector pages, window %d\n",
 		*ns, *addr, wl.Sectors, wl.SectorBytes, wl.PageSectors, wl.MaxInflight)
 
+	if *conns < 1 {
+		fatal(fmt.Errorf("-conns must be at least 1"))
+	}
+	// nextFor builds worker i's request stream; the budget splits across
+	// the -conns parallel connections.
 	var (
-		next func() (workload.Request, bool)
-		kind string
+		nextFor func(i int) func() (workload.Request, bool)
+		kind    string
 	)
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
@@ -64,19 +76,24 @@ func main() {
 			fatal(err)
 		}
 		// The server owns the clock: idle-gap records cannot be replayed
-		// over the wire and are skipped.
-		gaps, i := 0, 0
-		next = func() (workload.Request, bool) {
-			for i < len(reqs) {
-				r := reqs[i]
-				i++
-				if r.Op == workload.OpAdvance {
-					gaps++
-					continue
+		// over the wire and are skipped. With -conns > 1 the trace deals
+		// round-robin across connections — aggregate load, not order,
+		// is what survives the split.
+		gaps := 0
+		nextFor = func(w int) func() (workload.Request, bool) {
+			i := w
+			return func() (workload.Request, bool) {
+				for i < len(reqs) {
+					r := reqs[i]
+					i += *conns
+					if r.Op == workload.OpAdvance {
+						gaps++
+						continue
+					}
+					return r, true
 				}
-				return r, true
+				return workload.Request{}, false
 			}
-			return workload.Request{}, false
 		}
 		kind = fmt.Sprintf("trace %s (%d requests)", *tracePath, len(reqs))
 		defer func() {
@@ -105,38 +122,69 @@ func main() {
 		if sectors <= 0 {
 			fatal(fmt.Errorf("namespace too small for -span %g", *span))
 		}
-		gen, err := workload.NewSynthetic(prof, sectors, int(ps), *seed)
-		if err != nil {
-			fatal(err)
-		}
-		left := *n
-		next = func() (workload.Request, bool) {
-			if left <= 0 {
-				return workload.Request{}, false
+		nextFor = func(w int) func() (workload.Request, bool) {
+			gen, err := workload.NewSynthetic(prof, sectors, int(ps), *seed+uint64(w))
+			if err != nil {
+				fatal(err)
 			}
-			left--
-			return gen.Next(), true
+			left := *n / *conns
+			if w < *n%*conns {
+				left++
+			}
+			return func() (workload.Request, bool) {
+				if left <= 0 {
+					return workload.Request{}, false
+				}
+				left--
+				return gen.Next(), true
+			}
 		}
 		kind = fmt.Sprintf("%s (%d requests)", prof.Name, *n)
 	}
 
+	run := func(cl *server.Client, w int) (*server.ClientReport, error) {
+		if *deadline > 0 {
+			return cl.RunResilient(nextFor(w), *qd, server.RetryPolicy{
+				ConnectTimeout: *connectTimeout,
+				RequestTimeout: *deadline,
+				Seed:           *seed + uint64(w),
+			}, nil)
+		}
+		return cl.Run(nextFor(w), *qd, nil)
+	}
+
 	start := time.Now()
-	var cr *server.ClientReport
-	if *deadline > 0 {
-		cr, err = c.RunResilient(next, *qd, server.RetryPolicy{
-			ConnectTimeout: *connectTimeout,
-			RequestTimeout: *deadline,
-			Seed:           *seed,
-		}, nil)
-	} else {
-		cr, err = c.Run(next, *qd, nil)
+	crs := make([]*server.ClientReport, *conns)
+	errs := make([]error, *conns)
+	var wg sync.WaitGroup
+	for w := 1; w < *conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cw, err := server.DialTimeout(*addr, *ns, *connectTimeout)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer cw.Close()
+			crs[w], errs[w] = run(cw, w)
+		}(w)
 	}
-	if err != nil {
-		fatal(err)
+	crs[0], errs[0] = run(c, 0)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fatal(err)
+		}
 	}
+	cr := mergeReports(crs)
 	wall := time.Since(start)
 
-	fmt.Printf("espclient: %s at QD %d\n", kind, *qd)
+	if *conns > 1 {
+		fmt.Printf("espclient: %s at QD %d on %d connections\n", kind, *qd, *conns)
+	} else {
+		fmt.Printf("espclient: %s at QD %d\n", kind, *qd)
+	}
 	fmt.Printf("  completed         %d in %v wall -> %.0f ops/s\n",
 		cr.Ops, wall.Round(time.Millisecond), float64(cr.Ops)/wall.Seconds())
 	if cr.Errors > 0 || cr.Rejected > 0 {
@@ -158,6 +206,28 @@ func main() {
 	if cr.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// mergeReports folds the per-connection reports into one: counters sum,
+// latency histograms merge bucket-by-bucket.
+func mergeReports(crs []*server.ClientReport) *server.ClientReport {
+	out := crs[0]
+	for _, cr := range crs[1:] {
+		out.Ops += cr.Ops
+		out.Errors += cr.Errors
+		out.Rejected += cr.Rejected
+		out.Retries += cr.Retries
+		out.Reconnects += cr.Reconnects
+		for st, n := range cr.Statuses {
+			if out.Statuses == nil {
+				out.Statuses = make(map[uint8]int64)
+			}
+			out.Statuses[st] += n
+		}
+		out.Virt.Merge(cr.Virt)
+		out.Wall.Merge(cr.Wall)
+	}
+	return out
 }
 
 func printLatency(label string, h *metrics.Histogram) {

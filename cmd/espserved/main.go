@@ -7,10 +7,17 @@
 //	espserved -addr 127.0.0.1:9750 -http 127.0.0.1:9751
 //	espserved -ftl subFTL -precondition 0.4 -ns tenant-a=262144,tenant-b
 //	espserved -speedup 1 -conn-inflight 16 -max-inflight 128
+//	espserved -shards 4 -ns pinned=65536@2,striped@*,hashed
+//
+// -shards runs N independent device shards (one FTL + NAND device +
+// engine goroutine each). A namespace spec may carry a placement
+// suffix: @N pins it to shard N, @* stripes it page-by-page across all
+// shards (FLUSH becomes a cross-shard barrier), and no suffix routes by
+// a consistent hash of the name.
 //
 // SIGINT/SIGTERM drains: the listener closes, every in-flight command
-// completes and is answered, the engine retires, a final report prints,
-// and the process exits 0.
+// completes and is answered, the engines retire, a final merged report
+// prints, and the process exits 0.
 package main
 
 import (
@@ -35,7 +42,8 @@ func main() {
 	logicalFrac := flag.Float64("logical-frac", 0.70, "exported fraction of raw capacity")
 	precondition := flag.Float64("precondition", 0, "sequentially prefill this fraction of the logical space before serving")
 	speedup := flag.Float64("speedup", 0, "virtual nanoseconds per wall nanosecond (0 = as fast as possible)")
-	nsSpec := flag.String("ns", "default", "namespaces: comma-separated name[=sectors]; unsized names split the remainder equally")
+	shards := flag.Int("shards", 1, "independent device shards, each with its own FTL, NAND device and engine goroutine")
+	nsSpec := flag.String("ns", "default", "namespaces: comma-separated name[=sectors][@shard|@*]; unsized names split the remainder equally, @* stripes across all shards")
 	connInflight := flag.Int("conn-inflight", 32, "per-connection in-flight command cap")
 	maxInflight := flag.Int("max-inflight", 256, "global in-flight budget across connections")
 	tick := flag.Int("tick", 64, "host-scheduler event-loop tick granularity")
@@ -56,6 +64,7 @@ func main() {
 	cfg := server.Config{
 		Addr:              *addr,
 		HTTPAddr:          *httpAddr,
+		Shards:            *shards,
 		FTLKind:           *ftlName,
 		LogicalFrac:       *logicalFrac,
 		PreconditionFrac:  *precondition,
@@ -85,8 +94,8 @@ func main() {
 		fatal(err)
 	}
 	g := srv.Device().Geometry()
-	fmt.Printf("espserved: %s on %s (%d-sector pages, %.1f GiB raw)\n",
-		*ftlName, srv.Addr(), g.SubpagesPerPage,
+	fmt.Printf("espserved: %s x%d shards on %s (%d-sector pages, %.1f GiB raw per shard)\n",
+		*ftlName, srv.ShardCount(), srv.Addr(), g.SubpagesPerPage,
 		float64(g.TotalSubpages())*float64(g.SubpageBytes)/(1<<30))
 	if h := srv.HTTPAddr(); h != "" {
 		fmt.Printf("espserved: introspection at http://%s/stats and /metrics\n", h)
@@ -111,8 +120,9 @@ func main() {
 	}
 }
 
-// parseNamespaces turns "name[=sectors],..." into specs; an empty size
-// lets the server split the remaining logical space equally.
+// parseNamespaces turns "name[=sectors][@shard|@*],..." into specs; an
+// empty size lets the server split the remaining logical space equally,
+// and the placement suffix pins (@N), stripes (@*), or hashes (absent).
 func parseNamespaces(s string) ([]server.NamespaceSpec, error) {
 	var specs []server.NamespaceSpec
 	for _, part := range strings.Split(s, ",") {
@@ -120,8 +130,14 @@ func parseNamespaces(s string) ([]server.NamespaceSpec, error) {
 		if part == "" {
 			continue
 		}
+		var sp server.NamespaceSpec
+		var placed bool
+		part, sp.Placement, placed = strings.Cut(part, "@")
+		if placed && sp.Placement == "" {
+			return nil, fmt.Errorf("namespace %q: empty placement after @", part)
+		}
 		name, size, sized := strings.Cut(part, "=")
-		sp := server.NamespaceSpec{Name: name}
+		sp.Name = name
 		if sized {
 			n, err := strconv.ParseInt(size, 10, 64)
 			if err != nil {

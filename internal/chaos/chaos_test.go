@@ -14,6 +14,41 @@ import (
 // differential model check, and an SPO cut with remount and re-serve.
 // The campaign's own invariants are the assertions; here we check it
 // completes and its summary is sane.
+// TestShardedCampaign runs the multi-shard campaign: three tenants on a
+// three-shard fleet, shard 0 wedged mid-storm. The campaign's own
+// invariants (shard-scoped fence, siblings undisturbed with bounded
+// p99, refuse-then-recover, STAT rejoin, no acked write lost on any
+// tenant) are the assertions; here we check it completes and that the
+// summary shows the fence was client-visible.
+func TestShardedCampaign(t *testing.T) {
+	for _, seed := range []uint64{3, 57} {
+		seed := seed
+		t.Run("seed-"+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			res, err := chaos.RunSharded(chaos.Config{Seed: seed, Ops: 300, Logf: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.HotOps != 300 {
+				t.Errorf("hot storm completed %d of 300 ops", res.HotOps)
+			}
+			if res.ColdOps == 0 || res.WideOps == 0 {
+				t.Errorf("sibling tenants idle: cold %d ops, wide %d ops", res.ColdOps, res.WideOps)
+			}
+			if res.Statuses[wire.StatusFenced] == 0 {
+				t.Error("no client ever saw NAMESPACE_FENCED")
+			}
+			for st := range res.Statuses {
+				if !wire.KnownStatus(st) {
+					t.Errorf("untyped status %d reached a client", st)
+				}
+			}
+			t.Logf("sharded campaign: hot %d, cold %d (p99 %v), wide %d ops, statuses %v",
+				res.HotOps, res.ColdOps, res.ColdP99, res.WideOps, res.Statuses)
+		})
+	}
+}
+
 func TestCampaignSeeds(t *testing.T) {
 	for _, seed := range []uint64{2, 41} {
 		seed := seed

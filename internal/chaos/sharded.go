@@ -1,0 +1,381 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"espftl/internal/fault"
+	"espftl/internal/ftltest"
+	"espftl/internal/metrics"
+	"espftl/internal/server"
+	"espftl/internal/wire"
+	"espftl/internal/workload"
+)
+
+// ShardedResult summarizes one sharded campaign.
+type ShardedResult struct {
+	// HotOps, ColdOps and WideOps count the completed requests of the
+	// tenant on the fenced shard, the tenant on an untouched sibling,
+	// and the tenant striped across the whole fleet.
+	HotOps, ColdOps, WideOps int64
+	// ColdP99 is the sibling tenant's wall-clock p99 across the whole
+	// campaign — including the window where shard 0 was wedged.
+	ColdP99 time.Duration
+	// Statuses aggregates every final status any campaign client saw.
+	Statuses map[uint8]int64
+}
+
+const (
+	shardCount = 3
+	hotNS      = "hot"  // pinned to shard 0, the shard that gets wedged
+	coldNS     = "cold" // pinned to shard 1, must never notice
+	wideNS     = "wide" // striped across all shards, fenced alongside hot
+)
+
+// RunSharded executes the multi-shard degraded-mode campaign: a
+// three-shard fleet serves three tenants while shard 0's engine is
+// wedged mid-storm. The per-shard watchdog must fence exactly the
+// namespaces owning extents on shard 0 (hot and the striped wide —
+// never cold), the sibling shards must keep serving with bounded
+// latency, recovery must be refused while wedged and succeed after
+// release, the recovered shard must rejoin the STAT aggregate, and the
+// final drain must show no acknowledged write lost on any tenant.
+func RunSharded(cfg Config) (*ShardedResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ShardedResult{Statuses: make(map[uint8]int64)}
+
+	// Three independent stacks, each StallFTL-wrapped so the campaign
+	// could wedge any of them; this campaign wedges shard 0 only. The
+	// fault profiles are quiet (seed only): the chaos under test is the
+	// stall, not media errors.
+	stacks := make([]server.ShardStack, shardCount)
+	stalls := make([]*ftltest.StallFTL, shardCount)
+	for i := range stacks {
+		dev, _, stall, err := buildStack(fault.Profile{Seed: cfg.Seed + uint64(i)})
+		if err != nil {
+			return nil, err
+		}
+		stalls[i] = stall
+		stacks[i] = server.ShardStack{Device: dev, FTL: stall, LogicalSectors: sectors}
+	}
+	srv, err := server.New(server.Config{
+		Stacks: stacks,
+		Namespaces: []server.NamespaceSpec{
+			{Name: hotNS, Placement: "0"},
+			{Name: coldNS, Placement: "1"},
+			{Name: wideNS, Placement: "*"},
+		},
+		WatchdogInterval: 15 * time.Millisecond,
+		WatchdogStalls:   4,
+		WriteTimeout:     250 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Serve(); err != nil {
+		return nil, err
+	}
+
+	ch, err := server.DialTimeout(srv.Addr(), hotNS, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer ch.Close()
+	cc, err := server.DialTimeout(srv.Addr(), coldNS, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer cc.Close()
+	cw, err := server.DialTimeout(srv.Addr(), wideNS, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer cw.Close()
+	ps := int(ch.Welcome.PageSectors)
+	hotSectors := int64(ch.Welcome.Sectors)
+	coldSectors := int64(cc.Welcome.Sectors)
+	wideSectors := int64(cw.Welcome.Sectors)
+	mHot := ftltest.NewModel(hotSectors)
+	mCold := ftltest.NewModel(coldSectors)
+	mWide := ftltest.NewModel(wideSectors)
+
+	// The sibling and striped tenants run batch loops until the campaign
+	// releases them, so both are live through the whole fence window.
+	// cold must see nothing but OK; wide is allowed exactly the typed
+	// fence refusals.
+	stop := make(chan struct{})
+	coldDone := make(chan error, 1)
+	coldWall := metrics.NewHistogram()
+	go func() {
+		for batch := uint64(0); ; batch++ {
+			select {
+			case <-stop:
+				coldDone <- nil
+				return
+			default:
+			}
+			reqs, err := stream(coldSectors, ps, 200, cfg.Seed^0x636f6c64+batch)
+			if err != nil {
+				coldDone <- err
+				return
+			}
+			cr, err := cc.RunRequests(reqs, 8, func(r server.Reply) {
+				if r.Rep.Status != wire.StatusOK {
+					return
+				}
+				switch r.Req.Op {
+				case workload.OpWrite:
+					mCold.Write(r.Req.LSN, r.Req.Sectors, r.Req.Sync)
+				case workload.OpFlush:
+					mCold.Flush()
+				}
+			})
+			if err != nil {
+				coldDone <- fmt.Errorf("cold batch %d: %w", batch, err)
+				return
+			}
+			res.ColdOps += cr.Ops
+			coldWall.Merge(cr.Wall)
+			for st, n := range cr.Statuses {
+				res.Statuses[st] += n
+			}
+			if cr.Errors != 0 || cr.Rejected != 0 {
+				coldDone <- fmt.Errorf("cold tenant on sibling shard disturbed: %+v", cr)
+				return
+			}
+		}
+	}()
+	wideDone := make(chan error, 1)
+	wideStatuses := make(map[uint8]int64)
+	go func() {
+		for batch := uint64(0); ; batch++ {
+			select {
+			case <-stop:
+				wideDone <- nil
+				return
+			default:
+			}
+			reqs, err := stream(wideSectors, ps, 200, cfg.Seed^0x77696465+batch)
+			if err != nil {
+				wideDone <- err
+				return
+			}
+			cr, err := cw.RunRequests(reqs, 8, func(r server.Reply) {
+				if r.Rep.Status != wire.StatusOK {
+					// A refused or errored write's reach is undefined.
+					if r.Req.Op == workload.OpWrite {
+						mWide.FailedWrite(r.Req.LSN, r.Req.Sectors)
+					}
+					return
+				}
+				switch r.Req.Op {
+				case workload.OpWrite:
+					mWide.Write(r.Req.LSN, r.Req.Sectors, r.Req.Sync)
+				case workload.OpFlush:
+					mWide.Flush()
+				}
+			})
+			if err != nil {
+				wideDone <- fmt.Errorf("wide batch %d: %w", batch, err)
+				return
+			}
+			res.WideOps += cr.Ops
+			for st, n := range cr.Statuses {
+				wideStatuses[st] += n
+			}
+		}
+	}()
+
+	// ---- Phase 1: storm on the hot shard ------------------------------
+	cfg.Logf("sharded phase 1: %d-op storm on the hot shard, siblings looping", cfg.Ops)
+	reqsHot, err := stream(hotSectors, ps, cfg.Ops, cfg.Seed^0x686f74)
+	if err != nil {
+		return nil, err
+	}
+	crHot, err := ch.RunRequests(reqsHot, 1, func(r server.Reply) {
+		if r.Rep.Status != wire.StatusOK {
+			if r.Req.Op == workload.OpWrite {
+				mHot.FailedWrite(r.Req.LSN, r.Req.Sectors)
+			}
+			return
+		}
+		switch r.Req.Op {
+		case workload.OpWrite:
+			mHot.Write(r.Req.LSN, r.Req.Sectors, r.Req.Sync)
+		case workload.OpFlush:
+			mHot.Flush()
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: hot storm: %w", err)
+	}
+	res.HotOps = crHot.Ops
+	for st, n := range crHot.Statuses {
+		res.Statuses[st] += n
+	}
+
+	// ---- Phase 2: wedge shard 0 -> fence -> siblings keep serving -----
+	cfg.Logf("sharded phase 2: wedging shard 0; expecting a shard-scoped fence")
+	stalls[0].Arm()
+	wc, err := rawDial(srv.Addr(), hotNS, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer wc.close()
+	const wedgeLSN, wedgeSectors = 0, 4
+	cmd, err := wire.CmdOf(1, workload.Request{Op: workload.OpWrite, LSN: wedgeLSN, Sectors: wedgeSectors})
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteCmd(wc.conn, cmd); err != nil {
+		return nil, err
+	}
+	<-stalls[0].Stalled()
+
+	if err := waitFor(5*time.Second, func() bool {
+		return srv.ShardStalled(0) &&
+			srv.Health(hotNS) == server.Fenced && srv.Health(wideNS) == server.Fenced
+	}); err != nil {
+		return nil, fmt.Errorf("chaos: watchdog never fenced shard 0's namespaces: %w", err)
+	}
+	// The fence is shard-scoped: the siblings and their tenant are
+	// untouched.
+	if srv.ShardStalled(1) || srv.ShardStalled(2) {
+		return nil, fmt.Errorf("chaos: sibling shard reported stalled during shard 0's wedge")
+	}
+	if h := srv.Health(coldNS); h != server.Healthy {
+		return nil, fmt.Errorf("chaos: cold namespace %v during shard 0's wedge, want healthy", h)
+	}
+	st, err := probe(srv.Addr(), hotNS, workload.Request{Op: workload.OpRead, LSN: 0, Sectors: 4})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: fence probe: %w", err)
+	}
+	res.Statuses[st]++
+	if st != wire.StatusFenced {
+		return nil, fmt.Errorf("chaos: fenced hot namespace answered %s, want NAMESPACE_FENCED", wire.StatusName(st))
+	}
+	st, err = probe(srv.Addr(), coldNS, workload.Request{Op: workload.OpRead, LSN: 0, Sectors: 4})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: sibling probe during wedge: %w", err)
+	}
+	res.Statuses[st]++
+	if st != wire.StatusOK {
+		return nil, fmt.Errorf("chaos: cold read during shard 0's wedge answered %s, want OK", wire.StatusName(st))
+	}
+	// Recovery against the wedged shard must refuse, not hang.
+	if _, err := srv.Recover(hotNS); err == nil {
+		return nil, fmt.Errorf("chaos: Recover(hot) succeeded while shard 0 was wedged")
+	}
+
+	// ---- Phase 3: release -> recover -> rejoin ------------------------
+	cfg.Logf("sharded phase 3: releasing the wedge; recovering hot and wide")
+	stalls[0].Release()
+	r, err := wire.ReadReply(wc.conn)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: wedged write reply: %w", err)
+	}
+	res.Statuses[r.Status]++
+	if r.Status == wire.StatusOK {
+		mHot.Write(wedgeLSN, wedgeSectors, false)
+	} else {
+		mHot.FailedWrite(wedgeLSN, wedgeSectors)
+	}
+	for _, ns := range []string{hotNS, wideNS} {
+		ns := ns
+		if err := waitFor(5*time.Second, func() bool {
+			h, err := srv.Recover(ns)
+			return err == nil && h == server.Healthy
+		}); err != nil {
+			return nil, fmt.Errorf("chaos: namespace %s never recovered: %w", ns, err)
+		}
+	}
+	if srv.Stalled() {
+		return nil, fmt.Errorf("chaos: fleet still reports stalled after recovery")
+	}
+
+	// Recovered means rejoined: the hot tenant serves again, and its
+	// STAT snapshot — aggregated over its owning shard — is healthy.
+	var statuses []uint8
+	if _, err := ch.RunRequests([]workload.Request{
+		{Op: workload.OpWrite, LSN: 0, Sectors: 4},
+		{Op: workload.OpRead, LSN: 0, Sectors: 4},
+	}, 1, func(r server.Reply) { statuses = append(statuses, r.Rep.Status) }); err != nil {
+		return nil, fmt.Errorf("chaos: post-recovery serve: %w", err)
+	}
+	for _, st := range statuses {
+		res.Statuses[st]++
+	}
+	if len(statuses) != 2 || statuses[0] != wire.StatusOK || statuses[1] != wire.StatusOK {
+		return nil, fmt.Errorf("chaos: post-recovery hot serve statuses: %v", statuses)
+	}
+	mHot.Write(0, 4, false)
+	payload, err := ch.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: post-recovery STAT: %w", err)
+	}
+	var nsStat server.NamespaceStats
+	if err := json.Unmarshal(payload, &nsStat); err != nil {
+		return nil, err
+	}
+	if nsStat.Health != "healthy" {
+		return nil, fmt.Errorf("chaos: recovered hot namespace STATs %q, want healthy", nsStat.Health)
+	}
+	if len(nsStat.Shards) != 1 || nsStat.Shards[0] != 0 {
+		return nil, fmt.Errorf("chaos: hot namespace STATs shards %v, want [0]", nsStat.Shards)
+	}
+
+	// ---- Wind down the sibling loops and check their invariants -------
+	close(stop)
+	if err := <-coldDone; err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	if err := <-wideDone; err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	for st, n := range wideStatuses {
+		res.Statuses[st] += n
+		if st != wire.StatusOK && st != wire.StatusFenced {
+			return nil, fmt.Errorf("chaos: wide tenant saw %s (%d times); only OK and NAMESPACE_FENCED are legitimate", wire.StatusName(st), n)
+		}
+	}
+	res.ColdP99 = coldWall.Summary().P99
+	// The sibling's latency must be bounded by ordinary service time, not
+	// by the wedge: a cross-shard dependency would park cold commands
+	// behind the stall for the whole fence window.
+	if res.ColdP99 > 2*time.Second {
+		return nil, fmt.Errorf("chaos: cold tenant p99 %v during shard 0's wedge", res.ColdP99)
+	}
+
+	// ---- Drain and differential check on every tenant -----------------
+	cfg.Logf("sharded drain: shutting down and checking all three models")
+	rep, err := srv.Shutdown()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: shutdown: %w", err)
+	}
+	if rep.Submitted != rep.Completed {
+		return nil, fmt.Errorf("chaos: drain dropped commands: submitted %d completed %d", rep.Submitted, rep.Completed)
+	}
+	for _, tc := range []struct {
+		name    string
+		sectors int64
+		m       *ftltest.Model
+	}{{hotNS, hotSectors, mHot}, {coldNS, coldSectors, mCold}, {wideNS, wideSectors, mWide}} {
+		for lsn := int64(0); lsn < tc.sectors; lsn++ {
+			v, err := srv.NamespaceVersion(tc.name, lsn)
+			if err != nil {
+				return nil, err
+			}
+			if !tc.m.Acceptable(lsn, v) {
+				return nil, fmt.Errorf("chaos: acked write lost on %s: sector %d at version %d, acceptable %s",
+					tc.name, lsn, v, tc.m.Describe(lsn))
+			}
+		}
+	}
+	for st := range res.Statuses {
+		if !wire.KnownStatus(st) {
+			return nil, fmt.Errorf("chaos: untyped status %d surfaced to a client", st)
+		}
+	}
+	return res, nil
+}

@@ -84,6 +84,28 @@ func (h *Histogram) Record(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Merge folds other's observations into h bucket-by-bucket. Percentiles
+// of the merged histogram are identical to recording both observation
+// streams into one histogram. The sharded server uses it to aggregate
+// per-shard engine reports into one fleet view.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	h.dirty = true
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Mean returns the arithmetic mean, or 0 when empty.
 func (h *Histogram) Mean() time.Duration {
 	if h.total == 0 {

@@ -15,7 +15,7 @@ import (
 
 // handle runs one client connection: handshake, then a reader loop that
 // admits and forwards commands, with a writer goroutine streaming
-// replies back. The reply channels are sized so the engine's completion
+// replies back. The reply channels are sized so the engines' completion
 // callbacks can never block on this connection, however slow or dead it
 // is: ioCh has one slot per admitted command (admission caps those at
 // PerConnInflight), and auxCh is fed only by the reader itself.
@@ -43,11 +43,10 @@ func (s *Server) handle(c net.Conn) {
 		wire.WriteWelcome(c, wire.Welcome{Version: version, Status: wire.StatusShutdown, Err: "server draining"})
 		return
 	}
-	g := s.dev.Geometry()
 	err = wire.WriteWelcome(c, wire.Welcome{
 		Version:     version,
-		SectorBytes: uint32(g.SubpageBytes),
-		PageSectors: uint32(g.SubpagesPerPage),
+		SectorBytes: uint32(s.sectorBytes),
+		PageSectors: uint32(s.pageSectors),
 		MaxInflight: uint32(s.cfg.PerConnInflight),
 		Sectors:     uint64(ns.sectors),
 	})
@@ -69,7 +68,7 @@ func (s *Server) handle(c net.Conn) {
 		}
 		if cmd.Op == wire.OpStat {
 			st := ns.snapshot()
-			st.GC = s.gcSnapshot()
+			st.GC = s.nsGC(ns)
 			payload, _ := json.Marshal(st)
 			auxCh <- wire.Reply{Tag: cmd.Tag, Status: wire.StatusOK, Payload: payload}
 			continue
@@ -110,42 +109,47 @@ func (s *Server) handle(c net.Conn) {
 			auxCh <- wire.Reply{Tag: cmd.Tag, Status: wire.StatusReadOnly, Payload: []byte(ftlReadOnlyMsg)}
 			continue
 		}
-		req.LSN += ns.base
 
-		// Admission: the per-connection cap, then the global budget.
+		// Route to shard-local fragments: one for a resident namespace,
+		// several for a striped request or a cross-shard FLUSH barrier.
+		frags := ns.route(req)
+
+		// Admission: the per-connection cap, then one slot per fragment
+		// on its shard's budget, in ascending shard order (a total order
+		// across readers, so cross-shard admission cannot deadlock).
 		// Blocking here stops the socket read loop — TCP backpressure.
 		// With AdmitTimeout set, a slot that does not free in time turns
 		// into RETRYABLE so the client can back off instead of wedging.
-		if !s.admit(connSlots, cmd.Tag, auxCh) {
+		if !s.admit(connSlots, frags, cmd.Tag, auxCh) {
 			continue
 		}
 
 		reqWG.Add(1)
-		tag, op, sectors := cmd.Tag, req.Op, req.Sectors
-		es := host.ExtSubmission{Req: req, Done: func(hc *host.Command) {
-			lat := time.Duration(hc.Complete.Sub(hc.Arrival))
-			ns.record(op, sectors, s.sectorBytes, lat, hc.FlashBytes, hc.Err != nil)
-			status, rung := classify(hc.Err)
-			ns.health.escalate(rung)
-			rep := wire.Reply{Tag: tag, Status: status, LatencyNS: uint64(lat)}
-			if hc.Err != nil {
-				rep.Payload = []byte(hc.Err.Error())
+		j := &join{
+			s: s, ns: ns, ioCh: ioCh, connSlots: connSlots, reqWG: &reqWG,
+			tag: cmd.Tag, op: req.Op, sectors: req.Sectors,
+			remaining: len(frags), errIdx: len(frags),
+		}
+		// Submit fragments in ascending shard order. Within one shard
+		// the submission channel preserves this connection's command
+		// order, which is what makes a later FLUSH cover every earlier
+		// write on that shard — the cross-shard barrier is simply that
+		// the join answers only when the slowest shard has settled.
+		for i, fr := range frags {
+			sh, fragIdx := fr.sh, i
+			es := host.ExtSubmission{Req: fr.req, Done: func(hc *host.Command) {
+				sh.progress.Add(1)
+				j.finish(sh, fragIdx, time.Duration(hc.Complete.Sub(hc.Arrival)), hc.FlashBytes, hc.Err)
+			}}
+			select {
+			case sh.sub <- es:
+				sh.accepted.Add(1)
+			case <-sh.engineDone:
+				// The shard's engine died under us (scheduler stall):
+				// complete the fragment as refused instead of wedging
+				// the reader on a channel nobody drains.
+				j.finish(sh, fragIdx, 0, 0, errEngineStopped)
 			}
-			ioCh <- rep // never blocks: one buffered slot per admitted command
-			s.progress.Add(1)
-			<-s.slots
-			<-connSlots
-			reqWG.Done()
-		}}
-		select {
-		case s.sub <- es:
-		case <-s.engineDone:
-			// The engine died under us (scheduler stall): refuse instead
-			// of wedging the reader on a channel nobody drains.
-			<-s.slots
-			<-connSlots
-			reqWG.Done()
-			auxCh <- wire.Reply{Tag: tag, Status: wire.StatusShutdown, Payload: []byte("engine stopped")}
 		}
 	}
 	// Reader is done. Every accepted command still completes — wait for
@@ -156,40 +160,110 @@ func (s *Server) handle(c net.Conn) {
 	<-writerDone
 }
 
+// join gathers the fragment completions of one client command into its
+// single wire reply: latency is the slowest fragment (virtual time),
+// flash traffic sums, and the reply status reflects the first fragment
+// (by submission order) that errored. Fragment callbacks run on their
+// shards' engine goroutines concurrently, so the join is locked; the
+// critical section is a few counter updates, never I/O.
+type join struct {
+	s         *Server
+	ns        *namespace
+	ioCh      chan<- wire.Reply
+	connSlots <-chan struct{}
+	reqWG     *sync.WaitGroup
+	tag       uint64
+	op        workload.Op
+	sectors   int
+
+	mu        sync.Mutex
+	remaining int
+	lat       time.Duration
+	flash     int64
+	err       error
+	errIdx    int
+}
+
+// finish retires one fragment. The fragment's shard slot releases
+// immediately; the last fragment records the command, escalates health,
+// emits the reply, and releases the connection slot.
+func (j *join) finish(sh *shard, fragIdx int, lat time.Duration, flash int64, err error) {
+	j.mu.Lock()
+	if lat > j.lat {
+		j.lat = lat
+	}
+	j.flash += flash
+	if err != nil && fragIdx < j.errIdx {
+		j.err, j.errIdx = err, fragIdx
+	}
+	j.remaining--
+	last := j.remaining == 0
+	cmdLat, cmdFlash, cmdErr := j.lat, j.flash, j.err
+	j.mu.Unlock()
+	<-sh.slots
+	if !last {
+		return
+	}
+	j.ns.record(j.op, j.sectors, j.s.sectorBytes, cmdLat, cmdFlash, cmdErr != nil)
+	status, rung := classify(cmdErr)
+	j.ns.health.escalate(rung)
+	rep := wire.Reply{Tag: j.tag, Status: status, LatencyNS: uint64(cmdLat)}
+	if cmdErr != nil {
+		rep.Payload = []byte(cmdErr.Error())
+	}
+	j.ioCh <- rep // never blocks: one buffered slot per admitted command
+	<-j.connSlots
+	j.reqWG.Done()
+}
+
 // ftlReadOnlyMsg is the breaker's reply payload, matching what the
 // engine path reports so clients see one read-only message either way.
 var ftlReadOnlyMsg = ftl.ErrReadOnly.Error()
 
-// admit acquires the per-connection then the global admission slot,
-// sharing one AdmitTimeout budget across both. It returns false after
-// replying (RETRYABLE on timeout, SHUTTING_DOWN on engine exit) when
-// the command was not admitted.
-func (s *Server) admit(connSlots chan struct{}, tag uint64, auxCh chan<- wire.Reply) bool {
+// errEngineStopped completes fragments whose shard engine exited before
+// the submission could be handed over; classify maps it to the typed
+// SHUTTING_DOWN status.
+var errEngineStopped = engineStoppedError{}
+
+type engineStoppedError struct{}
+
+func (engineStoppedError) Error() string { return "engine stopped" }
+
+// admit acquires the per-connection slot, then one admission slot per
+// fragment on its owning shard, sharing one AdmitTimeout budget across
+// all of them. Fragments arrive in ascending shard order, giving every
+// reader the same acquisition order. It returns false after replying
+// (RETRYABLE on timeout, SHUTTING_DOWN on engine exit) when the command
+// was not admitted; any partially acquired slots are released.
+func (s *Server) admit(connSlots chan struct{}, frags []frag, tag uint64, auxCh chan<- wire.Reply) bool {
 	var timeout <-chan time.Time
 	if s.cfg.AdmitTimeout > 0 {
 		t := time.NewTimer(s.cfg.AdmitTimeout)
 		defer t.Stop()
 		timeout = t.C
 	}
-	refuse := func(status uint8, msg string) bool {
+	refuse := func(status uint8, msg string, taken int) bool {
+		for i := 0; i < taken; i++ {
+			<-frags[i].sh.slots
+		}
 		auxCh <- wire.Reply{Tag: tag, Status: status, Payload: []byte(msg)}
 		return false
 	}
 	select {
 	case connSlots <- struct{}{}:
-	case <-s.engineDone:
-		return refuse(wire.StatusShutdown, "engine stopped")
 	case <-timeout:
-		return refuse(wire.StatusRetryable, "admission timed out; retry with backoff")
+		return refuse(wire.StatusRetryable, "admission timed out; retry with backoff", 0)
 	}
-	select {
-	case s.slots <- struct{}{}:
-	case <-s.engineDone:
-		<-connSlots
-		return refuse(wire.StatusShutdown, "engine stopped")
-	case <-timeout:
-		<-connSlots
-		return refuse(wire.StatusRetryable, "admission timed out; retry with backoff")
+	for i, fr := range frags {
+		select {
+		case fr.sh.slots <- struct{}{}:
+		case <-fr.sh.engineDone:
+			<-connSlots
+			return refuse(wire.StatusShutdown, "engine stopped", i)
+		case <-timeout:
+			<-connSlots
+			return refuse(wire.StatusRetryable, "admission timed out; retry with backoff", i)
+		}
 	}
 	return true
 }

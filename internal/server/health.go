@@ -3,7 +3,6 @@ package server
 import (
 	"errors"
 	"sync/atomic"
-	"time"
 
 	"espftl/internal/ftl"
 	"espftl/internal/nand"
@@ -28,10 +27,10 @@ const (
 	// exhausted and every write would burn an engine round-trip to
 	// fail. Reads and flushes still flow.
 	ReadOnly
-	// Fenced sheds everything except STAT: the watchdog caught the
-	// engine stalled, or recovery was judged impossible. Fencing is what
-	// keeps one wedged tenant from hanging every other connection's
-	// admission budget.
+	// Fenced sheds everything except STAT: the shard watchdog caught
+	// its engine stalled, or recovery was judged impossible. Fencing is
+	// what keeps one wedged shard from hanging every other connection's
+	// admission budget — sibling shards' namespaces keep serving.
 	Fenced
 )
 
@@ -84,6 +83,8 @@ func classify(err error) (status uint8, target Health) {
 	switch {
 	case err == nil:
 		return wire.StatusOK, Healthy
+	case errors.Is(err, errEngineStopped):
+		return wire.StatusShutdown, Healthy
 	case errors.Is(err, ftl.ErrReadOnly):
 		return wire.StatusReadOnly, ReadOnly
 	case errors.Is(err, nand.ErrUncorrectable):
@@ -93,53 +94,20 @@ func classify(err error) (status uint8, target Health) {
 	}
 }
 
-// --- Watchdog -------------------------------------------------------
-
-// watchdog detects an engine stall: commands in flight but no
-// completion progress across WatchdogStalls consecutive intervals. The
-// engine goroutine is the single thread that owns the FTL and device; a
-// submission that never completes (a wedged FTL, a deadlocked fault
-// path) therefore freezes every tenant at once, with readers blocked in
-// admission and no error ever surfacing. The watchdog turns that
-// silent hang into an explicit, observable state: it fences every
-// namespace (new commands are refused with NAMESPACE_FENCED) and marks
-// the server stalled in /stats. In-flight commands stay wedged — the
-// engine thread cannot be safely killed — but no new work joins them.
-func (s *Server) watchdog(interval time.Duration, stalls int) {
-	defer close(s.watchdogDone)
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	lastProgress := s.progress.Load()
-	quiet := 0
-	for {
-		select {
-		case <-s.watchdogStop:
-			return
-		case <-s.engineDone:
-			return
-		case <-t.C:
-		}
-		prog := s.progress.Load()
-		if prog != lastProgress || s.Inflight() == 0 {
-			lastProgress = prog
-			quiet = 0
-			continue
-		}
-		quiet++
-		if quiet < stalls {
-			continue
-		}
-		if s.stalled.CompareAndSwap(false, true) {
-			s.progressAtFence.Store(prog)
-			for _, ns := range s.nss {
-				ns.health.escalate(Fenced)
-			}
+// Stalled reports whether any shard's watchdog has declared its engine
+// stalled.
+func (s *Server) Stalled() bool {
+	for _, sh := range s.shards {
+		if sh.stalled.Load() {
+			return true
 		}
 	}
+	return false
 }
 
-// Stalled reports whether the watchdog has declared the engine stalled.
-func (s *Server) Stalled() bool { return s.stalled.Load() }
+// ShardStalled reports whether one shard's watchdog has declared its
+// engine stalled.
+func (s *Server) ShardStalled(i int) bool { return s.shards[i].stalled.Load() }
 
 // Health returns the named namespace's current health, or Fenced for an
 // unknown name (the safe answer for a namespace that cannot serve).
@@ -151,37 +119,44 @@ func (s *Server) Health(name string) Health {
 	return ns.health.load()
 }
 
-// Recover is the administrative de-escalation path: it probes the FTL's
-// actual condition and resets the named namespace to what the device
-// can support — Healthy normally, ReadOnly when the FTL reports its
-// spare capacity is still exhausted. A namespace fenced by the watchdog
-// only recovers once the engine has made progress again (the stall
-// resolved); recovering a namespace in front of a still-wedged engine
-// would just wedge its clients anew.
+// Recover is the administrative de-escalation path: it probes the FTLs'
+// actual condition and resets the named namespace to what its devices
+// can support — Healthy normally, ReadOnly when any owning shard's FTL
+// reports its spare capacity is still exhausted. A namespace fenced by
+// a watchdog only recovers once that shard's engine has made progress
+// again (the stall resolved); recovering a namespace in front of a
+// still-wedged engine would just wedge its clients anew.
 func (s *Server) Recover(name string) (Health, error) {
 	ns := s.lookup(name)
 	if ns == nil {
 		return Fenced, errUnknownNamespace(name)
 	}
-	if s.stalled.Load() {
-		// Liveness probe: the stall is resolved once the wedged commands
-		// drained or the engine has completed anything since the fence.
+	for _, e := range ns.extents {
+		sh := e.sh
+		if !sh.stalled.Load() {
+			continue
+		}
+		// Liveness probe: the stall is resolved once the engine's accepted
+		// work drained or it has completed anything since the fence.
 		// Refusing otherwise matters because the FTL probe below takes
 		// the guard lock — the very lock a wedged engine is sitting on.
-		if s.Inflight() > 0 && s.progress.Load() == s.progressAtFence.Load() {
-			return ns.health.load(), errStillStalled{}
+		if sh.accepted.Load() > sh.progress.Load() && sh.progress.Load() == sh.progressAtFence.Load() {
+			return ns.health.load(), errStillStalled{shard: sh.idx}
 		}
-		s.stalled.Store(false)
+		sh.stalled.Store(false)
 	}
 	to := Healthy
-	if s.guard.ReadOnly() {
-		to = ReadOnly
+	for _, e := range ns.extents {
+		if e.sh.guard.ReadOnly() {
+			to = ReadOnly
+			break
+		}
 	}
 	ns.health.reset(to)
 	return to, nil
 }
 
-type errStillStalled struct{}
+type errStillStalled struct{ shard int }
 
 func (errStillStalled) Error() string {
 	return "server: engine still stalled; cannot recover namespace"

@@ -3,13 +3,17 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"reflect"
 
 	"espftl/internal/ftl"
 	"espftl/internal/nand"
 )
 
-// StatsPage is the /stats document: the server's operating point plus
-// every namespace's snapshot.
+// StatsPage is the /stats document: the fleet's operating point, one
+// entry per shard, plus every namespace's snapshot. The top-level
+// fields are the merged view (inflight and GC sum across shards;
+// stalled is true when any shard is); Shards carries the per-shard
+// breakdown the merged numbers come from.
 type StatsPage struct {
 	Addr        string           `json:"addr"`
 	Speedup     float64          `json:"speedup"`
@@ -20,12 +24,25 @@ type StatsPage struct {
 	MaxInflight int              `json:"max_inflight"`
 	Conns       int              `json:"connections"`
 	GC          GCStats          `json:"gc"`
+	Shards      []ShardStats     `json:"shards"`
 	Namespaces  []NamespaceStats `json:"namespaces"`
+}
+
+// ShardStats is one shard's slice of the /stats document.
+type ShardStats struct {
+	Index       int     `json:"index"`
+	Inflight    int     `json:"inflight"`
+	MaxInflight int     `json:"max_inflight"`
+	Stalled     bool    `json:"stalled"`
+	GC          GCStats `json:"gc"`
+	// Namespaces lists the tenants with an extent on this shard.
+	Namespaces []string `json:"namespaces"`
 }
 
 // GCStats is the device-level collector snapshot served in /stats and in
 // STAT payloads: which victim policy drives garbage collection and how
-// much incremental work it has done.
+// much incremental work it has done. In merged views the counters sum
+// over shards (the policy is fleet-uniform).
 type GCStats struct {
 	Policy      string `json:"policy"`
 	Steps       int64  `json:"steps"`
@@ -33,38 +50,47 @@ type GCStats struct {
 	Preemptions int64  `json:"preemptions"`
 }
 
-// gcSnapshot reads the FTL's collector counters between engine commands.
-// STAT must never block behind a busy or stalled engine, so a contended
-// guard lock falls back to the last snapshot taken (zero before any).
-func (s *Server) gcSnapshot() GCStats {
-	var out GCStats
-	ok := s.guard.TryDo(func() {
-		st := s.guard.Unwrap().Stats()
-		out = GCStats{
-			Policy:      st.GCPolicy,
-			Steps:       st.GCSteps,
-			PagesCopied: st.GCPagesCopied,
-			Preemptions: st.GCPreemptions,
-		}
-	})
-	if ok {
-		s.lastGC.Store(out)
-		return out
+// add folds another shard's collector snapshot into g.
+func (g *GCStats) add(o GCStats) {
+	if g.Policy == "" {
+		g.Policy = o.Policy
 	}
-	if v := s.lastGC.Load(); v != nil {
-		return v.(GCStats)
-	}
-	return GCStats{}
+	g.Steps += o.Steps
+	g.PagesCopied += o.PagesCopied
+	g.Preemptions += o.Preemptions
 }
 
-// MetricsPage is the /metrics document: device- and FTL-level counters
-// snapshotted atomically against the engine's submissions.
+// nsGC merges the collector snapshots of the namespace's owning shards
+// — what a tenant's STAT reply reports as "its" GC activity.
+func (s *Server) nsGC(ns *namespace) GCStats {
+	var out GCStats
+	for _, e := range ns.extents {
+		out.add(e.sh.gcSnapshot())
+	}
+	return out
+}
+
+// MetricsPage is the /metrics document. The top-level Device and FTL
+// blocks are the merged fleet view — counters summed across shards
+// (labels and size fields, like the GC policy and sector size, come
+// from shard 0; shards are homogeneously configured). Shards carries
+// each shard's own atomically snapshotted counters.
 type MetricsPage struct {
 	Device nand.Counters `json:"device"`
 	FTL    ftl.Stats     `json:"ftl"`
-	// VirtualNowNS is the gate's wall-mapped virtual instant (0 when
-	// serving as fast as possible).
-	VirtualNowNS int64 `json:"virtual_now_ns"`
+	// VirtualNowNS is shard 0's wall-mapped virtual instant (0 when
+	// serving as fast as possible). Shards run independent clocks; see
+	// the per-shard entries for the others.
+	VirtualNowNS int64          `json:"virtual_now_ns"`
+	Shards       []ShardMetrics `json:"shards"`
+}
+
+// ShardMetrics is one shard's slice of the /metrics document.
+type ShardMetrics struct {
+	Index        int           `json:"index"`
+	Device       nand.Counters `json:"device"`
+	FTL          ftl.Stats     `json:"ftl"`
+	VirtualNowNS int64         `json:"virtual_now_ns"`
 }
 
 func (s *Server) httpMux() *http.ServeMux {
@@ -80,33 +106,91 @@ func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
 	s.connMu.Unlock()
 	page := StatsPage{
 		Addr:        s.Addr(),
-		Speedup:     s.gate.Speedup(),
-		Realtime:    s.gate.Realtime(),
+		Speedup:     s.shards[0].gate.Speedup(),
+		Realtime:    s.shards[0].gate.Realtime(),
 		Draining:    s.draining.Load(),
-		Stalled:     s.stalled.Load(),
-		Inflight:    s.Inflight(),
-		MaxInflight: s.cfg.MaxInflight,
+		Stalled:     s.Stalled(),
+		MaxInflight: s.cfg.MaxInflight * len(s.shards),
 		Conns:       conns,
-		GC:          s.gcSnapshot(),
+	}
+	for _, sh := range s.shards {
+		st := ShardStats{
+			Index:       sh.idx,
+			Inflight:    sh.inflight(),
+			MaxInflight: s.cfg.MaxInflight,
+			Stalled:     sh.stalled.Load(),
+			GC:          sh.gcSnapshot(),
+		}
+		for _, ns := range sh.nss {
+			st.Namespaces = append(st.Namespaces, ns.name)
+		}
+		page.Inflight += st.Inflight
+		page.GC.add(st.GC)
+		page.Shards = append(page.Shards, st)
 	}
 	for _, ns := range s.nss {
-		page.Namespaces = append(page.Namespaces, ns.snapshot())
+		st := ns.snapshot()
+		st.GC = s.nsGC(ns)
+		page.Namespaces = append(page.Namespaces, st)
 	}
 	writeJSON(w, page)
 }
 
 func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	var page MetricsPage
-	// The guard's lock is the engine's submission lock: the device and
-	// FTL snapshot is taken between — never inside — commands.
-	s.guard.Do(func() {
-		page.Device = s.dev.Counters()
-		page.FTL = s.guard.Unwrap().Stats()
-	})
-	if s.gate.Realtime() {
-		page.VirtualNowNS = int64(s.gate.VirtualNow())
+	for _, sh := range s.shards {
+		sm := ShardMetrics{Index: sh.idx}
+		// Each shard guard's lock is its engine's submission lock: the
+		// device and FTL snapshot is taken between — never inside — that
+		// shard's commands. Shards snapshot independently; the merged
+		// view is consistent per shard, not across them.
+		sh.guard.Do(func() {
+			sm.Device = sh.dev.Counters()
+			sm.FTL = sh.guard.Unwrap().Stats()
+		})
+		if sh.gate.Realtime() {
+			sm.VirtualNowNS = int64(sh.gate.VirtualNow())
+		}
+		if sh.idx == 0 {
+			page.Device, page.FTL, page.VirtualNowNS = sm.Device, sm.FTL, sm.VirtualNowNS
+		} else {
+			sumCounters(&page.Device, &sm.Device)
+			sumCounters(&page.FTL, &sm.FTL)
+		}
+		page.Shards = append(page.Shards, sm)
 	}
 	writeJSON(w, page)
+}
+
+// sumCounters adds src's integer counter fields into dst, recursing
+// into nested structs (ftl.Stats mirrors nand.Counters). Labels like
+// GCPolicy and per-shard size constants like SectorBytes keep dst's
+// value, so the merged view inherits them from shard 0. Reflection
+// keeps the merge in lockstep with counter-struct growth.
+func sumCounters(dst, src interface{}) {
+	sumValue(reflect.ValueOf(dst).Elem(), reflect.ValueOf(src).Elem())
+}
+
+// mergeKeeps are integer fields that are sizes, not counters: summing
+// them across shards would be nonsense.
+var mergeKeeps = map[string]bool{"SectorBytes": true}
+
+func sumValue(dst, src reflect.Value) {
+	t := dst.Type()
+	for i := 0; i < dst.NumField(); i++ {
+		if mergeKeeps[t.Field(i).Name] {
+			continue
+		}
+		d, s := dst.Field(i), src.Field(i)
+		switch d.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			d.SetInt(d.Int() + s.Int())
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			d.SetUint(d.Uint() + s.Uint())
+		case reflect.Struct:
+			sumValue(d, s)
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

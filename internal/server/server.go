@@ -1,39 +1,43 @@
-// Package server exports a simulated SSD as a network block device: an
-// NBD-style length-prefixed TCP protocol (internal/wire) in front of the
-// event-driven host scheduler, with multi-tenant namespaces, admission
-// control, and live HTTP introspection.
+// Package server exports a simulated SSD fleet as a network block
+// device: an NBD-style length-prefixed TCP protocol (internal/wire) in
+// front of one or more sharded host schedulers, with multi-tenant
+// namespaces, admission control, and live HTTP introspection.
 //
 // # Architecture
 //
 // The simulator's backbone is a deterministic, single-threaded world:
-// one goroutine owns the FTL, the device, and the virtual clock. The
-// server keeps that world intact by funneling every client request
-// through one channel into the scheduler's external-submission event
-// loop (host.RunExternal). Connection goroutines only parse frames,
-// enforce admission, and forward; completions come back as per-command
-// callbacks on the engine goroutine and are handed to per-connection
-// writer goroutines through buffered channels sized so the engine can
-// never block on a slow or dead client.
+// one goroutine owns an FTL, its device, and its virtual clock. The
+// server scales out by running N such worlds — shards — side by side,
+// each with its own engine goroutine, admission budget, and stall
+// watchdog; the one-simulation-one-goroutine invariant holds per shard.
+// Namespaces are routed to shards at carve time (consistent hash,
+// explicit pin, or page striping across all shards); connection
+// goroutines only parse frames, enforce admission, and forward
+// shard-local fragments. Completions come back as per-command callbacks
+// on the owning engine goroutines, joined per client command, and
+// handed to per-connection writer goroutines through buffered channels
+// sized so no engine can ever block on a slow or dead client.
 //
 // # Pacing
 //
-// A sim.Gate maps the virtual clock onto the wall clock at a
-// configurable speedup, so the simulated device's latencies shape the
+// Each shard's sim.Gate maps its virtual clock onto the wall clock at a
+// configurable speedup, so the simulated devices' latencies shape the
 // latencies clients observe; speedup 0 serves as fast as possible.
 //
 // # Backpressure
 //
-// Admission is two semaphores: a per-connection in-flight cap
-// (advertised in the handshake) and a global budget across tenants. A
-// reader that cannot acquire a slot stops reading its socket, pushing
-// back through TCP flow control.
+// Admission is layered semaphores: a per-connection in-flight cap
+// (advertised in the handshake) and a per-shard budget across tenants.
+// A reader that cannot acquire its slots stops reading its socket,
+// pushing back through TCP flow control. Multi-shard commands acquire
+// shard slots in ascending shard order, so admission cannot deadlock.
 //
 // # Drain
 //
 // Shutdown stops accepting, interrupts idle readers, waits for every
-// in-flight command to complete and be answered, then closes the
-// submission channel so the engine retires and reports. No accepted
-// command is dropped.
+// in-flight command to complete and be answered, then closes each
+// shard's submission channel so its engine retires; the per-shard
+// reports merge into one fleet report. No accepted command is dropped.
 package server
 
 import (
@@ -49,7 +53,6 @@ import (
 	"espftl/internal/ftl"
 	"espftl/internal/host"
 	"espftl/internal/nand"
-	"espftl/internal/sim"
 )
 
 // Config parameterizes a server.
@@ -59,14 +62,20 @@ type Config struct {
 	// HTTPAddr, when non-empty, serves /stats and /metrics there.
 	HTTPAddr string
 
+	// Shards is the number of independent device shards (default 1).
+	// Every shard gets an identically configured device stack; each
+	// runs its own FTL, virtual clock, and engine goroutine.
+	Shards int
+
 	// FTLKind picks the FTL ("cgmFTL", "fgmFTL", "subFTL"; default
 	// subFTL), Geometry the device (default experiment.QuickGeometry),
 	// LogicalFrac the exported fraction of raw capacity (default 0.70).
 	FTLKind     string
 	Geometry    nand.Geometry
 	LogicalFrac float64
-	// PreconditionFrac sequentially prefills this fraction of the logical
-	// space before serving, bringing the FTL to steady state.
+	// PreconditionFrac sequentially prefills this fraction of each
+	// shard's logical space before serving, bringing the FTLs to steady
+	// state.
 	PreconditionFrac float64
 
 	// Speedup paces virtual time at this many virtual nanoseconds per
@@ -74,54 +83,58 @@ type Config struct {
 	Speedup float64
 
 	// Namespaces carves the logical space (default: one namespace
-	// "default" spanning everything).
+	// "default"; with multiple shards it lands on its hash shard).
 	Namespaces []NamespaceSpec
 
 	// PerConnInflight caps commands in flight per connection (default
-	// 32); MaxInflight is the global budget across connections (default
-	// 256).
+	// 32); MaxInflight is each shard's admission budget across
+	// connections (default 256).
 	PerConnInflight int
 	MaxInflight     int
 
-	// TickEvery and Arbitration configure the host scheduler (defaults
+	// TickEvery and Arbitration configure the host schedulers (defaults
 	// 64, "fifo").
 	TickEvery   int
 	Arbitration string
 
-	// GCPolicy, GCStepPages and GCBackgroundSlack configure the FTL's
+	// GCPolicy, GCStepPages and GCBackgroundSlack configure each FTL's
 	// garbage-collection engine: victim policy ("greedy", "cost-benefit",
 	// "windowed"), pages copied per collection step (0 = whole-block),
 	// and how close to the reserve the free pool may fall before Tick
-	// runs background steps (0 = foreground-only GC). Ignored when the
-	// Device hook supplies a pre-built FTL.
+	// runs background steps (0 = foreground-only GC). Ignored when
+	// Stacks or the Device hook supplies pre-built FTLs.
 	GCPolicy          string
 	GCStepPages       int
 	GCBackgroundSlack int
 
 	// WriteTimeout bounds one reply flush to a client socket; a
 	// connection that cannot absorb its replies within it is declared
-	// dead and drained without blocking the engine (default 5s).
+	// dead and drained without blocking the engines (default 5s).
 	WriteTimeout time.Duration
 
-	// AdmitTimeout bounds how long a reader waits for an admission slot
-	// before answering RETRYABLE instead; 0 blocks forever (pure TCP
-	// backpressure, the pre-degraded-mode behavior).
+	// AdmitTimeout bounds how long a reader waits for its admission
+	// slots before answering RETRYABLE instead; 0 blocks forever (pure
+	// TCP backpressure, the pre-degraded-mode behavior).
 	AdmitTimeout time.Duration
 
-	// WatchdogInterval is the engine-stall watchdog's sampling period
-	// (default 1s; negative disables). WatchdogStalls consecutive
+	// WatchdogInterval is the per-shard engine-stall watchdog's sampling
+	// period (default 1s; negative disables). WatchdogStalls consecutive
 	// samples with commands in flight but no completion progress fence
-	// every namespace (default 5). Raise the interval when pacing with
-	// a large slow-down factor: a legitimately gated command must
-	// complete within Interval×Stalls of wall time.
+	// that shard's namespaces (default 5). Raise the interval when
+	// pacing with a large slow-down factor: a legitimately gated command
+	// must complete within Interval×Stalls of wall time.
 	WatchdogInterval time.Duration
 	WatchdogStalls   int
 
-	// Device, FTL and LogicalSectors, when set together, serve this
-	// pre-built stack instead of assembling one — the hook tests use to
-	// serve a device with an armed fault injector or a crash survivor.
-	// The FTL must be freshly constructed: the server performs the
-	// mount (Recover) itself.
+	// Stacks, when non-empty, serves these pre-built device stacks —
+	// one per shard — instead of assembling them; Shards must be unset
+	// or equal to len(Stacks). The hook tests use to serve devices with
+	// armed fault injectors or crash survivors.
+	Stacks []ShardStack
+
+	// Device, FTL and LogicalSectors are the single-shard form of
+	// Stacks, kept for the existing tests; setting them is equivalent to
+	// Stacks with one entry.
 	Device         *nand.Device
 	FTL            ftl.FTL
 	LogicalSectors int64
@@ -130,6 +143,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Addr == "" {
 		c.Addr = "127.0.0.1:0"
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	if c.FTLKind == "" {
 		c.FTLKind = string(experiment.KindSub)
@@ -161,29 +177,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is one served device: an engine goroutine running the host
+// Server is one served fleet: N shard engines running the host
 // scheduler's external mode, an accept loop, and per-connection
 // reader/writer pairs.
 type Server struct {
-	cfg   Config
-	dev   *nand.Device
-	guard *ftl.Guard
-	sched *host.Scheduler
-	gate  *sim.Gate
-	nss   []*namespace
+	cfg    Config
+	shards []*shard
+	nss    []*namespace
 
 	sectorBytes int
-	mounted     ftl.MountReport
+	pageSectors int
 
 	ln     net.Listener
 	httpLn net.Listener
 	httpSv *http.Server
-
-	sub        chan host.ExtSubmission
-	slots      chan struct{}
-	engineDone chan struct{}
-	rep        *host.Report
-	engineErr  error
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -191,96 +198,70 @@ type Server struct {
 
 	draining atomic.Bool
 	served   atomic.Bool
-
-	// progress counts completions; the watchdog samples it to tell a
-	// stalled engine (inflight > 0, progress frozen) from an idle one.
-	progress        atomic.Uint64
-	progressAtFence atomic.Uint64
-	stalled         atomic.Bool
-	watchdogStop    chan struct{}
-	watchdogDone    chan struct{}
-
-	// lastGC caches the newest GCStats snapshot so STAT can answer
-	// without blocking behind a busy engine.
-	lastGC atomic.Value
+	// drained closes when the first Shutdown caller has fully retired
+	// the engines and published the merged report.
+	drained   chan struct{}
+	rep       *host.Report
+	engineErr error
 }
 
-// New assembles the device stack and carves the namespaces; Serve
-// starts it.
+// New assembles the shard device stacks and carves the namespaces;
+// Serve starts them.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	var (
-		dev     *nand.Device
-		f       ftl.FTL
-		logical int64
-		err     error
-	)
+	stacks := cfg.Stacks
 	if cfg.Device != nil {
-		if cfg.FTL == nil || cfg.LogicalSectors == 0 {
-			return nil, fmt.Errorf("server: Device hook requires FTL and LogicalSectors")
+		if len(stacks) > 0 {
+			return nil, fmt.Errorf("server: set either Stacks or the Device hook, not both")
 		}
-		dev, f, logical = cfg.Device, cfg.FTL, cfg.LogicalSectors
-	} else {
-		dev, f, logical, err = experiment.Build(experiment.RunConfig{
-			Kind:              experiment.Kind(cfg.FTLKind),
-			Geometry:          cfg.Geometry,
-			LogicalFrac:       cfg.LogicalFrac,
-			GCPolicy:          cfg.GCPolicy,
-			GCStepPages:       cfg.GCStepPages,
-			GCBackgroundSlack: cfg.GCBackgroundSlack,
-		})
+		stacks = []ShardStack{{Device: cfg.Device, FTL: cfg.FTL, LogicalSectors: cfg.LogicalSectors}}
+	}
+	if len(stacks) > 0 {
+		if cfg.Shards != 1 && cfg.Shards != len(stacks) {
+			return nil, fmt.Errorf("server: Shards=%d but %d stacks supplied", cfg.Shards, len(stacks))
+		}
+		cfg.Shards = len(stacks)
+	}
+	shards := make([]*shard, cfg.Shards)
+	for i := range shards {
+		var stack *ShardStack
+		if len(stacks) > 0 {
+			stack = &stacks[i]
+		}
+		sh, err := buildShard(i, cfg, stack)
 		if err != nil {
 			return nil, err
 		}
+		shards[i] = sh
 	}
-	// Mount before any I/O: on a blank device this is an empty scan; on
-	// a crash survivor it is the real OOB recovery of PR 3.
-	mounted, err := f.Recover()
-	if err != nil {
-		return nil, fmt.Errorf("server: mount: %w", err)
-	}
-	g := dev.Geometry()
-	if cfg.PreconditionFrac > 0 {
-		fill := int64(float64(logical)*cfg.PreconditionFrac) / int64(g.SubpagesPerPage) * int64(g.SubpagesPerPage)
-		if err := experiment.Precondition(f, g.SubpagesPerPage, fill); err != nil {
-			return nil, err
+	// Striping and the shared wire handshake assume one sector and page
+	// size across the fleet.
+	g := shards[0].dev.Geometry()
+	for _, sh := range shards[1:] {
+		sg := sh.dev.Geometry()
+		if sg.SubpageBytes != g.SubpageBytes || sg.SubpagesPerPage != g.SubpagesPerPage {
+			return nil, fmt.Errorf("server: shard %d geometry (%dB x%d) differs from shard 0 (%dB x%d)",
+				sh.idx, sg.SubpageBytes, sg.SubpagesPerPage, g.SubpageBytes, g.SubpagesPerPage)
 		}
-		dev.Clock().AdvanceTo(dev.DrainTime())
 	}
-	nss, err := carve(cfg.Namespaces, logical, g.SubpagesPerPage)
-	if err != nil {
-		return nil, err
-	}
-	arb, err := host.NewArbiter(cfg.Arbitration)
-	if err != nil {
-		return nil, err
-	}
-	guard := ftl.NewGuard(f)
-	sched, err := host.New(dev, guard, host.Config{
-		Arbiter:   arb,
-		TickEvery: cfg.TickEvery,
-	})
+	nss, err := carve(cfg.Namespaces, shards, g.SubpagesPerPage)
 	if err != nil {
 		return nil, err
 	}
 	return &Server{
 		cfg:         cfg,
-		dev:         dev,
-		guard:       guard,
-		sched:       sched,
+		shards:      shards,
 		nss:         nss,
 		sectorBytes: g.SubpageBytes,
-		mounted:     mounted,
-		sub:         make(chan host.ExtSubmission),
-		slots:       make(chan struct{}, cfg.MaxInflight),
-		engineDone:  make(chan struct{}),
+		pageSectors: g.SubpagesPerPage,
 		conns:       make(map[net.Conn]struct{}),
+		drained:     make(chan struct{}),
 	}, nil
 }
 
-// Serve starts the engine, the TCP accept loop, and (when configured)
-// the HTTP introspection listener. It returns once everything is
-// listening; Addr reports the bound address.
+// Serve starts the shard engines, the TCP accept loop, and (when
+// configured) the HTTP introspection listener. It returns once
+// everything is listening; Addr reports the bound address.
 func (s *Server) Serve() error {
 	if s.served.Swap(true) {
 		return fmt.Errorf("server: already serving")
@@ -300,18 +281,8 @@ func (s *Server) Serve() error {
 		s.httpSv = &http.Server{Handler: s.httpMux()}
 		go s.httpSv.Serve(hln)
 	}
-	// The gate anchors now: virtual time starts flowing against the wall
-	// clock the moment the server can accept work.
-	s.gate = sim.NewGate(s.cfg.Speedup, s.dev.Clock().Now())
-	go func() {
-		rep, err := s.sched.RunExternal(s.sub, s.gate)
-		s.rep, s.engineErr = rep, err
-		close(s.engineDone)
-	}()
-	if s.cfg.WatchdogInterval > 0 {
-		s.watchdogStop = make(chan struct{})
-		s.watchdogDone = make(chan struct{})
-		go s.watchdog(s.cfg.WatchdogInterval, s.cfg.WatchdogStalls)
+	for _, sh := range s.shards {
+		sh.start(s.cfg)
 	}
 	go s.acceptLoop()
 	return nil
@@ -344,36 +315,87 @@ func (s *Server) HTTPAddr() string {
 	return s.httpLn.Addr().String()
 }
 
-// Inflight returns the number of commands currently holding global
-// budget slots.
-func (s *Server) Inflight() int { return len(s.slots) }
+// Inflight returns the number of commands currently holding admission
+// slots, summed across shards.
+func (s *Server) Inflight() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.inflight()
+	}
+	return n
+}
 
-// Device exposes the served device for tests (fault arming, state
-// probes after drain).
-func (s *Server) Device() *nand.Device { return s.dev }
+// ShardCount returns the number of device shards.
+func (s *Server) ShardCount() int { return len(s.shards) }
 
-// FTL exposes the served FTL behind its concurrency guard.
-func (s *Server) FTL() *ftl.Guard { return s.guard }
+// Device exposes shard 0's device for tests (fault arming, state probes
+// after drain); ShardDevice addresses the others.
+func (s *Server) Device() *nand.Device { return s.shards[0].dev }
 
-// MountReport returns the recovery report of the serve-time mount.
-func (s *Server) MountReport() ftl.MountReport { return s.mounted }
+// ShardDevice exposes one shard's device.
+func (s *Server) ShardDevice(i int) *nand.Device { return s.shards[i].dev }
+
+// FTL exposes shard 0's FTL behind its concurrency guard; ShardFTL
+// addresses the others.
+func (s *Server) FTL() *ftl.Guard { return s.shards[0].guard }
+
+// ShardFTL exposes one shard's FTL behind its concurrency guard.
+func (s *Server) ShardFTL(i int) *ftl.Guard { return s.shards[i].guard }
+
+// ShardInflight returns the number of commands holding one shard's
+// admission slots.
+func (s *Server) ShardInflight(i int) int { return s.shards[i].inflight() }
+
+// ShardReport returns one shard's engine report (nil before that
+// shard's engine has retired).
+func (s *Server) ShardReport(i int) *host.Report {
+	select {
+	case <-s.shards[i].engineDone:
+		return s.shards[i].rep
+	default:
+		return nil
+	}
+}
+
+// MountReport returns the recovery report of shard 0's serve-time
+// mount.
+func (s *Server) MountReport() ftl.MountReport { return s.shards[0].mounted }
+
+// ShardMountReport returns one shard's serve-time mount report.
+func (s *Server) ShardMountReport(i int) ftl.MountReport { return s.shards[i].mounted }
+
+// NamespaceVersion resolves a namespace-relative sector to its owning
+// shard and returns that FTL's version counter for it — the
+// differential tests' probe for what the device durably holds,
+// placement-agnostic. The guard lock serializes against the owning
+// engine only.
+func (s *Server) NamespaceVersion(name string, lsn int64) (uint32, error) {
+	ns := s.lookup(name)
+	if ns == nil {
+		return 0, errUnknownNamespace(name)
+	}
+	if err := ns.bounds(lsn, 1); err != nil {
+		return 0, err
+	}
+	sh, local := ns.shardLSN(lsn)
+	return sh.guard.VersionOf(local), nil
+}
 
 // Shutdown drains gracefully: stop accepting, interrupt idle readers,
 // wait for every accepted command to complete and every reply to be
-// written (or its connection declared dead), then retire the engine and
-// return its report. Safe to call once; concurrent callers wait for the
-// same drain.
+// written (or its connection declared dead), then retire every shard
+// engine and return the merged fleet report. Safe to call once;
+// concurrent callers wait for the same drain.
 func (s *Server) Shutdown() (*host.Report, error) {
 	if s.draining.Swap(true) {
-		<-s.engineDone
+		<-s.drained
 		return s.rep, s.engineErr
 	}
 	s.ln.Close()
-	if s.watchdogStop != nil {
+	for _, sh := range s.shards {
 		// The drain waits for in-flight commands below; a paced tail
 		// must not be mistaken for a stall and fenced mid-drain.
-		close(s.watchdogStop)
-		<-s.watchdogDone
+		sh.stopWatchdog()
 	}
 	s.connMu.Lock()
 	for c := range s.conns {
@@ -383,8 +405,18 @@ func (s *Server) Shutdown() (*host.Report, error) {
 	}
 	s.connMu.Unlock()
 	s.connWG.Wait()
-	close(s.sub)
-	<-s.engineDone
+	reps := make([]*host.Report, len(s.shards))
+	for _, sh := range s.shards {
+		close(sh.sub)
+	}
+	for i, sh := range s.shards {
+		<-sh.engineDone
+		reps[i] = sh.rep
+		if sh.engineErr != nil && s.engineErr == nil {
+			s.engineErr = fmt.Errorf("server: shard %d: %w", sh.idx, sh.engineErr)
+		}
+	}
+	s.rep = mergeReports(reps)
 	if s.httpSv != nil {
 		// Graceful HTTP teardown: in-flight /stats and /metrics requests
 		// (a drain-watcher polling for Draining:true, say) finish before
@@ -393,6 +425,7 @@ func (s *Server) Shutdown() (*host.Report, error) {
 		s.httpSv.Shutdown(ctx)
 		cancel()
 	}
+	close(s.drained)
 	return s.rep, s.engineErr
 }
 
