@@ -8,6 +8,12 @@
 // Usage:
 //
 //	benchguard -baseline bench/baseline.txt -current bench.out [-max-ratio 2] [-floor 100µs]
+//	benchguard -update
+//
+// -update refreshes the baseline in place: it runs the exact bench
+// command the CI smoke job runs and atomically rewrites -baseline with
+// the output. Run it after intentional performance changes and commit
+// the result.
 package main
 
 import (
@@ -15,11 +21,50 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
+
+// benchArgs is the single source of truth for the smoke bench command;
+// CI runs the identical invocation, so -update regenerates exactly what
+// the guard will later compare against.
+var benchArgs = []string{
+	"test", "-bench=.", "-benchtime=1x", "-benchmem", "-run", "^$",
+	".", "./internal/nand/", "./internal/server/",
+}
+
+// update reruns the smoke benchmarks and rewrites the baseline file. The
+// bench output streams to stderr as it is produced so a slow run is
+// visibly alive; the baseline is replaced atomically only on success.
+func update(baselinePath string) error {
+	fmt.Fprintf(os.Stderr, "benchguard: go %s\n", strings.Join(benchArgs, " "))
+	cmd := exec.Command("go", benchArgs...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("bench run failed: %w", err)
+	}
+	tmp := baselinePath + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return err
+	}
+	parsed, err := parseBench(tmp)
+	if err == nil && len(parsed) == 0 {
+		err = fmt.Errorf("bench run produced no benchmark lines")
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, baselinePath); err != nil {
+		return err
+	}
+	fmt.Printf("benchguard: wrote %d benchmark baselines to %s\n", len(parsed), baselinePath)
+	return nil
+}
 
 // result is one parsed benchmark line.
 type result struct {
@@ -81,7 +126,15 @@ func main() {
 	currentPath := flag.String("current", "", "bench output of the run under test")
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when current ns/op exceeds baseline by more than this factor")
 	floor := flag.Duration("floor", 100*time.Microsecond, "ignore benchmarks whose baseline ns/op is below this (too noisy at -benchtime=1x)")
+	doUpdate := flag.Bool("update", false, "rerun the smoke benchmarks and rewrite -baseline with the result")
 	flag.Parse()
+	if *doUpdate {
+		if err := update(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
 		os.Exit(2)

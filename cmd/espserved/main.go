@@ -37,6 +37,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9750", "TCP listen address for the block protocol")
 	httpAddr := flag.String("http", "", "HTTP listen address for /stats and /metrics (empty = off)")
+	pprofFlag := flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on the -http listener")
 	ftlName := flag.String("ftl", "subFTL", "FTL to serve: cgmFTL, fgmFTL or subFTL")
 	full := flag.Bool("full", false, "use the full-size device geometry")
 	logicalFrac := flag.Float64("logical-frac", 0.70, "exported fraction of raw capacity")
@@ -61,9 +62,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *pprofFlag && *httpAddr == "" {
+		fatal(fmt.Errorf("-pprof requires -http"))
+	}
 	cfg := server.Config{
 		Addr:              *addr,
 		HTTPAddr:          *httpAddr,
+		EnablePprof:       *pprofFlag,
 		Shards:            *shards,
 		FTLKind:           *ftlName,
 		LogicalFrac:       *logicalFrac,
@@ -99,6 +104,9 @@ func main() {
 		float64(g.TotalSubpages())*float64(g.SubpageBytes)/(1<<30))
 	if h := srv.HTTPAddr(); h != "" {
 		fmt.Printf("espserved: introspection at http://%s/stats and /metrics\n", h)
+		if *pprofFlag {
+			fmt.Printf("espserved: profiling at http://%s/debug/pprof/\n", h)
+		}
 	}
 	if *speedup > 0 {
 		fmt.Printf("espserved: pacing virtual time at %gx wall clock\n", *speedup)

@@ -21,6 +21,12 @@ type Aligned struct {
 	sectors    int
 	merged     int64
 	evictions  int64
+
+	// Reusable scratch backing Stage's and Drain's results; see the
+	// borrow contract on Stage.
+	fullBuf    []int64
+	evictBuf   [][]int64
+	groupArena []int64
 }
 
 // NewAligned returns a buffer holding at most maxSectors staged sectors.
@@ -72,22 +78,29 @@ func (b *Aligned) countBits(mask uint64) int {
 	return n
 }
 
-// sectorsOf expands an LPN's staged mask into LSNs.
-func (b *Aligned) sectorsOf(lpn int64, mask uint64) []int64 {
-	out := make([]int64, 0, b.countBits(mask))
+// appendSectorsOf expands an LPN's staged mask into LSNs appended to the
+// group arena, returning the group view and the grown arena.
+func (b *Aligned) appendSectorsOf(arena []int64, lpn int64, mask uint64) ([]int64, []int64) {
+	start := len(arena)
 	for slot := 0; slot < b.pageSecs; slot++ {
 		if mask&(1<<slot) != 0 {
-			out = append(out, lpn*int64(b.pageSecs)+int64(slot))
+			arena = append(arena, lpn*int64(b.pageSecs)+int64(slot))
 		}
 	}
-	return out
+	return arena[start:len(arena):len(arena)], arena
 }
 
 // Stage adds asynchronous small-write sectors. It returns the logical
 // pages that became complete (each to be flushed as one full-page write)
 // and any partial sector groups evicted by capacity pressure (each to be
 // routed to the subpage region).
+//
+// Borrow contract: both results are buffer-owned scratch, valid only
+// until the next Stage or Drain call; a retaining caller must copy.
 func (b *Aligned) Stage(lsns []int64) (fullPages []int64, evicted [][]int64) {
+	fullPages = b.fullBuf[:0]
+	evicted = b.evictBuf[:0]
+	arena := b.groupArena[:0]
 	for _, lsn := range lsns {
 		lpn := lsn / int64(b.pageSecs)
 		bit := uint64(1) << uint(lsn%int64(b.pageSecs))
@@ -111,14 +124,18 @@ func (b *Aligned) Stage(lsns []int64) (fullPages []int64, evicted [][]int64) {
 	}
 	for b.sectors > b.maxSectors && len(b.order) > 0 {
 		lpn := b.order[0]
-		b.order = b.order[1:]
+		b.order = append(b.order[:0], b.order[1:]...)
 		mask := b.masks[lpn]
 		delete(b.masks, lpn)
-		group := b.sectorsOf(lpn, mask)
+		var group []int64
+		group, arena = b.appendSectorsOf(arena, lpn, mask)
 		b.sectors -= len(group)
 		b.evictions += int64(len(group))
 		evicted = append(evicted, group)
 	}
+	// Save the (possibly grown) scratch for reuse; the returned views stay
+	// valid until the next Stage or Drain.
+	b.fullBuf, b.evictBuf, b.groupArena = fullPages, evicted, arena
 	return fullPages, evicted
 }
 
@@ -143,16 +160,23 @@ func (b *Aligned) Remove(lsns []int64) {
 	}
 }
 
-// Drain removes and returns every staged partial group, oldest first.
+// Drain removes and returns every staged partial group, oldest first. The
+// result shares Stage's borrow contract.
 func (b *Aligned) Drain() [][]int64 {
-	var out [][]int64
+	out := b.evictBuf[:0]
+	arena := b.groupArena[:0]
 	for _, lpn := range b.order {
 		mask := b.masks[lpn]
 		delete(b.masks, lpn)
-		group := b.sectorsOf(lpn, mask)
+		var group []int64
+		group, arena = b.appendSectorsOf(arena, lpn, mask)
 		b.sectors -= len(group)
 		out = append(out, group)
 	}
-	b.order = nil
+	b.order = b.order[:0]
+	b.evictBuf, b.groupArena = out, arena
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }

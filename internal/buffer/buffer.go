@@ -23,11 +23,22 @@ type Group struct {
 // simulator's payloads are stamps generated at flush time).
 type Buffer struct {
 	pageSectors int
+	// order[head:] is the FIFO of staged sectors; popping advances head
+	// instead of re-slicing so the backing array is reused rather than
+	// abandoned (the steady-state staging path must not allocate).
 	order       []int64
+	head        int
 	resident    map[int64]struct{}
 	absorbed    int64
 	flushedFull int64
 	flushedPart int64
+
+	// groupsBuf and lsnArena back the groups Write and Drain return; see
+	// the borrow contract on Write. popBuf backs PopUpTo separately, since
+	// opportunistic fill calls it while holding a returned group.
+	groupsBuf []Group
+	lsnArena  []int64
+	popBuf    []int64
 }
 
 // New returns a buffer that emits full groups of pageSectors sectors.
@@ -42,7 +53,33 @@ func New(pageSectors int) *Buffer {
 }
 
 // Len returns the number of buffered sectors.
-func (b *Buffer) Len() int { return len(b.order) }
+func (b *Buffer) Len() int { return len(b.order) - b.head }
+
+// staged returns the live FIFO window.
+func (b *Buffer) staged() []int64 { return b.order[b.head:] }
+
+// advance pops n sectors off the FIFO head, reclaiming the backing array
+// once it empties (and compacting when the dead prefix dominates) so the
+// append path reuses capacity instead of growing forever.
+func (b *Buffer) advance(n int) {
+	b.head += n
+	if b.head == len(b.order) {
+		b.order = b.order[:0]
+		b.head = 0
+	} else if b.head >= 256 && b.head*2 >= len(b.order) {
+		m := copy(b.order, b.order[b.head:])
+		b.order = b.order[:m]
+		b.head = 0
+	}
+}
+
+// appendGroup copies lsns into the reusable arena and appends a Group
+// viewing that copy.
+func (b *Buffer) appendGroup(groups []Group, lsns []int64, sync bool) []Group {
+	start := len(b.lsnArena)
+	b.lsnArena = append(b.lsnArena, lsns...)
+	return append(groups, Group{LSNs: b.lsnArena[start:len(b.lsnArena):len(b.lsnArena)], Sync: sync})
+}
 
 // Contains reports whether lsn is buffered (a read hit).
 func (b *Buffer) Contains(lsn int64) bool {
@@ -64,8 +101,8 @@ func (b *Buffer) remove(lsn int64) {
 		return
 	}
 	delete(b.resident, lsn)
-	for i, v := range b.order {
-		if v == lsn {
+	for i := b.head; i < len(b.order); i++ {
+		if b.order[i] == lsn {
 			b.order = append(b.order[:i], b.order[i+1:]...)
 			return
 		}
@@ -79,22 +116,29 @@ func (b *Buffer) remove(lsn int64) {
 // are superseded and the write is emitted immediately as one (possibly
 // partial) group. Asynchronous writes are staged; whenever a full page's
 // worth of sectors has accumulated, a full group is emitted.
+//
+// Borrow contract: the returned groups (and their LSN slices) are
+// buffer-owned scratch, valid only until the next Write or Drain call; a
+// retaining caller must copy. Callers consume groups before writing again,
+// so the steady-state staging path allocates nothing.
 func (b *Buffer) Write(lsns []int64, sync bool) []Group {
+	b.groupsBuf = b.groupsBuf[:0]
+	b.lsnArena = b.lsnArena[:0]
 	if sync {
-		g := Group{LSNs: make([]int64, len(lsns)), Sync: true}
-		copy(g.LSNs, lsns)
+		out := b.appendGroup(b.groupsBuf, lsns, true)
 		for _, lsn := range lsns {
 			b.remove(lsn)
 		}
-		if len(g.LSNs) >= b.pageSectors {
-			b.flushedFull += int64(len(g.LSNs) / b.pageSectors)
-			if len(g.LSNs)%b.pageSectors != 0 {
+		if len(lsns) >= b.pageSectors {
+			b.flushedFull += int64(len(lsns) / b.pageSectors)
+			if len(lsns)%b.pageSectors != 0 {
 				b.flushedPart++
 			}
 		} else {
 			b.flushedPart++
 		}
-		return []Group{g}
+		b.groupsBuf = out
+		return out
 	}
 	for _, lsn := range lsns {
 		if _, ok := b.resident[lsn]; ok {
@@ -104,33 +148,37 @@ func (b *Buffer) Write(lsns []int64, sync bool) []Group {
 		b.resident[lsn] = struct{}{}
 		b.order = append(b.order, lsn)
 	}
-	var out []Group
-	for len(b.order) >= b.pageSectors {
-		g := Group{LSNs: make([]int64, b.pageSectors)}
-		copy(g.LSNs, b.order[:b.pageSectors])
-		b.order = b.order[b.pageSectors:]
-		for _, lsn := range g.LSNs {
+	out := b.groupsBuf
+	for b.Len() >= b.pageSectors {
+		grp := b.staged()[:b.pageSectors]
+		out = b.appendGroup(out, grp, false)
+		for _, lsn := range grp {
 			delete(b.resident, lsn)
 		}
+		b.advance(b.pageSectors)
 		b.flushedFull++
-		out = append(out, g)
 	}
+	b.groupsBuf = out
 	return out
 }
 
 // PopUpTo removes and returns up to n of the oldest buffered sectors.
 // FGM-style FTLs with opportunistic fill use it to top up a partial sync
-// flush with staged asynchronous sectors instead of padding.
+// flush with staged asynchronous sectors instead of padding. The returned
+// slice is buffer-owned scratch, valid until the next PopUpTo call.
 func (b *Buffer) PopUpTo(n int) []int64 {
-	if n > len(b.order) {
-		n = len(b.order)
+	if n > b.Len() {
+		n = b.Len()
 	}
 	if n <= 0 {
 		return nil
 	}
-	out := make([]int64, n)
-	copy(out, b.order[:n])
-	b.order = b.order[n:]
+	if cap(b.popBuf) < n {
+		b.popBuf = make([]int64, n)
+	}
+	out := b.popBuf[:n]
+	copy(out, b.staged()[:n])
+	b.advance(n)
 	for _, lsn := range out {
 		delete(b.resident, lsn)
 	}
@@ -145,29 +193,32 @@ func (b *Buffer) Trim(lsns []int64) {
 }
 
 // Drain flushes everything left in the buffer as one final (possibly
-// partial) group. It returns nil when the buffer is empty.
+// partial) group. It returns nil when the buffer is empty. The returned
+// groups share Write's borrow contract.
 func (b *Buffer) Drain() []Group {
-	if len(b.order) == 0 {
+	if b.Len() == 0 {
 		return nil
 	}
-	var out []Group
-	for len(b.order) > 0 {
+	b.groupsBuf = b.groupsBuf[:0]
+	b.lsnArena = b.lsnArena[:0]
+	out := b.groupsBuf
+	for b.Len() > 0 {
 		n := b.pageSectors
-		if n > len(b.order) {
-			n = len(b.order)
+		if n > b.Len() {
+			n = b.Len()
 		}
-		g := Group{LSNs: make([]int64, n)}
-		copy(g.LSNs, b.order[:n])
-		b.order = b.order[n:]
-		for _, lsn := range g.LSNs {
+		grp := b.staged()[:n]
+		out = b.appendGroup(out, grp, false)
+		for _, lsn := range grp {
 			delete(b.resident, lsn)
 		}
+		b.advance(n)
 		if n == b.pageSectors {
 			b.flushedFull++
 		} else {
 			b.flushedPart++
 		}
-		out = append(out, g)
 	}
+	b.groupsBuf = out
 	return out
 }

@@ -107,6 +107,12 @@ func RunSharded(cfg Config) (*ShardedResult, error) {
 	stop := make(chan struct{})
 	coldDone := make(chan error, 1)
 	coldWall := metrics.NewHistogram()
+	// The loop goroutines accumulate into their own counters (coldOps,
+	// coldStatuses, wideStatuses), merged into res only after both have
+	// joined: the main goroutine records probe statuses into res during
+	// the fence window, concurrently with these loops.
+	var coldOps int64
+	coldStatuses := make(map[uint8]int64)
 	go func() {
 		for batch := uint64(0); ; batch++ {
 			select {
@@ -135,10 +141,10 @@ func RunSharded(cfg Config) (*ShardedResult, error) {
 				coldDone <- fmt.Errorf("cold batch %d: %w", batch, err)
 				return
 			}
-			res.ColdOps += cr.Ops
+			coldOps += cr.Ops
 			coldWall.Merge(cr.Wall)
 			for st, n := range cr.Statuses {
-				res.Statuses[st] += n
+				coldStatuses[st] += n
 			}
 			if cr.Errors != 0 || cr.Rejected != 0 {
 				coldDone <- fmt.Errorf("cold tenant on sibling shard disturbed: %+v", cr)
@@ -148,6 +154,7 @@ func RunSharded(cfg Config) (*ShardedResult, error) {
 	}()
 	wideDone := make(chan error, 1)
 	wideStatuses := make(map[uint8]int64)
+	var wideOps int64
 	go func() {
 		for batch := uint64(0); ; batch++ {
 			select {
@@ -180,7 +187,7 @@ func RunSharded(cfg Config) (*ShardedResult, error) {
 				wideDone <- fmt.Errorf("wide batch %d: %w", batch, err)
 				return
 			}
-			res.WideOps += cr.Ops
+			wideOps += cr.Ops
 			for st, n := range cr.Statuses {
 				wideStatuses[st] += n
 			}
@@ -332,6 +339,11 @@ func RunSharded(cfg Config) (*ShardedResult, error) {
 	}
 	if err := <-wideDone; err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	res.ColdOps += coldOps
+	res.WideOps += wideOps
+	for st, n := range coldStatuses {
+		res.Statuses[st] += n
 	}
 	for st, n := range wideStatuses {
 		res.Statuses[st] += n

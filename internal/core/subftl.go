@@ -139,6 +139,37 @@ type FTL struct {
 	buf       *buffer.Aligned
 	pageSecs  int
 	lastScrub sim.Time
+
+	// Reusable scratch for the steady-state I/O path, so host writes,
+	// reads and trims allocate nothing. identSlots is the constant
+	// identity slot list [0..pageSecs) shared by full-page writes (never
+	// mutated, so nesting is irrelevant); lsnsBuf and partialBuf back
+	// Write's and Trim's sector runs; fullSlotsBuf backs Read's per-page
+	// slot grouping; slot1 serves single-slot full-region calls. The
+	// callees consume each slice before anything can re-enter these
+	// paths (GC relocation writes through its own scratch in
+	// subregion.go), so one set per FTL suffices.
+	identSlots   []int
+	lsnsBuf      []int64
+	partialBuf   []int64
+	fullSlotsBuf []int
+	slot1        [1]int
+
+	// Relocation scratch (see subregion.go). survivorsBuf backs
+	// survivorsIn for both subPass and GC Work — safe because subPass
+	// takes its survivors only after nextEligible (whose nested GC work
+	// has finished with the buffer) and nothing downstream re-enters
+	// survivorsIn. shiftBuf/evictBuf split a pass's survivors, hotBuf is
+	// GC Work's hot list (distinct from shiftBuf: Work nests inside
+	// subPass via nextEligible). pageStampsBuf holds the verified page
+	// image, passStampsBuf and gcStampsBuf the program payloads.
+	survivorsBuf  []survivor
+	shiftBuf      []survivor
+	evictSvBuf    []survivor
+	hotBuf        []survivor
+	pageStampsBuf []nand.Stamp
+	passStampsBuf []nand.Stamp
+	gcStampsBuf   []nand.Stamp
 }
 
 var _ ftl.FTL = (*FTL)(nil)
@@ -202,6 +233,10 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 	}
 	f.actives = make([]nand.BlockID, stripe)
 	f.activeOK = make([]bool, stripe)
+	f.identSlots = make([]int, g.SubpagesPerPage)
+	for i := range f.identSlots {
+		f.identSlots[i] = i
+	}
 	for i := range f.rmapSub {
 		f.rmapSub[i] = mapping.None
 	}
@@ -286,12 +321,10 @@ func (f *FTL) HashLoad() (entries int, avgProbes float64) {
 // region, retiring any stale copies its sectors have elsewhere.
 func (f *FTL) writeFullAligned(lpn int64, attrSmall int64) error {
 	base := lpn * int64(f.pageSecs)
-	slots := make([]int, f.pageSecs)
-	for i := range slots {
-		slots[i] = i
+	for i := 0; i < f.pageSecs; i++ {
 		f.dropSubCopy(base + int64(i))
 	}
-	return f.full.WriteSectors(lpn, slots, attrSmall)
+	return f.full.WriteSectors(lpn, f.identSlots, attrSmall)
 }
 
 // dropSubCopy removes lsn's subpage-region mapping, if any (its data is
@@ -312,7 +345,8 @@ func (f *FTL) dropFullCopy(lsn int64) {
 	lpn := lsn / int64(f.pageSecs)
 	slot := int(lsn % int64(f.pageSecs))
 	if f.full.Mapped(lpn) && f.full.Mask(lpn)&(1<<slot) != 0 {
-		f.full.TrimSectors(lpn, []int{slot})
+		f.slot1[0] = slot
+		f.full.TrimSectors(lpn, f.slot1[:])
 	}
 }
 
@@ -327,6 +361,19 @@ func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
 		return err
 	}
 	return f.payGC()
+}
+
+// sectorRun returns [lsn, lsn+sectors) in reusable scratch, valid until
+// the next sectorRun call.
+func (f *FTL) sectorRun(lsn int64, sectors int) []int64 {
+	if cap(f.lsnsBuf) < sectors {
+		f.lsnsBuf = make([]int64, sectors)
+	}
+	lsns := f.lsnsBuf[:sectors]
+	for i := range lsns {
+		lsns[i] = lsn + int64(i)
+	}
+	return lsns
 }
 
 func (f *FTL) write(lsn int64, sectors int, sync bool) error {
@@ -344,10 +391,9 @@ func (f *FTL) write(lsn int64, sectors int, sync bool) error {
 		f.stats.SmallWriteReqs++
 		f.stats.SmallHostBytes += int64(sectors) * int64(g.SubpageBytes)
 	}
-	lsns := make([]int64, sectors)
-	for i := range lsns {
-		lsns[i] = lsn + int64(i)
-		f.ver.Bump(lsns[i], small)
+	lsns := f.sectorRun(lsn, sectors)
+	for _, l := range lsns {
+		f.ver.Bump(l, small)
 	}
 
 	if !small {
@@ -355,11 +401,12 @@ func (f *FTL) write(lsn int64, sectors int, sync bool) error {
 		f.buf.Remove(lsns)
 		ps := int64(f.pageSecs)
 		i := 0
-		var partial []int64
+		partial := f.partialBuf[:0]
 		for i < sectors {
 			cur := lsn + int64(i)
 			if cur%ps == 0 && sectors-i >= f.pageSecs {
 				if err := f.writeFullAligned(cur/ps, 0); err != nil {
+					f.partialBuf = partial[:0]
 					return err
 				}
 				i += f.pageSecs
@@ -369,6 +416,7 @@ func (f *FTL) write(lsn int64, sectors int, sync bool) error {
 			partial = append(partial, cur)
 			i++
 		}
+		f.partialBuf = partial[:0]
 		if len(partial) > 0 {
 			return f.subWriteRun(partial, 0)
 		}
@@ -421,16 +469,16 @@ func (f *FTL) Read(lsn int64, sectors int) error {
 	f.stats.HostSectorsRead += int64(sectors)
 	ps := int64(f.pageSecs)
 	var fullLPN int64 = -1
-	var fullSlots []int
+	fullSlots := f.fullSlotsBuf[:0]
 	flushFull := func() error {
 		if fullLPN < 0 || len(fullSlots) == 0 {
 			fullLPN = -1
-			fullSlots = nil
+			fullSlots = fullSlots[:0]
 			return nil
 		}
 		err := f.full.ReadSectors(fullLPN, fullSlots)
 		fullLPN = -1
-		fullSlots = nil
+		fullSlots = fullSlots[:0]
 		return err
 	}
 	for i := 0; i < sectors; i++ {
@@ -459,7 +507,9 @@ func (f *FTL) Read(lsn int64, sectors int) error {
 		}
 		fullSlots = append(fullSlots, slot)
 	}
-	return flushFull()
+	err := flushFull()
+	f.fullSlotsBuf = fullSlots[:0]
+	return err
 }
 
 // Trim implements ftl.FTL.
@@ -469,14 +519,12 @@ func (f *FTL) Trim(lsn int64, sectors int) error {
 	}
 	f.stats.HostTrimReqs++
 	ps := int64(f.pageSecs)
-	lsns := make([]int64, sectors)
-	for i := range lsns {
-		lsns[i] = lsn + int64(i)
-	}
+	lsns := f.sectorRun(lsn, sectors)
 	f.buf.Remove(lsns)
 	for _, cur := range lsns {
 		f.dropSubCopy(cur)
-		f.full.TrimSectors(cur/ps, []int{int(cur % ps)})
+		f.slot1[0] = int(cur % ps)
+		f.full.TrimSectors(cur/ps, f.slot1[:])
 		f.ver.Clear(cur)
 	}
 	return nil

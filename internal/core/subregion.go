@@ -77,9 +77,11 @@ type survivor struct {
 
 // survivorsIn returns the live subpages of page p in slots [0, limit).
 // Stale copies are survivors too (see stale): until their volatile
-// successor lands on flash they carry the sector's durable state.
+// successor lands on flash they carry the sector's durable state. The
+// result is FTL-owned scratch, valid until the next survivorsIn call;
+// both callers consume it before anything downstream can re-enter.
 func (f *FTL) survivorsIn(p nand.PageID, limit int) []survivor {
-	var out []survivor
+	out := f.survivorsBuf[:0]
 	for s := 0; s < limit; s++ {
 		lsn, spn, ok := f.liveAt(p, s)
 		if !ok {
@@ -87,6 +89,7 @@ func (f *FTL) survivorsIn(p nand.PageID, limit int) []survivor {
 		}
 		out = append(out, survivor{lsn: lsn, spn: spn, slot: s})
 	}
+	f.survivorsBuf = out
 	return out
 }
 
@@ -268,7 +271,9 @@ func (f *FTL) advanceRound(b nand.BlockID) {
 // verifying each expected survivor against its recorded version. The
 // callers hold the stamps across further device operations (evictions,
 // the combined pass), so the device's borrowed read scratch is copied
-// into a caller-owned slice here.
+// out — into FTL-owned scratch of our own, valid until the next
+// readPageVerified call (the relocation paths never nest one inside
+// another's hold window).
 func (f *FTL) readPageVerified(p nand.PageID, survs []survivor) ([]nand.Stamp, error) {
 	stamps, errs, err := f.dev.ReadPage(p)
 	if err != nil {
@@ -283,7 +288,10 @@ func (f *FTL) readPageVerified(p nand.PageID, survs []survivor) ([]nand.Stamp, e
 			return nil, fmt.Errorf("core: relocation integrity violation at lsn %d: got %v, want %v", sv.lsn, stamps[sv.slot], want)
 		}
 	}
-	out := make([]nand.Stamp, len(stamps))
+	if cap(f.pageStampsBuf) < len(stamps) {
+		f.pageStampsBuf = make([]nand.Stamp, len(stamps))
+	}
+	out := f.pageStampsBuf[:len(stamps)]
 	copy(out, stamps)
 	return out, nil
 }
@@ -309,7 +317,8 @@ func (f *FTL) subPass(lsns []int64, attrPerSector int64) (int, error) {
 	// always evicted, hot or not: they must keep a durable incarnation
 	// (see stale), but shifting them would pin soon-dead copies in the
 	// region and let relocation rotate them forever.
-	var shift, evict []survivor
+	shift := f.shiftBuf[:0]
+	evict := f.evictSvBuf[:0]
 	for _, sv := range survs {
 		if !f.stale(sv.lsn, sv.spn) && f.updated[sv.lsn] && !f.cfg.DisableHotColdGC {
 			shift = append(shift, sv)
@@ -317,6 +326,7 @@ func (f *FTL) subPass(lsns []int64, attrPerSector int64) (int, error) {
 			evict = append(evict, sv)
 		}
 	}
+	f.shiftBuf, f.evictSvBuf = shift, evict
 	var pageStamps []nand.Stamp
 	if len(survs) > 0 {
 		pageStamps, err = f.readPageVerified(p, survs)
@@ -345,13 +355,14 @@ func (f *FTL) subPass(lsns []int64, attrPerSector int64) (int, error) {
 	if n > capacity {
 		n = capacity
 	}
-	stamps := make([]nand.Stamp, 0, len(shift)+n)
+	stamps := f.passStampsBuf[:0]
 	for _, sv := range shift {
 		stamps = append(stamps, pageStamps[sv.slot])
 	}
 	for _, lsn := range lsns[:n] {
 		stamps = append(stamps, nand.Stamp{LSN: lsn, Version: f.ver.Current(lsn)})
 	}
+	f.passStampsBuf = stamps
 	if len(stamps) == 0 {
 		// Nothing to program on this page (its survivors were all
 		// evicted, or the caller had no sectors); consume it so the
@@ -523,7 +534,8 @@ func (f *FTL) evictSector(lsn int64) error {
 	if f.ver.SmallOrigin(lsn) {
 		attr = int64(g.SubpageBytes)
 	}
-	return f.full.WriteSectors(lsn/ps, []int{int(lsn % ps)}, attr)
+	f.slot1[0] = int(lsn % ps)
+	return f.full.WriteSectors(lsn/ps, f.slot1[:], attr)
 }
 
 // evictToFull reads, verifies and evicts one subpage-region sector; used
@@ -544,7 +556,10 @@ func (f *FTL) evictToFull(lsn, spn int64) error {
 // block as one pass.
 func (f *FTL) gcMoveGroup(survs []survivor, pageStamps []nand.Stamp) error {
 	g := f.dev.Geometry()
-	stamps := make([]nand.Stamp, len(survs))
+	if cap(f.gcStampsBuf) < len(survs) {
+		f.gcStampsBuf = make([]nand.Stamp, len(survs))
+	}
+	stamps := f.gcStampsBuf[:len(survs)]
 	for i, sv := range survs {
 		stamps[i] = pageStamps[sv.slot]
 	}
@@ -682,7 +697,7 @@ func (t *subTarget) Work(victim nand.BlockID) (int, bool, error) {
 		if err != nil {
 			return 0, false, err
 		}
-		var hot []survivor
+		hot := f.hotBuf[:0]
 		for _, sv := range survs {
 			// Stale survivors take the eviction path regardless of heat:
 			// dropping them would destroy the sector's only durable
@@ -696,6 +711,7 @@ func (t *subTarget) Work(victim nand.BlockID) (int, bool, error) {
 			}
 			f.stats.Evictions++
 		}
+		f.hotBuf = hot
 		if len(hot) > 0 {
 			if err := f.gcMoveGroup(hot, pageStamps); err != nil {
 				return 0, false, err

@@ -38,6 +38,12 @@ type FTL struct {
 	pageSecs int
 	gcSlack  int
 	reserve  int
+
+	// slotsBuf is forEachPage's reusable slot scratch. forEachPage never
+	// nests (Write/Read/Trim each run one traversal at a time and the
+	// store consumes the slots within the callback), so one buffer serves
+	// the whole FTL and the steady-state I/O path allocates nothing.
+	slotsBuf []int
 }
 
 var _ ftl.FTL = (*FTL)(nil)
@@ -59,6 +65,7 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 		pageSecs: g.SubpagesPerPage,
 		gcSlack:  cfg.GC.BackgroundSlack,
 		reserve:  cfg.GCReserveBlocks,
+		slotsBuf: make([]int, g.SubpagesPerPage),
 	}
 	store, err := fullpage.New(dev, f.man, f.ver, &f.stats, ftl.RoleFull, cfg.LogicalSectors/ps, cfg.GCReserveBlocks, 0)
 	if err != nil {
@@ -93,7 +100,7 @@ func (f *FTL) forEachPage(lsn int64, sectors int, fn func(lpn int64, slots []int
 		if int64(n) > remaining {
 			n = int(remaining)
 		}
-		slots := make([]int, n)
+		slots := f.slotsBuf[:n]
 		for i := range slots {
 			slots[i] = start + i
 		}

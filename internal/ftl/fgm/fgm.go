@@ -62,13 +62,54 @@ type FTL struct {
 
 	// col drives victim selection and incremental draining. gcCursor is
 	// the scan-phase page cursor, gcStaged the live sectors awaiting
-	// repack, gcChunk a reusable chunk buffer — together the per-victim
-	// checkpoint the collector resumes across steps.
+	// repack (gcHead indexes the next entry so draining never re-slices
+	// the buffer off its backing array), gcChunk a reusable chunk buffer
+	// — together the per-victim checkpoint the collector resumes across
+	// steps.
 	col      *gc.Collector
 	gcSlack  int
 	gcCursor int
 	gcStaged []gcStage
+	gcHead   int
 	gcChunk  []int64
+	// gcView caches the manager view handed to the collector; rebuilding
+	// it per step would put an allocation in every Tick.
+	gcView gc.View
+
+	// Reusable steady-state scratch. lsnsBuf expands host requests into
+	// sector lists (Write and Trim never nest, so they share it; the
+	// buffer copies what it stages). liveBuf is the GC scan phase's
+	// per-page live-slot list. stampsFree recycles programPacked's stamp
+	// scratch — a freelist because a host program can trigger GC whose
+	// repack programs pages while the outer call's stamps are live.
+	lsnsBuf    []int64
+	liveBuf    []int
+	stampsFree [][]nand.Stamp
+}
+
+// sectorRun expands [lsn, lsn+sectors) into the reusable scratch list.
+func (f *FTL) sectorRun(lsn int64, sectors int) []int64 {
+	if cap(f.lsnsBuf) < sectors {
+		f.lsnsBuf = make([]int64, sectors)
+	}
+	lsns := f.lsnsBuf[:sectors]
+	for i := range lsns {
+		lsns[i] = lsn + int64(i)
+	}
+	return lsns
+}
+
+func (f *FTL) getStamps() []nand.Stamp {
+	if n := len(f.stampsFree); n > 0 {
+		buf := f.stampsFree[n-1]
+		f.stampsFree = f.stampsFree[:n-1]
+		return buf
+	}
+	return make([]nand.Stamp, f.pageSecs)
+}
+
+func (f *FTL) putStamps(buf []nand.Stamp) {
+	f.stampsFree = append(f.stampsFree, buf)
 }
 
 // gcStage records one live sector found during the GC scan phase: the
@@ -227,7 +268,8 @@ func (f *FTL) programPacked(lsns []int64, forGC bool) error {
 		return fmt.Errorf("fgm: packing %d sectors into a %d-sector page", len(lsns), f.pageSecs)
 	}
 	g := f.dev.Geometry()
-	stamps := make([]nand.Stamp, f.pageSecs)
+	stamps := f.getStamps()
+	defer f.putStamps(stamps)
 	for slot := range stamps {
 		stamps[slot] = nand.Padding
 	}
@@ -327,9 +369,8 @@ func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
 		f.stats.SmallWriteReqs++
 		f.stats.SmallHostBytes += int64(sectors) * int64(f.dev.Geometry().SubpageBytes)
 	}
-	lsns := make([]int64, sectors)
+	lsns := f.sectorRun(lsn, sectors)
 	for i := range lsns {
-		lsns[i] = lsn + int64(i)
 		f.ver.Bump(lsns[i], small)
 	}
 	before := f.buf.Absorbed()
@@ -392,10 +433,7 @@ func (f *FTL) Trim(lsn int64, sectors int) error {
 		return err
 	}
 	f.stats.HostTrimReqs++
-	lsns := make([]int64, sectors)
-	for i := range lsns {
-		lsns[i] = lsn + int64(i)
-	}
+	lsns := f.sectorRun(lsn, sectors)
 	f.buf.Trim(lsns)
 	g := f.dev.Geometry()
 	for _, cur := range lsns {
@@ -469,8 +507,11 @@ func (t *fgmTarget) ftl() *FTL { return (*FTL)(t) }
 // subpage sectors, the in-flight victim excluded.
 func (t *fgmTarget) View() gc.View {
 	f := t.ftl()
-	g := f.dev.Geometry()
-	return f.man.GCView(ftl.RoleFull, g.SubpagesPerBlock(), f.col.InFlight)
+	if f.gcView == nil {
+		g := f.dev.Geometry()
+		f.gcView = f.man.GCView(ftl.RoleFull, g.SubpagesPerBlock(), f.col.InFlight)
+	}
+	return f.gcView
 }
 
 // Fallback implements gc.Target; fgm has no secondary victim source.
@@ -482,6 +523,7 @@ func (t *fgmTarget) Begin(b nand.BlockID) {
 	f.stats.GCInvocations++
 	f.gcCursor = 0
 	f.gcStaged = f.gcStaged[:0]
+	f.gcHead = 0
 }
 
 // Work implements gc.Target.
@@ -495,7 +537,7 @@ func (t *fgmTarget) Work(victim nand.BlockID) (int, bool, error) {
 		p := g.PageOf(victim, f.gcCursor)
 		f.gcCursor++
 		// Find live sectors in this page before paying for the read.
-		var liveSlots []int
+		liveSlots := f.liveBuf[:0]
 		for slot := 0; slot < f.pageSecs; slot++ {
 			spn := int64(g.SubpageOf(p, slot))
 			lsn := f.rmap[spn]
@@ -503,6 +545,7 @@ func (t *fgmTarget) Work(victim nand.BlockID) (int, bool, error) {
 				liveSlots = append(liveSlots, slot)
 			}
 		}
+		f.liveBuf = liveSlots[:0]
 		if len(liveSlots) == 0 {
 			continue
 		}
@@ -521,9 +564,9 @@ func (t *fgmTarget) Work(victim nand.BlockID) (int, bool, error) {
 	// Phase 2: repack, one physical page per call, dropping entries
 	// whose mapping moved since they were staged.
 	chunk := f.gcChunk[:0]
-	for len(f.gcStaged) > 0 && len(chunk) < f.pageSecs {
-		st := f.gcStaged[0]
-		f.gcStaged = f.gcStaged[1:]
+	for f.gcHead < len(f.gcStaged) && len(chunk) < f.pageSecs {
+		st := f.gcStaged[f.gcHead]
+		f.gcHead++
 		if f.rmap[st.spn] != st.lsn || f.table.Lookup(st.lsn) != st.spn {
 			continue
 		}
@@ -542,7 +585,7 @@ func (t *fgmTarget) Work(victim nand.BlockID) (int, bool, error) {
 			f.stats.SmallFlashBytes += int64(g.SubpageBytes)
 		}
 	}
-	return 1, len(f.gcStaged) == 0, nil
+	return 1, f.gcHead == len(f.gcStaged), nil
 }
 
 // Release implements gc.Target: recycle the drained victim.

@@ -58,6 +58,31 @@ type Store struct {
 	// the per-victim page cursor the collector's checkpoint resumes at.
 	col      *gc.Collector
 	gcCursor int
+	// gcView caches the manager view handed to the collector: its inputs
+	// (role, geometry, exclusion hook) are fixed for the store's life, and
+	// rebuilding it per step would put an allocation in every Tick.
+	gcView gc.View
+
+	// stampsFree recycles programPage's stamp scratch. A freelist rather
+	// than a single buffer because programPage nests: a host program can
+	// trigger GC whose relocations program pages of their own while the
+	// outer call's stamps are still live.
+	stampsFree [][]nand.Stamp
+}
+
+// getStamps takes a page-sized stamp buffer off the freelist.
+func (s *Store) getStamps() []nand.Stamp {
+	if n := len(s.stampsFree); n > 0 {
+		buf := s.stampsFree[n-1]
+		s.stampsFree = s.stampsFree[:n-1]
+		return buf
+	}
+	return make([]nand.Stamp, s.pageSecs)
+}
+
+// putStamps returns a buffer taken with getStamps.
+func (s *Store) putStamps(buf []nand.Stamp) {
+	s.stampsFree = append(s.stampsFree, buf)
 }
 
 // SetReclaim installs the cross-region reclaim hook.
@@ -329,7 +354,8 @@ func (s *Store) allocPage(forGC bool) (nand.PageID, error) {
 // their current host version.
 func (s *Store) programPage(lpn int64, forGC bool) error {
 	g := s.dev.Geometry()
-	stamps := make([]nand.Stamp, s.pageSecs)
+	stamps := s.getStamps()
+	defer s.putStamps(stamps)
 	mask := s.masks[lpn]
 	for slot := 0; slot < s.pageSecs; slot++ {
 		if mask&(1<<slot) == 0 {
@@ -505,7 +531,10 @@ func (t *storeTarget) store() *Store { return (*Store)(t) }
 // selection by construction (it cannot be re-picked while checkpointed).
 func (t *storeTarget) View() gc.View {
 	s := t.store()
-	return s.man.GCView(s.role, s.dev.Geometry().PagesPerBlock, s.col.InFlight)
+	if s.gcView == nil {
+		s.gcView = s.man.GCView(s.role, s.dev.Geometry().PagesPerBlock, s.col.InFlight)
+	}
+	return s.gcView
 }
 
 // Fallback implements gc.Target; the full-page store has no secondary

@@ -1,7 +1,6 @@
 package host
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -18,6 +17,15 @@ import (
 // deterministic, single-caller world even with hundreds of concurrent
 // clients upstream.
 
+// Completion receives a completed command. It is the recycling-aware
+// alternative to ExtSubmission.Done: a command delivered through a
+// Completion is returned to the scheduler's freelist as soon as
+// Complete returns, so the receiver must copy anything it needs and
+// must not retain the *Command past the call.
+type Completion interface {
+	Complete(c *Command)
+}
+
 // ExtSubmission is one externally produced request plus its completion
 // callback.
 type ExtSubmission struct {
@@ -26,9 +34,17 @@ type ExtSubmission struct {
 	// command completes (or is rejected before queueing). The command's
 	// Err field carries the FTL error, if any; Arrival/Complete give its
 	// virtual-time lifecycle. Done must not block: it runs inside the
-	// event loop, and a slow callback stalls every tenant.
+	// event loop, and a slow callback stalls every tenant. Commands
+	// delivered through Done are never recycled — the receiver may keep
+	// the pointer.
 	Done func(c *Command)
+	// Complete, when non-nil, takes precedence over Done and opts the
+	// command into record recycling (see Completion). The steady-state
+	// serve path uses it so sustained traffic allocates no Command
+	// records.
+	Complete Completion
 }
+
 
 // RunExternal services submissions from sub until the channel is closed
 // and every accepted command has completed, returning the run's report.
@@ -65,6 +81,7 @@ func (s *Scheduler) RunExternal(sub <-chan ExtSubmission, gate *sim.Gate) (*Repo
 				open = false
 			} else {
 				s.acceptExt(r, gate)
+				s.drainQueued(sub, gate, &open)
 			}
 			continue
 		}
@@ -90,6 +107,7 @@ func (s *Scheduler) RunExternal(sub <-chan ExtSubmission, gate *sim.Gate) (*Repo
 						open = false
 					} else {
 						s.acceptExt(r, gate)
+						s.drainQueued(sub, gate, &open)
 					}
 					continue
 				case <-timer.C:
@@ -104,6 +122,7 @@ func (s *Scheduler) RunExternal(sub <-chan ExtSubmission, gate *sim.Gate) (*Repo
 						open = false
 					} else {
 						s.acceptExt(r, gate)
+						s.drainQueued(sub, gate, &open)
 					}
 					continue
 				default:
@@ -114,16 +133,42 @@ func (s *Scheduler) RunExternal(sub <-chan ExtSubmission, gate *sim.Gate) (*Repo
 			// their paced delivery times.
 			gate.Wait(next)
 		}
-		ev := heap.Pop(&s.events).(event)
+		ev := s.events.pop()
 		if ev.at > s.now {
 			s.now = ev.at
 		}
 		c := ev.cmd
 		s.complete(c)
-		if c.Class != ClassBackground && c.done != nil {
-			c.done(c)
+		if c.Class != ClassBackground {
+			if c.comp != nil {
+				c.comp.Complete(c)
+				s.freeCmd(c)
+			} else if c.done != nil {
+				c.done(c)
+			}
 		}
 		s.sampleSeries()
+	}
+}
+
+// drainQueued greedily accepts submissions already sitting in the
+// channel after a blocking receive, so one scheduler wake admits a whole
+// burst and the following dispatch round arbitrates over the full batch
+// instead of one command at a time. Bounded by Config.ExtBatch; the
+// default batch of 1 makes this a no-op (see the ExtBatch doc for why
+// batching must be opt-in).
+func (s *Scheduler) drainQueued(sub <-chan ExtSubmission, gate *sim.Gate, open *bool) {
+	for i := 1; i < s.cfg.ExtBatch; i++ {
+		select {
+		case r, ok := <-sub:
+			if !ok {
+				*open = false
+				return
+			}
+			s.acceptExt(r, gate)
+		default:
+			return
+		}
 	}
 }
 
@@ -141,15 +186,23 @@ func (s *Scheduler) acceptExt(r ExtSubmission, gate *sim.Gate) {
 	c, err := s.submitCmd(r.Req)
 	if err != nil {
 		s.rep.Rejected++
-		if r.Done != nil {
-			r.Done(&Command{
-				Req: r.Req, Err: err, Chip: s.chips,
-				Arrival: s.now, Dispatch: s.now, Complete: s.now, DispatchIdx: -1,
-			})
+		if r.Complete == nil && r.Done == nil {
+			return
+		}
+		rc := s.newCmd()
+		rc.Req, rc.Err, rc.Chip = r.Req, err, s.chips
+		rc.Arrival, rc.Dispatch, rc.Complete = s.now, s.now, s.now
+		rc.DispatchIdx = -1
+		if r.Complete != nil {
+			r.Complete.Complete(rc)
+			s.freeCmd(rc)
+		} else if r.Done != nil {
+			r.Done(rc)
 		}
 		return
 	}
 	c.done = r.Done
+	c.comp = r.Complete
 }
 
 // gateWait returns how long the wall clock must run before the virtual

@@ -118,6 +118,10 @@ type Command struct {
 	deferred int
 	// done delivers the completed command to an external submitter.
 	done func(*Command)
+	// comp is the recycling-aware delivery path: when set, it is invoked
+	// instead of done and the record returns to the scheduler freelist
+	// as soon as Complete returns.
+	comp Completion
 }
 
 // latency is the command's completion minus arrival; by construction it

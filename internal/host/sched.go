@@ -1,7 +1,6 @@
 package host
 
 import (
-	"container/heap"
 	"fmt"
 
 	"espftl/internal/ftl"
@@ -26,6 +25,15 @@ type Config struct {
 	// may yield to pending host reads before it is dispatched anyway
 	// (default 512). Scrubbing must eventually run even under read load.
 	BackgroundDeferLimit int
+	// ExtBatch is the external-mode admission batch: after a blocking
+	// submission receive, RunExternal greedily drains up to ExtBatch-1
+	// further queued submissions before the next dispatch round, so a
+	// burst is arbitrated as one batch. The default (1) admits one
+	// submission per wake — the legacy behaviour, and the only
+	// deterministic one when producers race the event loop, so batching
+	// is strictly opt-in (the network service opts in; single-threaded
+	// replay tests must not).
+	ExtBatch int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -44,6 +52,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.BackgroundDeferLimit == 0 {
 		c.BackgroundDeferLimit = 512
 	}
+	if c.ExtBatch == 0 {
+		c.ExtBatch = 1
+	}
+	if c.ExtBatch < 0 {
+		return c, fmt.Errorf("host: negative external batch %d", c.ExtBatch)
+	}
 	return c, nil
 }
 
@@ -56,24 +70,55 @@ type event struct {
 	arrive int64 // arrival index when cmd is nil
 }
 
-// eventHeap is a min-heap on (at, ord).
+// eventHeap is a min-heap on (at, ord). It deliberately does not
+// implement container/heap: heap.Push and heap.Pop box every event
+// through interface{}, which is an allocation per scheduled completion —
+// the concrete push/pop below keep the event loop allocation-free.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].ord < h[j].ord
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Scheduler is the event-driven host interface over one device and FTL.
@@ -116,6 +161,16 @@ type Scheduler struct {
 	ran        bool
 	external   bool // RunExternal: per-command error delivery, byte attribution
 	onDispatch func(*Command)
+
+	// cmdFree recycles Command records for submitters that opted into
+	// recycling (ExtSubmission.Complete) and for background ticks; see
+	// freeCmd for the retention rules.
+	cmdFree []*Command
+	// issueErr and issueCB are the reusable Submit callback: allocating a
+	// fresh closure per dispatch would put one heap object on every
+	// command's hot path.
+	issueErr error
+	issueCB  ftl.CompletionFunc
 }
 
 // SetDispatchHook installs a callback observing every command at the
@@ -146,8 +201,28 @@ func New(dev *nand.Device, f ftl.FTL, cfg Config) (*Scheduler, error) {
 	s.chipBusy = make([]bool, s.chips)
 	s.heads = make([]*Command, s.chips+1)
 	s.now = s.clock.Now()
+	s.issueCB = func(e error) { s.issueErr = e }
 	return s, nil
 }
+
+// newCmd takes a zeroed Command from the freelist, or allocates one.
+func (s *Scheduler) newCmd() *Command {
+	if n := len(s.cmdFree); n > 0 {
+		c := s.cmdFree[n-1]
+		s.cmdFree = s.cmdFree[:n-1]
+		*c = Command{}
+		return c
+	}
+	return &Command{}
+}
+
+// freeCmd returns a command to the freelist. Recycling is strictly
+// opt-in: only commands whose submitter used the Completion interface
+// (which promises not to retain the pointer) and internally generated
+// background ticks come back here — commands delivered through the
+// legacy ExtSubmission.Done func, or run by the closed/open-loop
+// drivers, stay live because callers historically retain them.
+func (s *Scheduler) freeCmd(c *Command) { s.cmdFree = append(s.cmdFree, c) }
 
 // RunClosedLoop drives n generated requests at a fixed queue depth: depth
 // requests are outstanding at all times (until the stream drains), and
@@ -251,7 +326,7 @@ func (s *Scheduler) loop(onHostComplete func() error, onArrive func(idx int64, a
 			}
 			return nil
 		}
-		ev := heap.Pop(&s.events).(event)
+		ev := s.events.pop()
 		if ev.at > s.now {
 			s.now = ev.at
 		}
@@ -273,7 +348,7 @@ func (s *Scheduler) loop(onHostComplete func() error, onArrive func(idx int64, a
 }
 
 func (s *Scheduler) pushArrival(at sim.Time, idx int64) {
-	heap.Push(&s.events, event{at: at, ord: s.evOrd, arrive: idx})
+	s.events.push(event{at: at, ord: s.evOrd, arrive: idx})
 	s.evOrd++
 }
 
@@ -293,13 +368,12 @@ func (s *Scheduler) submitCmd(r workload.Request) (*Command, error) {
 	if r.Op == workload.OpAdvance {
 		return nil, fmt.Errorf("host: OpAdvance cannot be scheduled; advance the clock between runs")
 	}
-	c := &Command{
-		Seq:         s.seq,
-		Queue:       int(s.seq % int64(s.cfg.Queues)),
-		Req:         r,
-		Arrival:     s.now,
-		DispatchIdx: -1,
-	}
+	c := s.newCmd()
+	c.Seq = s.seq
+	c.Queue = int(s.seq % int64(s.cfg.Queues))
+	c.Req = r
+	c.Arrival = s.now
+	c.DispatchIdx = -1
 	s.seq++
 	if r.Op == workload.OpRead {
 		c.Class = ClassRead
@@ -391,7 +465,13 @@ func (s *Scheduler) dispatchRound() error {
 		}
 		if i := s.cfg.Arbiter.Pick(s.heads, s.dispatchable); i >= 0 {
 			c := s.cq[i][0]
-			s.cq[i] = s.cq[i][1:]
+			// Shift instead of re-slicing so the queue keeps its backing
+			// array: q = q[1:] strands capacity and forces the next append
+			// to reallocate. Queues are short (bounded by queue depth), so
+			// the copy is cheaper than the churn.
+			q := s.cq[i]
+			copy(q, q[1:])
+			s.cq[i] = q[:len(q)-1]
 			if err := s.dispatchHost(c); err != nil {
 				return err
 			}
@@ -432,7 +512,13 @@ func (s *Scheduler) dispatchHost(c *Command) error {
 	s.hostDispatched++
 	s.rep.Dispatched++
 	if s.cfg.TickEvery > 0 && i%int64(s.cfg.TickEvery) == 0 && s.bg == nil {
-		s.bg = &Command{Seq: s.seq, Queue: 0, Class: ClassBackground, Chip: s.chips, Arrival: s.now, DispatchIdx: -1}
+		bg := s.newCmd()
+		bg.Seq = s.seq
+		bg.Class = ClassBackground
+		bg.Chip = s.chips
+		bg.Arrival = s.now
+		bg.DispatchIdx = -1
+		s.bg = bg
 		s.seq++
 	}
 	return nil
@@ -502,7 +588,7 @@ func (s *Scheduler) dispatch(c *Command) error {
 		// dead device) must not tear down the whole service loop.
 		c.Err = err
 	}
-	heap.Push(&s.events, event{at: end, ord: s.evOrd, cmd: c})
+	s.events.push(event{at: end, ord: s.evOrd, cmd: c})
 	s.evOrd++
 	if c.Class != ClassBackground {
 		wait := c.Dispatch.Sub(c.Arrival)
@@ -529,9 +615,9 @@ func (s *Scheduler) issue(c *Command) error {
 		return s.f.Tick()
 	}
 	if s.sub != nil {
-		var err error
-		s.sub.Submit(c.Req, func(e error) { err = e })
-		return err
+		s.issueErr = nil
+		s.sub.Submit(c.Req, s.issueCB)
+		return s.issueErr
 	}
 	r := c.Req
 	switch r.Op {
@@ -551,6 +637,11 @@ func (s *Scheduler) issue(c *Command) error {
 func (s *Scheduler) complete(c *Command) {
 	if c.Class == ClassBackground {
 		s.rep.BackLat.Record(c.latency())
+		if s.onDispatch == nil {
+			// Background ticks are purely internal; nothing can retain one
+			// unless a dispatch hook observed it (tests may keep pointers).
+			s.freeCmd(c)
+		}
 		return
 	}
 	if c.Chip < s.chips {

@@ -61,10 +61,19 @@ func newChip(geo Geometry) *chip {
 		blocks: make([]block, geo.BlocksPerChip),
 		inPass: make([]bool, geo.SubpagesPerPage),
 	}
+	// Carve every page and subpage out of two slabs instead of one
+	// allocation per page: experiment grids build thousands of devices,
+	// and per-page slices made construction the dominant allocation
+	// source of a whole figure run. Capacities are pinned so an append
+	// through one page's slice can never bleed into the next page.
+	pages := make([]page, geo.BlocksPerChip*geo.PagesPerBlock)
+	subs := make([]subpage, len(pages)*geo.SubpagesPerPage)
 	for b := range c.blocks {
-		c.blocks[b].pages = make([]page, geo.PagesPerBlock)
+		c.blocks[b].pages = pages[:geo.PagesPerBlock:geo.PagesPerBlock]
+		pages = pages[geo.PagesPerBlock:]
 		for p := range c.blocks[b].pages {
-			c.blocks[b].pages[p].subs = make([]subpage, geo.SubpagesPerPage)
+			c.blocks[b].pages[p].subs = subs[:geo.SubpagesPerPage:geo.SubpagesPerPage]
+			subs = subs[geo.SubpagesPerPage:]
 		}
 	}
 	return c

@@ -107,6 +107,7 @@ type Device struct {
 	subsBuf    []int
 	readStamps []Stamp
 	readErrs   []error
+	readErrOps []OpError
 	oobBuf     []SubpageOOB
 }
 
@@ -154,6 +155,7 @@ func NewDevice(cfg Config, clock *sim.Clock) (*Device, error) {
 	d.subsBuf = make([]int, sp)
 	d.readStamps = make([]Stamp, sp)
 	d.readErrs = make([]error, sp)
+	d.readErrOps = make([]OpError, sp)
 	d.oobBuf = make([]SubpageOOB, sp)
 	return d, nil
 }
@@ -568,7 +570,10 @@ func (d *Device) ReadPage(p PageID) ([]Stamp, []error, error) {
 				d.counters.RetentionHits++
 			}
 			stamps[sub] = Padding
-			errs[sub] = &OpError{Op: "read", Block: b, Page: pi, Sub: sub, Err: err}
+			// The error values share the borrow contract of the stamp and
+			// error slices: device-owned scratch, reused by the next read.
+			d.readErrOps[sub] = OpError{Op: "read", Block: b, Page: pi, Sub: sub, Err: err}
+			errs[sub] = &d.readErrOps[sub]
 			continue
 		}
 		stamps[sub] = st

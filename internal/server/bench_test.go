@@ -79,7 +79,8 @@ func BenchmarkServeLoopbackQD8(b *testing.B) {
 		return gen.Next(), true
 	}, 8, func(r server.Reply) {
 		if r.Rep.Status != 0 && firstErr == nil {
-			firstErr = r.Rep.Payload
+			// The payload aliases the client's decode buffer; keep a copy.
+			firstErr = append([]byte(nil), r.Rep.Payload...)
 		}
 	})
 	b.StopTimer()

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
@@ -17,6 +18,9 @@ import (
 // concurrent use; open one per goroutine.
 type Client struct {
 	conn net.Conn
+	// rr decodes the reply stream into a connection-lifetime buffer, so
+	// the steady-state read path neither allocates nor copies payloads.
+	rr *wire.ReplyReader
 	// addr and ns are remembered so RunResilient can reconnect.
 	addr, ns string
 	// Welcome is the server's handshake reply: namespace geometry and
@@ -57,7 +61,14 @@ func DialTimeout(addr, ns string, timeout time.Duration) (*Client, error) {
 		return nil, fmt.Errorf("server refused %q: %s", ns, wl.Err)
 	}
 	conn.SetDeadline(time.Time{})
-	return &Client{conn: conn, addr: addr, ns: ns, Welcome: wl}, nil
+	// The buffered reader wraps the socket only after the handshake, so
+	// it can never have swallowed handshake bytes.
+	return &Client{
+		conn:    conn,
+		rr:      wire.NewReplyReader(bufio.NewReader(conn)),
+		addr:    addr, ns: ns,
+		Welcome: wl,
+	}, nil
 }
 
 // Close tears the connection down.
@@ -97,8 +108,10 @@ type Reply struct {
 // Run drives requests from next at the given queue depth until next
 // returns false, then waits for every outstanding reply. onReply, when
 // non-nil, observes each completion in arrival order on the reply-reader
-// goroutine. Requests the server cannot serve live (ADVANCE) must be
-// filtered by the caller.
+// goroutine; the Reply's Rep.Payload aliases the client's reusable
+// decode buffer and is valid only during the callback — a callback that
+// retains it must copy. Requests the server cannot serve live (ADVANCE)
+// must be filtered by the caller.
 func (c *Client) Run(next func() (workload.Request, bool), depth int, onReply func(Reply)) (*ClientReport, error) {
 	if depth < 1 {
 		return nil, fmt.Errorf("client: queue depth %d (want >= 1)", depth)
@@ -130,7 +143,7 @@ func (c *Client) Run(next func() (workload.Request, bool), depth int, onReply fu
 	go func() {
 		defer close(done)
 		for {
-			r, err := wire.ReadReply(c.conn)
+			r, err := c.rr.Read()
 			if err != nil {
 				readerErr <- err
 				return
@@ -222,12 +235,14 @@ func (c *Client) Stat() ([]byte, error) {
 	if err := wire.WriteCmd(c.conn, wire.Cmd{Op: wire.OpStat, Tag: ^uint64(0)}); err != nil {
 		return nil, err
 	}
-	r, err := wire.ReadReply(c.conn)
+	r, err := c.rr.Read()
 	if err != nil {
 		return nil, err
 	}
 	if r.Status != wire.StatusOK {
 		return nil, fmt.Errorf("client: STAT failed: %s", r.Payload)
 	}
-	return r.Payload, nil
+	// The decoder's buffer is reused by the next read; the snapshot the
+	// caller keeps must be its own.
+	return append([]byte(nil), r.Payload...), nil
 }

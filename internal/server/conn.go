@@ -61,8 +61,18 @@ func (s *Server) handle(c net.Conn) {
 
 	connSlots := make(chan struct{}, s.cfg.PerConnInflight)
 	var reqWG sync.WaitGroup
+	// Steady-state scratch, all per-connection so the read loop allocates
+	// nothing per command: a reusable frame decoder, a fragment buffer the
+	// router fills, and a free pool of join records. The pool is a buffered
+	// channel because joins retire on engine goroutines while the reader
+	// takes from it — the channel is the (lock-free in the common case)
+	// handoff. At most PerConnInflight joins are ever live, so the pool
+	// never overflows and puts never block.
+	cr := wire.NewCmdReader(br)
+	var fragsBuf []frag
+	joinFree := make(chan *join, s.cfg.PerConnInflight)
 	for {
-		cmd, err := wire.ReadCmd(br)
+		cmd, err := cr.Read()
 		if err != nil {
 			break // client gone, stream corrupt, or drain interrupt
 		}
@@ -112,7 +122,10 @@ func (s *Server) handle(c net.Conn) {
 
 		// Route to shard-local fragments: one for a resident namespace,
 		// several for a striped request or a cross-shard FLUSH barrier.
-		frags := ns.route(req)
+		// The fragment slice is connection-owned scratch, consumed before
+		// the next iteration reuses it.
+		frags := ns.routeInto(req, fragsBuf[:0])
+		fragsBuf = frags
 
 		// Admission: the per-connection cap, then one slot per fragment
 		// on its shard's budget, in ascending shard order (a total order
@@ -125,30 +138,33 @@ func (s *Server) handle(c net.Conn) {
 		}
 
 		reqWG.Add(1)
-		j := &join{
-			s: s, ns: ns, ioCh: ioCh, connSlots: connSlots, reqWG: &reqWG,
-			tag: cmd.Tag, op: req.Op, sectors: req.Sectors,
-			remaining: len(frags), errIdx: len(frags),
+		var j *join
+		select {
+		case j = <-joinFree:
+		default:
+			j = &join{}
 		}
+		j.reset(s, ns, ioCh, connSlots, &reqWG, joinFree, cmd.Tag, req.Op, req.Sectors, len(frags))
 		// Submit fragments in ascending shard order. Within one shard
 		// the submission channel preserves this connection's command
 		// order, which is what makes a later FLUSH cover every earlier
 		// write on that shard — the cross-shard barrier is simply that
 		// the join answers only when the slowest shard has settled.
+		// Completions arrive through the join's fragDone records (the
+		// scheduler's recycling-aware path); the records live in a
+		// join-owned slice, so sustained traffic allocates neither
+		// closures nor command records.
 		for i, fr := range frags {
-			sh, fragIdx := fr.sh, i
-			es := host.ExtSubmission{Req: fr.req, Done: func(hc *host.Command) {
-				sh.progress.Add(1)
-				j.finish(sh, fragIdx, time.Duration(hc.Complete.Sub(hc.Arrival)), hc.FlashBytes, hc.Err)
-			}}
+			j.frags[i] = fragDone{j: j, sh: fr.sh, idx: i}
+			es := host.ExtSubmission{Req: fr.req, Complete: &j.frags[i]}
 			select {
-			case sh.sub <- es:
-				sh.accepted.Add(1)
-			case <-sh.engineDone:
+			case fr.sh.sub <- es:
+				fr.sh.accepted.Add(1)
+			case <-fr.sh.engineDone:
 				// The shard's engine died under us (scheduler stall):
 				// complete the fragment as refused instead of wedging
 				// the reader on a channel nobody drains.
-				j.finish(sh, fragIdx, 0, 0, errEngineStopped)
+				j.finish(fr.sh, i, 0, 0, errEngineStopped)
 			}
 		}
 	}
@@ -172,9 +188,15 @@ type join struct {
 	ioCh      chan<- wire.Reply
 	connSlots <-chan struct{}
 	reqWG     *sync.WaitGroup
-	tag       uint64
-	op        workload.Op
-	sectors   int
+	// free is the owning connection's join pool; the last fragment puts
+	// the record back after the reply is enqueued.
+	free chan *join
+	tag  uint64
+	op   workload.Op
+	// frags holds this command's completion records, one per fragment;
+	// the slice is reused across the join's lives.
+	frags   []fragDone
+	sectors int
 
 	mu        sync.Mutex
 	remaining int
@@ -184,9 +206,39 @@ type join struct {
 	errIdx    int
 }
 
+// reset re-initializes a (possibly pooled) join for its next command and
+// sizes the fragment-completion slice.
+func (j *join) reset(s *Server, ns *namespace, ioCh chan<- wire.Reply, connSlots <-chan struct{},
+	reqWG *sync.WaitGroup, free chan *join, tag uint64, op workload.Op, sectors, nfrags int) {
+	j.s, j.ns, j.ioCh, j.connSlots, j.reqWG, j.free = s, ns, ioCh, connSlots, reqWG, free
+	j.tag, j.op, j.sectors = tag, op, sectors
+	j.remaining, j.errIdx = nfrags, nfrags
+	j.lat, j.flash, j.err = 0, 0, nil
+	if cap(j.frags) < nfrags {
+		j.frags = make([]fragDone, nfrags)
+	}
+	j.frags = j.frags[:nfrags]
+}
+
+// fragDone delivers one fragment's engine completion into its join. It
+// implements host.Completion, the scheduler's recycling-aware delivery
+// path: Complete only reads the command's fields and never retains the
+// pointer, so the scheduler reuses the record for the next submission.
+type fragDone struct {
+	j   *join
+	sh  *shard
+	idx int
+}
+
+func (fd *fragDone) Complete(hc *host.Command) {
+	fd.sh.progress.Add(1)
+	fd.j.finish(fd.sh, fd.idx, time.Duration(hc.Complete.Sub(hc.Arrival)), hc.FlashBytes, hc.Err)
+}
+
 // finish retires one fragment. The fragment's shard slot releases
 // immediately; the last fragment records the command, escalates health,
-// emits the reply, and releases the connection slot.
+// emits the reply, releases the connection slot, and returns the join to
+// its connection's pool.
 func (j *join) finish(sh *shard, fragIdx int, lat time.Duration, flash int64, err error) {
 	j.mu.Lock()
 	if lat > j.lat {
@@ -213,7 +265,17 @@ func (j *join) finish(sh *shard, fragIdx int, lat time.Duration, flash int64, er
 	}
 	j.ioCh <- rep // never blocks: one buffered slot per admitted command
 	<-j.connSlots
-	j.reqWG.Done()
+	// Release order matters: capture the WaitGroup, pool the join (after
+	// which the reader may immediately reuse it), then signal completion.
+	// The pool put never blocks — at most PerConnInflight joins exist.
+	wg := j.reqWG
+	if j.free != nil {
+		select {
+		case j.free <- j:
+		default:
+		}
+	}
+	wg.Done()
 }
 
 // ftlReadOnlyMsg is the breaker's reply payload, matching what the
@@ -288,13 +350,19 @@ func (s *Server) connWriter(c net.Conn, version uint8, ioCh, auxCh <-chan wire.R
 	defer close(done)
 	bw := bufio.NewWriter(c)
 	dead := false
+	// Frames are built in writer-owned scratch and handed to the buffered
+	// writer, which coalesces a burst of replies into one flush; the
+	// scratch grows to the largest reply seen and is reused, so the
+	// steady-state write path allocates nothing.
+	var wbuf []byte
 	write := func(r wire.Reply) {
 		if dead {
 			return
 		}
 		r.Status = wire.DowngradeStatus(version, r.Status)
 		c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		if err := wire.WriteReply(bw, r); err != nil {
+		wbuf = wire.AppendReply(wbuf[:0], r)
+		if _, err := bw.Write(wbuf); err != nil {
 			dead = true
 		}
 	}

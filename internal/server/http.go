@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 	"reflect"
 
 	"espftl/internal/ftl"
@@ -97,6 +98,17 @@ func (s *Server) httpMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", s.serveStats)
 	mux.HandleFunc("/metrics", s.serveMetrics)
+	if s.cfg.EnablePprof {
+		// The default-mux registrations net/http/pprof performs on
+		// import don't apply here (this is a private mux); register the
+		// handlers explicitly. Index serves every named profile
+		// (heap, goroutine, allocs, ...) under /debug/pprof/.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -92,20 +92,27 @@ type frag struct {
 	req workload.Request
 }
 
-// route maps a namespace-relative request onto shard-local fragments.
-// Single-extent namespaces route whole (the common, fast case). Striped
-// namespaces split I/O at stripe boundaries and fan FLUSH out to every
-// owning shard — the completion join in the connection handler is what
-// turns that fan-out into a barrier.
+// route maps a namespace-relative request onto shard-local fragments,
+// allocating the fragment slice.
 func (n *namespace) route(r workload.Request) []frag {
+	return n.routeInto(r, nil)
+}
+
+// routeInto maps a namespace-relative request onto shard-local
+// fragments, appending to caller-owned scratch (the connection read loop
+// passes its per-connection buffer so the steady-state route allocates
+// nothing). Single-extent namespaces route whole (the common, fast
+// case). Striped namespaces split I/O at stripe boundaries and fan FLUSH
+// out to every owning shard — the completion join in the connection
+// handler is what turns that fan-out into a barrier.
+func (n *namespace) routeInto(r workload.Request, out []frag) []frag {
 	if len(n.extents) == 1 {
 		r.LSN += n.extents[0].base
-		return []frag{{sh: n.extents[0].sh, req: r}}
+		return append(out, frag{sh: n.extents[0].sh, req: r})
 	}
 	if r.Op == workload.OpFlush {
-		out := make([]frag, len(n.extents))
 		for i := range n.extents {
-			out[i] = frag{sh: n.extents[i].sh, req: r}
+			out = append(out, frag{sh: n.extents[i].sh, req: r})
 		}
 		return out
 	}
@@ -113,7 +120,6 @@ func (n *namespace) route(r workload.Request) []frag {
 	// lives on extent si%k at stripe row si/k within that extent.
 	su, k := n.stripe, int64(len(n.extents))
 	start, end := r.LSN, r.LSN+int64(r.Sectors)
-	var out []frag
 	for si := start / su; si*su < end; si++ {
 		e := &n.extents[si%k]
 		lo, hi := si*su, (si+1)*su

@@ -150,6 +150,7 @@ func (c *Client) RunResilient(next func() (workload.Request, bool), depth int, p
 				continue
 			}
 			c.conn = nc.conn
+			c.rr = nc.rr
 			c.Welcome = nc.Welcome
 			rep.Reconnects++
 			break

@@ -62,6 +62,13 @@ type Config struct {
 	// HTTPAddr, when non-empty, serves /stats and /metrics there.
 	HTTPAddr string
 
+	// EnablePprof additionally registers the net/http/pprof handlers
+	// under /debug/pprof/ on the introspection listener, for live CPU
+	// and heap profiling of a serving process. Requires HTTPAddr; off by
+	// default because the profile endpoints expose internals and cost
+	// CPU while sampling.
+	EnablePprof bool
+
 	// Shards is the number of independent device shards (default 1).
 	// Every shard gets an identically configured device stack; each
 	// runs its own FTL, virtual clock, and engine goroutine.

@@ -117,18 +117,27 @@ func buildShard(idx int, cfg Config, stack *ShardStack) (*shard, error) {
 	sched, err := host.New(dev, guard, host.Config{
 		Arbiter:   arb,
 		TickEvery: cfg.TickEvery,
+		// One engine wake may admit up to the shard's whole in-flight
+		// budget, so a burst of submissions is arbitrated as one batch
+		// instead of one command per scheduler round-trip.
+		ExtBatch: cfg.MaxInflight,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &shard{
-		idx:        idx,
-		dev:        dev,
-		guard:      guard,
-		sched:      sched,
-		logical:    logical,
-		mounted:    mounted,
-		sub:        make(chan host.ExtSubmission),
+		idx:     idx,
+		dev:     dev,
+		guard:   guard,
+		sched:   sched,
+		logical: logical,
+		mounted: mounted,
+		// The submission channel is buffered to the admission budget:
+		// readers enqueue without rendezvousing with the engine, and the
+		// engine's batched drain (ExtBatch) sees the backlog. Admission
+		// slots — not the channel — bound in-flight work, so the buffer
+		// can never fill with more than MaxInflight submissions.
+		sub:        make(chan host.ExtSubmission, cfg.MaxInflight),
 		slots:      make(chan struct{}, cfg.MaxInflight),
 		engineDone: make(chan struct{}),
 	}, nil
@@ -143,11 +152,35 @@ func (sh *shard) start(cfg Config) {
 		rep, err := sh.sched.RunExternal(sh.sub, sh.gate)
 		sh.rep, sh.engineErr = rep, err
 		close(sh.engineDone)
+		// The submission channel is buffered: a reader may have enqueued
+		// (or may still enqueue, racing the engineDone close) submissions
+		// the dead engine will never service. Refuse them here so their
+		// joins retire instead of wedging connections and the drain. On a
+		// normal shutdown the channel is already closed and drained, and
+		// this loop exits immediately.
+		for es := range sh.sub {
+			sh.refuse(es)
+		}
 	}()
 	if cfg.WatchdogInterval > 0 {
 		sh.watchdogStop = make(chan struct{})
 		sh.watchdogDone = make(chan struct{})
 		go sh.watchdog(cfg.WatchdogInterval, cfg.WatchdogStalls)
+	}
+}
+
+// refuse completes one submission a dead engine will never service,
+// carrying the typed engine-stopped error through the normal completion
+// path. Cold path only: it runs after the engine goroutine has exited.
+func (sh *shard) refuse(es host.ExtSubmission) {
+	if es.Complete == nil && es.Done == nil {
+		return
+	}
+	c := &host.Command{Req: es.Req, Err: errEngineStopped, DispatchIdx: -1}
+	if es.Complete != nil {
+		es.Complete.Complete(c)
+	} else {
+		es.Done(c)
 	}
 }
 

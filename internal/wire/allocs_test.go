@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// These guards pin the steady-state codec paths at zero allocations: the
+// append-style encoders into caller scratch, and the reusable stream
+// decoders (CmdReader/ReplyReader) whose internal buffers amortize to
+// nothing. They are the enforcement side of the borrow contracts — the
+// decoders own their buffers, callers copy what they keep.
+
+func TestAppendCmdAllocs(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	c := Cmd{Op: OpWrite, Tag: 42, Arg: 4096, Sectors: 8, Sync: true}
+	avg := testing.AllocsPerRun(400, func() {
+		buf = AppendCmd(buf[:0], c)
+	})
+	if avg != 0 {
+		t.Errorf("AppendCmd allocates %.2f objects per op, want 0", avg)
+	}
+}
+
+func TestAppendReplyAllocs(t *testing.T) {
+	buf := make([]byte, 0, 128)
+	payload := []byte("short error text")
+	r := Reply{Tag: 42, Status: StatusErr, LatencyNS: 12345, Payload: payload}
+	avg := testing.AllocsPerRun(400, func() {
+		buf = AppendReply(buf[:0], r)
+	})
+	if avg != 0 {
+		t.Errorf("AppendReply allocates %.2f objects per op, want 0", avg)
+	}
+}
+
+// TestCmdRoundTripAllocs drives encode -> decode through a CmdReader at
+// steady state: zero allocations per frame once the reader exists.
+func TestCmdRoundTripAllocs(t *testing.T) {
+	frame := AppendCmd(nil, Cmd{Op: OpRead, Tag: 7, Arg: 128, Sectors: 4})
+	src := bytes.NewReader(frame)
+	cr := NewCmdReader(src)
+	buf := make([]byte, 0, 64)
+	c := Cmd{Op: OpWrite, Tag: 9, Arg: 256, Sectors: 8}
+	avg := testing.AllocsPerRun(400, func() {
+		buf = AppendCmd(buf[:0], c)
+		src.Reset(frame)
+		if _, err := cr.Read(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("command round-trip allocates %.2f objects per op, want 0", avg)
+	}
+}
+
+// TestReplyRoundTripAllocs drives encode -> decode through a ReplyReader
+// at steady state, payload included: the decoder's buffer grows once to
+// the largest frame and is reused, so the loop allocates nothing.
+func TestReplyRoundTripAllocs(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 256)
+	frame := AppendReply(nil, Reply{Tag: 3, Status: StatusOK, LatencyNS: 99, Payload: payload})
+	src := bytes.NewReader(frame)
+	rr := NewReplyReader(src)
+	// Warm the decoder's buffer up to the frame size.
+	src.Reset(frame)
+	if _, err := rr.Read(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 512)
+	r := Reply{Tag: 3, Status: StatusOK, LatencyNS: 99, Payload: payload}
+	avg := testing.AllocsPerRun(400, func() {
+		buf = AppendReply(buf[:0], r)
+		src.Reset(frame)
+		got, err := rr.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Payload) != len(payload) {
+			t.Fatalf("payload length %d, want %d", len(got.Payload), len(payload))
+		}
+	})
+	if avg != 0 {
+		t.Errorf("reply round-trip allocates %.2f objects per op, want 0", avg)
+	}
+}

@@ -235,13 +235,45 @@ func WriteCmd(w io.Writer, c Cmd) error {
 	return err
 }
 
-// ReadCmd reads one framed command.
+// ReadCmd reads one framed command. It allocates the frame body per call;
+// steady-state readers use a CmdReader instead.
 func ReadCmd(r io.Reader) (Cmd, error) {
 	body, err := readFrame(r)
 	if err != nil {
 		return Cmd{}, err
 	}
 	return parseCmd(body)
+}
+
+// CmdReader decodes command frames from a stream without allocating: the
+// fixed-size frame is read into an internal buffer reused across calls.
+// Construct one per connection and keep it for the connection's life (the
+// buffer must be heap-resident once; a per-call stack buffer would escape
+// through the io.Reader interface and allocate every frame).
+type CmdReader struct {
+	r   io.Reader
+	buf [4 + cmdBody]byte
+}
+
+// NewCmdReader returns a reusable command decoder over r.
+func NewCmdReader(r io.Reader) *CmdReader { return &CmdReader{r: r} }
+
+// Read decodes the next command frame.
+func (cr *CmdReader) Read() (Cmd, error) {
+	if _, err := io.ReadFull(cr.r, cr.buf[:4]); err != nil {
+		return Cmd{}, err
+	}
+	n := binary.BigEndian.Uint32(cr.buf[:4])
+	if n != cmdBody {
+		if n > MaxFrame {
+			return Cmd{}, fmt.Errorf("wire: frame of %d bytes exceeds the %d limit", n, MaxFrame)
+		}
+		return Cmd{}, fmt.Errorf("wire: command body of %d bytes (want %d)", n, cmdBody)
+	}
+	if _, err := io.ReadFull(cr.r, cr.buf[4:4+cmdBody]); err != nil {
+		return Cmd{}, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return parseCmd(cr.buf[4 : 4+cmdBody])
 }
 
 func parseCmd(body []byte) (Cmd, error) {
@@ -286,12 +318,25 @@ func WriteReply(w io.Writer, r Reply) error {
 	return err
 }
 
-// ReadReply reads one framed reply.
+// ReadReply reads one framed reply, copying the payload into a fresh
+// slice. Steady-state readers use a ReplyReader, which reuses its buffer
+// instead of copying.
 func ReadReply(r io.Reader) (Reply, error) {
 	body, err := readFrame(r)
 	if err != nil {
 		return Reply{}, err
 	}
+	rep, err := parseReply(body)
+	if err != nil {
+		return Reply{}, err
+	}
+	if rep.Payload != nil {
+		rep.Payload = append([]byte(nil), rep.Payload...)
+	}
+	return rep, nil
+}
+
+func parseReply(body []byte) (Reply, error) {
 	if len(body) < 17 {
 		return Reply{}, fmt.Errorf("wire: reply body of %d bytes (want >= 17)", len(body))
 	}
@@ -301,9 +346,45 @@ func ReadReply(r io.Reader) (Reply, error) {
 		LatencyNS: binary.BigEndian.Uint64(body[9:]),
 	}
 	if len(body) > 17 {
-		rep.Payload = append([]byte(nil), body[17:]...)
+		rep.Payload = body[17:]
 	}
 	return rep, nil
+}
+
+// ReplyReader decodes reply frames from a stream without steady-state
+// allocation: frames are read into an internal buffer that grows to the
+// largest reply seen and is reused across calls.
+//
+// Borrow contract: the returned Reply's Payload aliases that buffer and is
+// valid only until the next Read call; a caller that retains it must copy.
+type ReplyReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReplyReader returns a reusable reply decoder over r.
+func NewReplyReader(r io.Reader) *ReplyReader {
+	return &ReplyReader{r: r, buf: make([]byte, 64)}
+}
+
+// Read decodes the next reply frame. The reply's Payload is only valid
+// until the next Read.
+func (rr *ReplyReader) Read() (Reply, error) {
+	if _, err := io.ReadFull(rr.r, rr.buf[:4]); err != nil {
+		return Reply{}, err
+	}
+	n := binary.BigEndian.Uint32(rr.buf[:4])
+	if n > MaxFrame {
+		return Reply{}, fmt.Errorf("wire: frame of %d bytes exceeds the %d limit", n, MaxFrame)
+	}
+	if int(n) > cap(rr.buf) {
+		rr.buf = make([]byte, n)
+	}
+	body := rr.buf[:n]
+	if _, err := io.ReadFull(rr.r, body); err != nil {
+		return Reply{}, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return parseReply(body)
 }
 
 // Hello is the client's handshake: the namespace it wants to attach to
