@@ -77,11 +77,19 @@ func BenchmarkAblationScheduler(b *testing.B) { benchFigure(b, experiment.Ablati
 // reports read tail latency and WAF under sustained write pressure.
 func BenchmarkAblationGCPolicy(b *testing.B) { benchFigure(b, experiment.AblationGCPolicy) }
 
+// BenchmarkAblationLifetime sweeps erase-depth policy × longevity
+// placement on the hot/cold profile.
+func BenchmarkAblationLifetime(b *testing.B) { benchFigure(b, experiment.AblationLifetime) }
+
 // BenchmarkExtSubpageRead measures the §7 subpage-read extension.
 func BenchmarkExtSubpageRead(b *testing.B) { benchFigure(b, experiment.ExtSubpageRead) }
 
 // BenchmarkExtLifetime regenerates the erase-rate lifetime projection.
 func BenchmarkExtLifetime(b *testing.B) { benchFigure(b, experiment.ExtLifetime) }
+
+// BenchmarkExtLifetime2 measures the lifetime subsystem end to end:
+// adaptive erase depth plus longevity placement on subFTL.
+func BenchmarkExtLifetime2(b *testing.B) { benchFigure(b, experiment.ExtLifetime2) }
 
 // BenchmarkExtLatency regenerates the service-demand percentile table.
 func BenchmarkExtLatency(b *testing.B) { benchFigure(b, experiment.ExtLatency) }

@@ -56,6 +56,8 @@ func main() {
 	gcPolicy := flag.String("gc-policy", "greedy", "GC victim policy: greedy, cost-benefit or windowed")
 	gcStep := flag.Int("gc-step", 0, "pages copied per GC collection step (0 = whole-block drains)")
 	gcBg := flag.Int("gc-bg", 0, "background-GC slack in free blocks above the reserve (0 = foreground-only GC)")
+	erasePolicy := flag.String("erase-policy", "", "adaptive erase-depth policy: fixed-deep or aero (empty = legacy full-depth erases)")
+	lifetimeOn := flag.Bool("lifetime", false, "enable longevity-aware placement (update-interval predictor + hot/cold steering)")
 	qd := flag.Int("qd", 0, "closed-loop queue depth; > 0 runs the host scheduler (1 = serial-equivalent)")
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s; > 0 runs the host scheduler (overrides -qd)")
 	queues := flag.Int("queues", 1, "submission-queue lanes for the host scheduler")
@@ -95,6 +97,8 @@ func main() {
 		GCPolicy:          *gcPolicy,
 		GCStepPages:       *gcStep,
 		GCBackgroundSlack: *gcBg,
+		ErasePolicy:       *erasePolicy,
+		Lifetime:          *lifetimeOn,
 		QueueDepth:        *qd,
 		ArrivalRate:       *rate,
 		NumQueues:         *queues,
@@ -251,6 +255,15 @@ func main() {
 			s.GCPolicy, s.GCSteps, s.GCPagesCopied, s.GCPreemptions)
 	}
 	fmt.Printf("  RMW ops           %d\n", s.RMWOps)
+	if s.ErasePolicy != "" {
+		fmt.Printf("  erase policy      %s: %d shallow of %d erases, %.1f wear units (%.2f blocks mean wear, p99 %.1f)\n",
+			s.ErasePolicy, s.Device.ShallowErases, s.Device.Erases, s.Device.WearUnits, s.Wear.WearMean, s.Wear.WearP99)
+	}
+	if s.LifetimeObserves > 0 {
+		fmt.Printf("  longevity         %d observed writes: %d hot / %d cold / %d unknown, %d steered, %d segregated\n",
+			s.LifetimeObserves, s.LifetimeHotWrites, s.LifetimeColdWrites, s.LifetimeUnknownWrites,
+			s.LifetimeSteered, s.LifetimeSegregated)
+	}
 	if res.Kind == experiment.KindSub {
 		fmt.Printf("  subFTL: shifts %d  advances %d  evictions %d  retention moves %d  reclaims %d\n",
 			s.SubShifts, s.RoundAdvances, s.Evictions, s.RetentionMoves, s.RegionReclaims)

@@ -60,7 +60,10 @@ func (f *FTL) nearExpiry(spn int64, now sim.Time) bool {
 	g := f.dev.Geometry()
 	info := f.dev.SubpageInfo(nand.SubpageID(spn))
 	blk := g.BlockOfPage(g.PageOfSubpage(nand.SubpageID(spn)))
-	capability := f.dev.Retention().RetentionCapability(info.Npp, f.dev.EraseCount(blk))
+	// Effective wear and the block's last erase depth, not the raw erase
+	// count: a shallow-erased block ages its data faster than its count
+	// suggests, and the scrub must rewrite before that earlier expiry.
+	capability := f.dev.Retention().RetentionCapabilityAt(info.Npp, f.dev.EffectiveWear(blk), f.dev.LastEraseDepth(blk))
 	return nand.AgeOf(f.writtenAt[spn], now)+2*f.cfg.ScrubInterval > capability
 }
 

@@ -26,6 +26,7 @@ import (
 	"espftl/internal/ftl"
 	"espftl/internal/ftl/fullpage"
 	"espftl/internal/gc"
+	"espftl/internal/lifetime"
 	"espftl/internal/mapping"
 	"espftl/internal/nand"
 	"espftl/internal/sim"
@@ -63,6 +64,16 @@ type Config struct {
 	// both regions' collectors. The zero value (greedy, whole-block, no
 	// background) is the legacy behaviour.
 	GC gc.Options
+	// ErasePolicy, when non-nil, chooses the depth of every block erase
+	// (adaptive erase; see internal/lifetime). Nil keeps the legacy
+	// full-depth erases, bit-identical to a build without the subsystem.
+	ErasePolicy lifetime.ErasePolicy
+	// Lifetime, when true, enables longevity-aware placement: a per-page
+	// update-interval predictor steers predicted-cold small writes away
+	// from the subpage region (they would only churn through its GC and
+	// retention eviction paths) and segregates predicted-cold full-page
+	// programs onto a dedicated append stripe.
+	Lifetime bool
 }
 
 // DefaultConfig fills in the paper's parameters for a given logical space.
@@ -139,6 +150,16 @@ type FTL struct {
 	buf       *buffer.Aligned
 	pageSecs  int
 	lastScrub sim.Time
+
+	// pred and policyName are the lifetime subsystem's hooks: the
+	// longevity predictor steering small writes between the regions (nil
+	// when Config.Lifetime is off) and the erase-depth policy label for
+	// stats. steerBuf/steerSlots are the steering path's reusable
+	// partition scratch.
+	pred       *lifetime.Predictor
+	policyName string
+	steerBuf   []int64
+	steerSlots []int
 
 	// Reusable scratch for the steady-state I/O path, so host writes,
 	// reads and trims allocate nothing. identSlots is the constant
@@ -253,14 +274,44 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 		return nil, err
 	}
 	store.SetReclaim(f.reclaimEmptySubBlock)
+	floorExtra := 0
+	if cfg.ErasePolicy != nil {
+		f.man.SetEraseDepth(lifetime.DepthFn(dev, cfg.ErasePolicy))
+		f.policyName = cfg.ErasePolicy.Name()
+	}
+	if cfg.Lifetime {
+		pred, err := lifetime.NewPredictor(cfg.LogicalSectors/ps, lifetime.PredictorConfig{})
+		if err != nil {
+			return nil, err
+		}
+		f.pred = pred
+		store.SetColdClassifier(f.classifyCold)
+		floorExtra = 2 // the cold append stripe's open blocks
+	}
 	// Degrade to read-only once grown-bad blocks eat the spare capacity
 	// down to the minimum the FTL needs to keep writing: enough blocks for
 	// the logical space, the GC reserve, the open stripe, and a minimal
 	// subpage region.
 	secPerBlock := int64(g.SubpagesPerPage * g.PagesPerBlock)
 	dataBlocks := int((cfg.LogicalSectors + secPerBlock - 1) / secPerBlock)
-	f.man.SetCapacityFloor(dataBlocks + cfg.GCReserveBlocks + len(f.actives) + 3)
+	f.man.SetCapacityFloor(dataBlocks + cfg.GCReserveBlocks + len(f.actives) + 3 + floorExtra)
 	return f, nil
+}
+
+// classifyCold is the full-page store's longevity hook: it tallies the
+// predictor's verdict on every host-side full-page program and routes
+// predicted-cold pages to the segregated stripe.
+func (f *FTL) classifyCold(lpn int64) bool {
+	switch f.pred.Class(lpn) {
+	case lifetime.ClassCold:
+		f.stats.LifetimeColdWrites++
+		return true
+	case lifetime.ClassHot:
+		f.stats.LifetimeHotWrites++
+	default:
+		f.stats.LifetimeUnknownWrites++
+	}
+	return false
 }
 
 // reclaimEmptySubBlock erases one subpage-region block that holds no live
@@ -395,6 +446,15 @@ func (f *FTL) write(lsn int64, sectors int, sync bool) error {
 	for _, l := range lsns {
 		f.ver.Bump(l, small)
 	}
+	if f.pred != nil {
+		// One observation per logical page the request touches, before any
+		// placement decision (observe-then-classify): the classifiers below
+		// must see the freshest prediction state.
+		ps := int64(f.pageSecs)
+		for lpn, last := lsn/ps, (lsn+int64(sectors)-1)/ps; lpn <= last; lpn++ {
+			f.pred.Observe(lpn)
+		}
+	}
 
 	if !small {
 		// Large request: bypass the buffer entirely.
@@ -425,7 +485,7 @@ func (f *FTL) write(lsn int64, sectors int, sync bool) error {
 
 	if sync {
 		f.buf.Remove(lsns)
-		return f.subWriteRun(lsns, int64(g.SubpageBytes))
+		return f.subWriteSteered(lsns, int64(g.SubpageBytes))
 	}
 
 	fullPages, evicted := f.buf.Stage(lsns)
@@ -437,11 +497,61 @@ func (f *FTL) write(lsn int64, sectors int, sync bool) error {
 		}
 	}
 	for _, group := range evicted {
-		if err := f.subWriteRun(group, int64(g.SubpageBytes)); err != nil {
+		if err := f.subWriteSteered(group, int64(g.SubpageBytes)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// subWriteSteered is the longevity gate in front of the subpage region:
+// sectors of predicted-cold logical pages go straight to the full-page
+// region (admitting them to the subpage region would only churn through
+// its GC and retention eviction paths later), the rest take the normal
+// erase-free subpage path. With the predictor off it is subWriteRun.
+func (f *FTL) subWriteSteered(lsns []int64, attrPerSector int64) error {
+	if f.pred == nil {
+		return f.subWriteRun(lsns, attrPerSector)
+	}
+	g := f.dev.Geometry()
+	ps := int64(f.pageSecs)
+	keep := f.steerBuf[:0]
+	for i := 0; i < len(lsns); {
+		lpn := lsns[i] / ps
+		j := i
+		for j < len(lsns) && lsns[j]/ps == lpn {
+			j++
+		}
+		if f.pred.Class(lpn) != lifetime.ClassCold {
+			keep = append(keep, lsns[i:j]...)
+			i = j
+			continue
+		}
+		slots := f.steerSlots[:0]
+		for _, l := range lsns[i:j] {
+			f.dropSubCopy(l)
+			slots = append(slots, int(l%ps))
+		}
+		// A steered small write programs a full page (its RMW), the same
+		// attribution convention as cgmFTL's small-write path.
+		var attr int64
+		if attrPerSector > 0 {
+			attr = int64(g.PageBytes())
+		}
+		f.stats.LifetimeSteered += int64(j - i)
+		err := f.full.WriteSectors(lpn, slots, attr)
+		f.steerSlots = slots[:0]
+		if err != nil {
+			f.steerBuf = keep[:0]
+			return err
+		}
+		i = j
+	}
+	f.steerBuf = keep
+	if len(keep) == 0 {
+		return nil
+	}
+	return f.subWriteRun(keep, attrPerSector)
 }
 
 // smallAttrForPage sums the small-origin attribution for a full-page write
@@ -535,7 +645,7 @@ func (f *FTL) Trim(lsn int64, sectors int) error {
 func (f *FTL) Flush() error {
 	g := f.dev.Geometry()
 	for _, group := range f.buf.Drain() {
-		if err := f.subWriteRun(group, int64(g.SubpageBytes)); err != nil {
+		if err := f.subWriteSteered(group, int64(g.SubpageBytes)); err != nil {
 			return err
 		}
 	}
@@ -641,6 +751,11 @@ func (f *FTL) Stats() ftl.Stats {
 	s.MappingBytes = f.full.MappingBytes() + f.hash.MemoryBytes()
 	s.SectorBytes = int64(f.dev.Geometry().SubpageBytes)
 	s.GrownBadBlocks = int64(f.man.BadCount())
+	s.ErasePolicy = f.policyName
+	if f.pred != nil {
+		s.LifetimeObserves = f.pred.Observes()
+	}
+	s.Wear = f.man.WearDist()
 	s.Device = f.dev.Counters()
 	return s
 }

@@ -189,7 +189,8 @@ func TestFiguresSmoke(t *testing.T) {
 func TestAllIndexIsComplete(t *testing.T) {
 	want := []string{"fig1", "fig2a", "fig2b", "fig5", "fig8a", "fig8b", "table1",
 		"abl-region", "abl-hotcold", "abl-retention", "abl-fault", "abl-sched",
-		"abl-gc", "ext-subread", "ext-lifetime", "ext-latency"}
+		"abl-gc", "abl-lifetime", "ext-subread", "ext-lifetime", "ext-lifetime2",
+		"ext-latency"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() has %d entries, want %d", len(got), len(want))

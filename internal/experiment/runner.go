@@ -19,6 +19,7 @@ import (
 	"espftl/internal/ftl/fgm"
 	"espftl/internal/gc"
 	"espftl/internal/host"
+	"espftl/internal/lifetime"
 	"espftl/internal/metrics"
 	"espftl/internal/nand"
 	"espftl/internal/sim"
@@ -105,6 +106,14 @@ type RunConfig struct {
 	// host scheduler's default). Lower values trade read priority for
 	// background-GC throughput under sustained load.
 	BGDeferLimit int
+
+	// Lifetime-subsystem knobs, shared by every FTL. ErasePolicy selects
+	// the adaptive erase-depth policy ("fixed-deep", "aero"; empty keeps
+	// the legacy full-depth erases, bit-identical to runs before the
+	// subsystem existed). Lifetime enables the longevity predictor and
+	// hot/cold placement steering.
+	ErasePolicy string
+	Lifetime    bool
 
 	// FaultProfile, when non-nil, arms the device's fault injector with
 	// this profile and enables the stepped read-retry recovery path.
@@ -195,15 +204,31 @@ func buildFTL(kind Kind, dev *nand.Device, cfg RunConfig, logicalSectors int64) 
 		StepPages:       cfg.GCStepPages,
 		BackgroundSlack: cfg.GCBackgroundSlack,
 	}
+	var erasePol lifetime.ErasePolicy
+	if cfg.ErasePolicy != "" {
+		var err error
+		erasePol, err = lifetime.NewErasePolicy(cfg.ErasePolicy, *dev.Retention())
+		if err != nil {
+			return nil, err
+		}
+	}
 	switch kind {
 	case KindCGM:
-		return cgm.New(dev, cgm.Config{LogicalSectors: logicalSectors, GCReserveBlocks: reserve, GC: gcOpts})
+		return cgm.New(dev, cgm.Config{
+			LogicalSectors:  logicalSectors,
+			GCReserveBlocks: reserve,
+			GC:              gcOpts,
+			ErasePolicy:     erasePol,
+			Lifetime:        cfg.Lifetime,
+		})
 	case KindFGM:
 		return fgm.New(dev, fgm.Config{
 			LogicalSectors:    logicalSectors,
 			GCReserveBlocks:   reserve,
 			OpportunisticFill: cfg.OpportunisticFill,
 			GC:                gcOpts,
+			ErasePolicy:       erasePol,
+			Lifetime:          cfg.Lifetime,
 		})
 	case KindSub:
 		sc := core.DefaultConfig(logicalSectors)
@@ -212,6 +237,8 @@ func buildFTL(kind Kind, dev *nand.Device, cfg RunConfig, logicalSectors int64) 
 		sc.DisableHotColdGC = cfg.DisableHotColdGC
 		sc.DisableRetention = cfg.DisableRetention
 		sc.GC = gcOpts
+		sc.ErasePolicy = erasePol
+		sc.Lifetime = cfg.Lifetime
 		return core.New(dev, sc)
 	}
 	return nil, fmt.Errorf("experiment: unknown FTL kind %q", kind)

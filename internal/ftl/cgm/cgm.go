@@ -10,6 +10,7 @@ import (
 	"espftl/internal/ftl"
 	"espftl/internal/ftl/fullpage"
 	"espftl/internal/gc"
+	"espftl/internal/lifetime"
 	"espftl/internal/nand"
 	"espftl/internal/workload"
 )
@@ -25,6 +26,15 @@ type Config struct {
 	// The zero value (greedy, whole-block, no background) is the legacy
 	// behaviour.
 	GC gc.Options
+	// ErasePolicy, when non-nil, chooses the depth of every block erase
+	// (adaptive erase; see internal/lifetime). Nil keeps the legacy
+	// full-depth erases, bit-identical to a build without the subsystem.
+	ErasePolicy lifetime.ErasePolicy
+	// Lifetime, when true, enables longevity-aware placement: a per-LPN
+	// update-interval predictor classifies host writes and predicted-cold
+	// pages land on a dedicated append stripe (hot/cold block
+	// segregation).
+	Lifetime bool
 }
 
 // FTL is the cgmFTL instance.
@@ -34,6 +44,12 @@ type FTL struct {
 	ver   *ftl.Versions
 	stats ftl.Stats
 	store *fullpage.Store
+
+	// pred and policyName are the lifetime subsystem's hooks: the
+	// longevity predictor feeding the store's cold classifier (nil when
+	// Config.Lifetime is off) and the erase-depth policy label for stats.
+	pred       *lifetime.Predictor
+	policyName string
 
 	pageSecs int
 	gcSlack  int
@@ -75,12 +91,42 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 		return nil, err
 	}
 	f.store = store
+	floorExtra := 0
+	if cfg.ErasePolicy != nil {
+		f.man.SetEraseDepth(lifetime.DepthFn(dev, cfg.ErasePolicy))
+		f.policyName = cfg.ErasePolicy.Name()
+	}
+	if cfg.Lifetime {
+		pred, err := lifetime.NewPredictor(cfg.LogicalSectors/ps, lifetime.PredictorConfig{})
+		if err != nil {
+			return nil, err
+		}
+		f.pred = pred
+		f.store.SetColdClassifier(f.classifyCold)
+		floorExtra = 2 // the cold append stripe's open blocks
+	}
 	// Degrade to read-only once grown-bad blocks eat the spare capacity
 	// down to the minimum the FTL needs to keep writing: enough blocks for
 	// the logical space, the GC reserve, and the open append points.
 	dataBlocks := int((cfg.LogicalSectors/ps + int64(g.PagesPerBlock) - 1) / int64(g.PagesPerBlock))
-	f.man.SetCapacityFloor(dataBlocks + cfg.GCReserveBlocks + 2*g.Chips())
+	f.man.SetCapacityFloor(dataBlocks + cfg.GCReserveBlocks + 2*g.Chips() + floorExtra)
 	return f, nil
+}
+
+// classifyCold is the store's longevity hook: it tallies the predictor's
+// verdict on every host page program and routes predicted-cold pages to
+// the segregated stripe.
+func (f *FTL) classifyCold(lpn int64) bool {
+	switch f.pred.Class(lpn) {
+	case lifetime.ClassCold:
+		f.stats.LifetimeColdWrites++
+		return true
+	case lifetime.ClassHot:
+		f.stats.LifetimeHotWrites++
+	default:
+		f.stats.LifetimeUnknownWrites++
+	}
+	return false
 }
 
 // Name implements ftl.FTL.
@@ -137,6 +183,9 @@ func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
 		f.ver.Bump(lsn+int64(i), small)
 	}
 	if err := f.forEachPage(lsn, sectors, func(lpn int64, slots []int) error {
+		if f.pred != nil {
+			f.pred.Observe(lpn)
+		}
 		// Attribution: a small request is charged the full pages it
 		// forces flash to program (w(r) = S_full/s for a lone sector).
 		var attr int64
@@ -215,6 +264,11 @@ func (f *FTL) Stats() ftl.Stats {
 	s.MappingBytes = f.store.MappingBytes()
 	s.SectorBytes = int64(f.dev.Geometry().SubpageBytes)
 	s.GrownBadBlocks = int64(f.man.BadCount())
+	s.ErasePolicy = f.policyName
+	if f.pred != nil {
+		s.LifetimeObserves = f.pred.Observes()
+	}
+	s.Wear = f.man.WearDist()
 	s.Device = f.dev.Counters()
 	return s
 }
@@ -239,6 +293,10 @@ func (f *FTL) Recover() (ftl.MountReport, error) {
 	sum, err := f.store.Recover(blocks, nil)
 	if err != nil {
 		return ftl.MountReport{}, err
+	}
+	if f.pred != nil {
+		// Prediction tables are RAM-only and restart cold.
+		f.pred.Reset()
 	}
 	return ftl.MountReport{
 		PagesScanned:  pages,

@@ -13,6 +13,7 @@ import (
 	"espftl/internal/buffer"
 	"espftl/internal/ftl"
 	"espftl/internal/gc"
+	"espftl/internal/lifetime"
 	"espftl/internal/mapping"
 	"espftl/internal/nand"
 	"espftl/internal/workload"
@@ -38,6 +39,14 @@ type Config struct {
 	// The zero value (greedy, whole-block, no background) is the legacy
 	// behaviour.
 	GC gc.Options
+	// ErasePolicy, when non-nil, chooses the depth of every block erase
+	// (adaptive erase; see internal/lifetime). Nil keeps the legacy
+	// full-depth erases, bit-identical to a build without the subsystem.
+	ErasePolicy lifetime.ErasePolicy
+	// Lifetime, when true, enables longevity-aware placement: a per-page
+	// update-interval predictor classifies each flush chunk by majority
+	// vote and predicted-cold chunks land on a dedicated append stripe.
+	Lifetime bool
 }
 
 // FTL is the fgmFTL instance.
@@ -56,9 +65,18 @@ type FTL struct {
 	oppFill  bool
 
 	// Append points striped across chips for channel/way parallelism,
-	// one stripe for host writes and one for GC relocations.
+	// one stripe for host writes and one for GC relocations. With the
+	// lifetime subsystem on, a third stripe segregates predicted-cold
+	// flush chunks from hot host traffic.
 	host stripe
 	gc   stripe
+	cold stripe
+
+	// pred and policyName are the lifetime subsystem's hooks: the
+	// longevity predictor voting on flush-chunk placement (nil when
+	// Config.Lifetime is off) and the erase-depth policy label for stats.
+	pred       *lifetime.Predictor
+	policyName string
 
 	// col drives victim selection and incremental draining. gcCursor is
 	// the scan-phase page cursor, gcStaged the live sectors awaiting
@@ -192,12 +210,25 @@ func New(dev *nand.Device, cfg Config) (*FTL, error) {
 	for i := range f.rmap {
 		f.rmap[i] = mapping.None
 	}
+	if cfg.ErasePolicy != nil {
+		f.man.SetEraseDepth(lifetime.DepthFn(dev, cfg.ErasePolicy))
+		f.policyName = cfg.ErasePolicy.Name()
+	}
+	if cfg.Lifetime {
+		ps := int64(g.SubpagesPerPage)
+		pred, err := lifetime.NewPredictor((cfg.LogicalSectors+ps-1)/ps, lifetime.PredictorConfig{})
+		if err != nil {
+			return nil, err
+		}
+		f.pred = pred
+		f.cold = newStripe(min(2, g.Chips()), g.Chips())
+	}
 	// Degrade to read-only once grown-bad blocks eat the spare capacity
 	// down to the minimum the FTL needs to keep writing: enough blocks for
 	// the logical space, the GC reserve, and the open append points.
 	secPerBlock := int64(g.SubpagesPerPage * g.PagesPerBlock)
 	dataBlocks := int((cfg.LogicalSectors + secPerBlock - 1) / secPerBlock)
-	f.man.SetCapacityFloor(dataBlocks + cfg.GCReserveBlocks + len(f.host.points) + len(f.gc.points))
+	f.man.SetCapacityFloor(dataBlocks + cfg.GCReserveBlocks + len(f.host.points) + len(f.gc.points) + len(f.cold.points))
 	return f, nil
 }
 
@@ -208,12 +239,8 @@ func (f *FTL) Name() string { return "fgmFTL" }
 // spare capacity down to the floor.
 func (f *FTL) ReadOnly() bool { return f.man.ReadOnly() }
 
-func (f *FTL) allocPage(forGC bool) (nand.PageID, error) {
+func (f *FTL) allocPage(st *stripe, forGC bool) (nand.PageID, error) {
 	g := f.dev.Geometry()
-	st := &f.host
-	if forGC {
-		st = &f.gc
-	}
 	ap := &st.points[st.next]
 	st.next = (st.next + 1) % len(st.points)
 	if ap.set && ap.cursor >= g.PagesPerBlock {
@@ -276,8 +303,15 @@ func (f *FTL) programPacked(lsns []int64, forGC bool) error {
 	for slot, lsn := range lsns {
 		stamps[slot] = nand.Stamp{LSN: lsn, Version: f.ver.Current(lsn)}
 	}
+	st := &f.host
+	if forGC {
+		st = &f.gc
+	} else if f.classifyCold(lsns) {
+		st = &f.cold
+		f.stats.LifetimeSegregated++
+	}
 	for attempt := 0; ; attempt++ {
-		p, err := f.allocPage(forGC)
+		p, err := f.allocPage(st, forGC)
 		if err != nil {
 			return err
 		}
@@ -286,7 +320,7 @@ func (f *FTL) programPacked(lsns []int64, forGC bool) error {
 			// still points at the old one, so replay on a new block and
 			// retire the failed one (grown bad).
 			if errors.Is(err, nand.ErrProgramFail) && attempt < maxProgramReplays {
-				f.retireFailed(g.BlockOfPage(p), forGC)
+				f.retireFailed(g.BlockOfPage(p), st)
 				f.stats.ProgramFailMoves++
 				continue
 			}
@@ -310,17 +344,43 @@ func (f *FTL) programPacked(lsns []int64, forGC bool) error {
 // from its stripe so the replay allocates a fresh block. The block's state
 // moves to full; GC later drains whatever live sectors it already held and
 // parks it in StateBad.
-func (f *FTL) retireFailed(b nand.BlockID, forGC bool) {
+func (f *FTL) retireFailed(b nand.BlockID, st *stripe) {
 	f.man.Retire(b)
-	st := &f.host
-	if forGC {
-		st = &f.gc
-	}
 	for i := range st.points {
 		if st.points[i].set && st.points[i].block == b {
 			st.points[i].set = false
 		}
 	}
+}
+
+// classifyCold is the longevity vote on one host flush chunk: each sector's
+// logical page gets the predictor's verdict, and the chunk routes to the
+// cold stripe when cold votes hold a strict majority. One verdict per chunk
+// feeds the hot/cold/unknown tallies (fgm places chunks, not pages).
+func (f *FTL) classifyCold(lsns []int64) bool {
+	if f.pred == nil {
+		return false
+	}
+	ps := int64(f.pageSecs)
+	coldVotes, hotVotes := 0, 0
+	for _, lsn := range lsns {
+		switch f.pred.Class(lsn / ps) {
+		case lifetime.ClassCold:
+			coldVotes++
+		case lifetime.ClassHot:
+			hotVotes++
+		}
+	}
+	switch {
+	case coldVotes > len(lsns)/2:
+		f.stats.LifetimeColdWrites++
+		return true
+	case hotVotes > len(lsns)/2:
+		f.stats.LifetimeHotWrites++
+	default:
+		f.stats.LifetimeUnknownWrites++
+	}
+	return false
 }
 
 // flushGroup writes one buffer flush group to flash, splitting it into
@@ -372,6 +432,15 @@ func (f *FTL) Write(lsn int64, sectors int, sync bool) error {
 	lsns := f.sectorRun(lsn, sectors)
 	for i := range lsns {
 		f.ver.Bump(lsns[i], small)
+	}
+	if f.pred != nil {
+		// One observation per logical page the request touches, at write
+		// time (not flush time): the predictor models host update
+		// intervals, and buffering must not distort them.
+		ps := int64(f.pageSecs)
+		for lpn, last := lsn/ps, (lsn+int64(sectors)-1)/ps; lpn <= last; lpn++ {
+			f.pred.Observe(lpn)
+		}
 	}
 	before := f.buf.Absorbed()
 	groups := f.buf.Write(lsns, sync)
@@ -603,6 +672,11 @@ func (f *FTL) Stats() ftl.Stats {
 	s.MappingBytes = f.table.MemoryBytes()
 	s.SectorBytes = int64(f.dev.Geometry().SubpageBytes)
 	s.GrownBadBlocks = int64(f.man.BadCount())
+	s.ErasePolicy = f.policyName
+	if f.pred != nil {
+		s.LifetimeObserves = f.pred.Observes()
+	}
+	s.Wear = f.man.WearDist()
 	s.Device = f.dev.Counters()
 	return s
 }
@@ -702,6 +776,10 @@ func (f *FTL) Recover() (ftl.MountReport, error) {
 			return rep, err
 		}
 		rep.BlocksAdopted++
+	}
+	if f.pred != nil {
+		// Prediction tables are RAM-only and restart cold.
+		f.pred.Reset()
 	}
 	rep.Duration = f.dev.DrainTime().Sub(d0)
 	return rep, nil

@@ -201,6 +201,30 @@ type Stats struct {
 	// Sub keeps it.
 	GCPolicy string
 
+	// Lifetime subsystem (all zero unless internal/lifetime is wired in).
+	// ErasePolicy labels the erase-depth policy ("fixed-deep", "aero");
+	// empty means no policy installed (legacy full-depth erases).
+	ErasePolicy string
+	// LifetimeObserves counts predictor updates (one per observed page
+	// write); the Hot/Cold/Unknown counters tally the classification of
+	// every write the placement logic consulted the predictor for.
+	LifetimeObserves      int64
+	LifetimeHotWrites     int64
+	LifetimeColdWrites    int64
+	LifetimeUnknownWrites int64
+	// LifetimeSteered counts subFTL small writes steered into the
+	// full-page region because their data was predicted cold (writes that
+	// size-only routing would have sent to the subpage region).
+	LifetimeSteered int64
+	// LifetimeSegregated counts full-page programs routed to a cold
+	// append stripe by the hot/cold block segregation in fgm/cgm and
+	// subFTL's full-page region.
+	LifetimeSegregated int64
+
+	// Wear snapshots the per-block wear distribution at Stats() time;
+	// like MappingBytes it is not diffed by Sub.
+	Wear WearDist
+
 	// MappingBytes is the L2P translation memory footprint.
 	MappingBytes int64
 
@@ -240,6 +264,12 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.ReadBufferHits -= prev.ReadBufferHits
 	d.ProgramFailMoves -= prev.ProgramFailMoves
 	d.ScrubRewrites -= prev.ScrubRewrites
+	d.LifetimeObserves -= prev.LifetimeObserves
+	d.LifetimeHotWrites -= prev.LifetimeHotWrites
+	d.LifetimeColdWrites -= prev.LifetimeColdWrites
+	d.LifetimeUnknownWrites -= prev.LifetimeUnknownWrites
+	d.LifetimeSteered -= prev.LifetimeSteered
+	d.LifetimeSegregated -= prev.LifetimeSegregated
 	d.Device.PageReads -= prev.Device.PageReads
 	d.Device.SubpageReads -= prev.Device.SubpageReads
 	d.Device.PagePrograms -= prev.Device.PagePrograms
@@ -254,9 +284,27 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.Device.RetryFailures -= prev.Device.RetryFailures
 	d.Device.ProgramFailures -= prev.Device.ProgramFailures
 	d.Device.EraseFailures -= prev.Device.EraseFailures
+	d.Device.ShallowErases -= prev.Device.ShallowErases
+	d.Device.WearUnits -= prev.Device.WearUnits
 	d.Device.OOBScans -= prev.Device.OOBScans
 	d.Device.TornPrograms -= prev.Device.TornPrograms
 	return d
+}
+
+// WearDist is a snapshot of the per-block wear distribution of a device:
+// raw erase counts and effective wear (deep-erase equivalents, which
+// diverge from erase counts once adaptive erase runs shallow cycles).
+// P99 is nearest-rank over all physical blocks.
+type WearDist struct {
+	Blocks    int
+	EraseMin  int
+	EraseMax  int
+	EraseMean float64
+	EraseP99  int
+	WearMin   float64
+	WearMax   float64
+	WearMean  float64
+	WearP99   float64
 }
 
 // AvgRequestWAF returns the paper's "average request WAF" of small writes:

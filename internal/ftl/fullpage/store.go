@@ -40,9 +40,17 @@ type Store struct {
 	// Append points are striped so consecutive page programs land on
 	// different chips and overlap on the timeline (the multi-channel
 	// parallelism the paper's platform provides). host and gc each rotate
-	// over their own stripe.
+	// over their own stripe; cold is the optional third stripe host
+	// writes classified long-lived land on (see SetColdClassifier), so
+	// cold data packs into blocks that rarely need collecting.
 	host stripe
 	gc   stripe
+	cold stripe
+
+	// coldFn, when set, classifies a host-written logical page as
+	// long-lived (route to the cold stripe). Nil keeps the two-stripe
+	// layout, bit-identical to a store without segregation.
+	coldFn func(lpn int64) bool
 
 	reserve   int // free-pool floor that triggers GC
 	maxBlocks int // role quota (0 = unlimited)
@@ -87,6 +95,23 @@ func (s *Store) putStamps(buf []nand.Stamp) {
 
 // SetReclaim installs the cross-region reclaim hook.
 func (s *Store) SetReclaim(fn func() bool) { s.reclaim = fn }
+
+// SetColdClassifier installs the longevity hook: host writes of pages fn
+// reports cold land on a dedicated append stripe, segregating long-lived
+// data into blocks hot rewrites never churn. Call before any I/O; nil
+// (the default) keeps the legacy two-stripe layout.
+func (s *Store) SetColdClassifier(fn func(lpn int64) bool) {
+	s.coldFn = fn
+	if fn != nil && len(s.cold.points) == 0 {
+		// Cold data trickles, so a narrow stripe suffices: it keeps the
+		// open-block overhead at two blocks instead of a chip-wide set.
+		width := 2
+		if g := s.dev.Geometry(); width > g.Chips() {
+			width = g.Chips()
+		}
+		s.cold = newStripe(width, s.dev.Geometry().Chips())
+	}
+}
 
 // SetGC replaces the store's collector with one configured from opts.
 // Call it before any I/O; the default is whole-block greedy, which is
@@ -305,16 +330,12 @@ func (s *Store) Pay() error {
 	return nil
 }
 
-// allocPage returns the next physical page, rotating across the stripe's
-// append points so consecutive programs hit different chips. forGC selects
-// the GC destination stripe, which must never itself trigger GC (the
-// reserve guarantees blocks are available).
-func (s *Store) allocPage(forGC bool) (nand.PageID, error) {
+// allocPage returns the next physical page, rotating across the given
+// stripe's append points so consecutive programs hit different chips.
+// forGC marks the GC destination stripe, which must never itself trigger
+// GC (the reserve guarantees blocks are available).
+func (s *Store) allocPage(st *stripe, forGC bool) (nand.PageID, error) {
 	g := s.dev.Geometry()
-	st := &s.host
-	if forGC {
-		st = &s.gc
-	}
 	ap := &st.points[st.next]
 	st.next = (st.next + 1) % len(st.points)
 	if ap.set && ap.cursor >= g.PagesPerBlock {
@@ -365,8 +386,15 @@ func (s *Store) programPage(lpn int64, forGC bool) error {
 		lsn := lpn*int64(s.pageSecs) + int64(slot)
 		stamps[slot] = nand.Stamp{LSN: lsn, Version: s.ver.Current(lsn)}
 	}
+	st := &s.host
+	if forGC {
+		st = &s.gc
+	} else if s.coldFn != nil && s.coldFn(lpn) {
+		st = &s.cold
+		s.stats.LifetimeSegregated++
+	}
 	for attempt := 0; ; attempt++ {
-		p, err := s.allocPage(forGC)
+		p, err := s.allocPage(st, forGC)
 		if err != nil {
 			return err
 		}
@@ -375,7 +403,7 @@ func (s *Store) programPage(lpn int64, forGC bool) error {
 			// still points at the old one, so replay on a new block and
 			// retire the failed one (grown bad).
 			if errors.Is(err, nand.ErrProgramFail) && attempt < maxProgramReplays {
-				s.retireFailed(g.BlockOfPage(p), forGC)
+				s.retireFailed(g.BlockOfPage(p), st)
 				s.stats.ProgramFailMoves++
 				continue
 			}
@@ -395,12 +423,8 @@ func (s *Store) programPage(lpn int64, forGC bool) error {
 // from its stripe so the replay allocates a fresh block. The block's state
 // moves to full; GC later drains whatever live pages it already held and
 // parks it in StateBad.
-func (s *Store) retireFailed(b nand.BlockID, forGC bool) {
+func (s *Store) retireFailed(b nand.BlockID, st *stripe) {
 	s.man.Retire(b)
-	st := &s.host
-	if forGC {
-		st = &s.gc
-	}
 	for i := range st.points {
 		if st.points[i].set && st.points[i].block == b {
 			st.points[i].set = false

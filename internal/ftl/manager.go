@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"espftl/internal/gc"
+	"espftl/internal/metrics"
 	"espftl/internal/nand"
 	"espftl/internal/sim"
 )
@@ -85,6 +86,10 @@ type Manager struct {
 	// degradation.
 	bad   int
 	floor int
+	// depthFn, when set, chooses the erase depth of every Recycle
+	// (adaptive erase; see internal/lifetime). Nil keeps the legacy
+	// full-depth erase path, bit-identical to a manager without the hook.
+	depthFn func(nand.BlockID) nand.EraseDepth
 }
 
 // NewManager returns a manager over every block of the device, all free
@@ -250,7 +255,11 @@ func (m *Manager) Recycle(b nand.BlockID) error {
 		m.meta[b].state = StateBad
 		return nil
 	}
-	if _, err := m.dev.Erase(b); err != nil {
+	depth := nand.DepthFull
+	if m.depthFn != nil {
+		depth = m.depthFn(b)
+	}
+	if _, err := m.dev.EraseAt(b, depth); err != nil {
 		if errors.Is(err, nand.ErrEraseFail) {
 			m.meta[b].bad = true
 			m.meta[b].state = StateBad
@@ -266,6 +275,13 @@ func (m *Manager) Recycle(b nand.BlockID) error {
 	m.total++
 	return nil
 }
+
+// SetEraseDepth installs the erase-depth hook consulted on every Recycle:
+// given the block about to be erased, it returns the depth to erase at.
+// The hook is how an adaptive erase policy (internal/lifetime) plugs into
+// the block lifecycle without the manager knowing the policy; nil restores
+// the legacy full-depth behaviour.
+func (m *Manager) SetEraseDepth(fn func(nand.BlockID) nand.EraseDepth) { m.depthFn = fn }
 
 // Retire marks b grown-bad: it leaves the free pool permanently and is
 // never allocated again. An open block transitions to full so GC can
@@ -403,6 +419,46 @@ func (m *Manager) WearSpread() (min, max int) {
 	return min, max
 }
 
+// WearDist snapshots the device-wide block wear distribution: erase
+// counts through an exact integer histogram, effective wear through a
+// deci-wear histogram (0.1 deep-erase-equivalent resolution for the p99;
+// min/max/mean are exact). Called from Stats(), not on any hot path.
+func (m *Manager) WearDist() WearDist {
+	n := m.dev.Geometry().TotalBlocks()
+	out := WearDist{Blocks: n}
+	if n == 0 {
+		return out
+	}
+	eh := metrics.NewIntHistogram(256)
+	wh := metrics.NewIntHistogram(1024)
+	out.EraseMin = m.dev.EraseCount(0)
+	out.WearMin = m.dev.EffectiveWear(0)
+	wearSum := 0.0
+	for b := 0; b < n; b++ {
+		id := nand.BlockID(b)
+		e := m.dev.EraseCount(id)
+		w := m.dev.EffectiveWear(id)
+		eh.Record(e)
+		wh.Record(int(w*10 + 0.5))
+		if e < out.EraseMin {
+			out.EraseMin = e
+		}
+		if w < out.WearMin {
+			out.WearMin = w
+		}
+		if w > out.WearMax {
+			out.WearMax = w
+		}
+		wearSum += w
+	}
+	out.EraseMax = eh.Max()
+	out.EraseMean = eh.Mean()
+	out.EraseP99 = eh.Quantile(0.99)
+	out.WearMean = wearSum / float64(n)
+	out.WearP99 = float64(wh.Quantile(0.99)) / 10
+	return out
+}
+
 // TotalValid sums valid units over all blocks of a role.
 func (m *Manager) TotalValid(role Role) int {
 	sum := 0
@@ -448,5 +504,6 @@ func (v *gcView) Candidate(b nand.BlockID) bool {
 func (v *gcView) Valid(b nand.BlockID) int               { return v.m.meta[b].valid }
 func (v *gcView) UnitsPerBlock() int                     { return v.units }
 func (v *gcView) EraseCount(b nand.BlockID) int          { return v.m.dev.EraseCount(b) }
+func (v *gcView) EffectiveWear(b nand.BlockID) float64   { return v.m.dev.EffectiveWear(b) }
 func (v *gcView) LastInvalidate(b nand.BlockID) sim.Time { return v.m.meta[b].lastInval }
 func (v *gcView) Now() sim.Time                          { return v.m.dev.Clock().Now() }

@@ -112,14 +112,17 @@ func (m *Model) Flush() {
 }
 
 // Trim records an acknowledged trim. All three FTLs trim in RAM only, so
-// the orphaned flash copies — any version the pre-trim interval allowed —
-// legally resurrect at the next crash, and a sector whose data never left
-// the buffer legally disappears to zero.
+// every orphaned flash copy of the sector — any pre-trim version, not
+// just the newest — legally resurrects at the next crash: once the trim
+// unmaps the sector, GC is free to erase the block holding the newest
+// copy while an older one survives in another block (or, with longevity
+// placement, another region), and the recovery scan then adopts whatever
+// stamp remains. A sector whose data never left the buffer legally
+// disappears to zero.
 func (m *Model) Trim(lsn int64, sectors int) {
 	for i := int64(0); i < int64(sectors); i++ {
 		s := lsn + i
-		m.addExtra(s, 0)
-		for v := m.durable[s]; v <= m.acked[s]; v++ {
+		for v := uint32(0); v <= m.acked[s]; v++ {
 			m.addExtra(s, v)
 		}
 		m.acked[s] = 0

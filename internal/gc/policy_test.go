@@ -21,7 +21,10 @@ func (v *fakeView) Candidate(b nand.BlockID) bool { return v.valid[b] >= 0 }
 func (v *fakeView) Valid(b nand.BlockID) int      { return v.valid[b] }
 func (v *fakeView) UnitsPerBlock() int            { return v.units }
 func (v *fakeView) EraseCount(b nand.BlockID) int { return v.erases[b] }
-func (v *fakeView) Now() sim.Time                 { return v.now }
+func (v *fakeView) EffectiveWear(b nand.BlockID) float64 {
+	return float64(v.erases[b])
+}
+func (v *fakeView) Now() sim.Time { return v.now }
 func (v *fakeView) LastInvalidate(b nand.BlockID) sim.Time {
 	return v.inval[b]
 }

@@ -1,0 +1,150 @@
+// Package lifetime is the device-lifetime subsystem layered on top of the
+// paper's erase-free subpage programming: it decides how deep each erase
+// needs to be (adaptive erase, after AERO, arXiv 2404.10355) and predicts
+// how long freshly written data will live (longevity-aware placement,
+// after Choi & Jung, arXiv 1704.05138) so the FTLs can steer writes by
+// expected lifetime instead of request size alone. Both mechanisms are
+// policy objects consulted by the block manager and the FTL cores; with
+// neither installed every FTL is bit-identical to a build without this
+// package.
+package lifetime
+
+import (
+	"fmt"
+	"time"
+
+	"espftl/internal/nand"
+)
+
+// ErasePolicy chooses the depth of the next erase of a block from its wear
+// state. The block manager consults it at recycle time.
+type ErasePolicy interface {
+	// Name identifies the policy in stats and experiment tables.
+	Name() string
+	// Depth returns the erase depth for a block with the given raw erase
+	// count and effective wear (deep-erase equivalents).
+	Depth(eraseCount int, effWear float64) nand.EraseDepth
+}
+
+// FixedDeep is the conventional baseline: every erase runs at full depth.
+// It is bit-identical to having no policy installed.
+type FixedDeep struct{}
+
+// Name implements ErasePolicy.
+func (FixedDeep) Name() string { return "fixed-deep" }
+
+// Depth implements ErasePolicy.
+func (FixedDeep) Depth(int, float64) nand.EraseDepth { return nand.DepthFull }
+
+// Requirement is one retention obligation an adaptive erase must preserve:
+// data of the given subpage type must stay correctable for the horizon.
+type Requirement struct {
+	Npp     nand.NppType
+	Horizon time.Duration
+}
+
+// AERO is the adaptive policy: it erases as shallowly as the block's wear
+// allows while analytically guaranteeing every retention requirement. The
+// shallow-erase BER factor S(d) = 1 + penalty*(1-d) must stay under the
+// tightest MaxShallowFactor bound across the requirements, evaluated at
+// the block's post-erase wear; as effective wear approaches the rated
+// life the bound collapses to 1 and the policy converges to full-depth
+// erases by itself.
+type AERO struct {
+	// Model is the retention model the guarantee is computed against; it
+	// must be the device's.
+	Model nand.RetentionModel
+	// Require lists the retention obligations. The zero value is filled
+	// by NewAERO with the repository's operating envelope: worst-case
+	// N³pp subpage data for the paper's 1-month subpage horizon, and
+	// N⁰pp full-page data for the JEDEC-style 12-month requirement.
+	Require []Requirement
+	// Margin derates the analytic bound (a bound of S must be met at
+	// Margin*S) so model noise never lands data exactly on the ECC limit.
+	Margin float64
+	// Floor is the shallowest depth the policy will ever pick.
+	Floor nand.EraseDepth
+}
+
+// NewAERO returns the adaptive policy with the default operating envelope
+// for the given retention model.
+func NewAERO(model nand.RetentionModel) *AERO {
+	return &AERO{
+		Model: model,
+		Require: []Requirement{
+			{Npp: 3, Horizon: nand.Month},
+			{Npp: 0, Horizon: 12 * nand.Month},
+		},
+		Margin: 0.90,
+		Floor:  nand.MinEraseDepth,
+	}
+}
+
+// Name implements ErasePolicy.
+func (a *AERO) Name() string { return "aero" }
+
+// depthSteps quantizes chosen depths to 1/16ths (rounding deeper), the
+// granularity a real pulse-train controller would expose.
+const depthSteps = 16
+
+// Depth implements ErasePolicy.
+func (a *AERO) Depth(eraseCount int, effWear float64) nand.EraseDepth {
+	_ = eraseCount
+	if a.Model.ShallowPenalty <= 0 {
+		// Without a modelled penalty a shallow erase is retention-free;
+		// the floor is the only constraint left.
+		return a.Floor
+	}
+	// Worst-case post-erase wear: the erase about to happen adds at most
+	// one deep-erase equivalent.
+	wear := effWear + 1
+	sAllow := 0.0
+	for i, r := range a.Require {
+		s := a.Model.MaxShallowFactor(r.Npp, r.Horizon, wear) * a.Margin
+		if i == 0 || s < sAllow {
+			sAllow = s
+		}
+	}
+	if sAllow <= 1 {
+		return nand.DepthFull
+	}
+	// Invert S(d) = 1 + penalty*(1-d) <= sAllow for the shallowest
+	// admissible depth, then round deeper onto the pulse-train grid.
+	d := 1 - (sAllow-1)/a.Model.ShallowPenalty
+	if d < float64(a.Floor) {
+		d = float64(a.Floor)
+	}
+	steps := float64(int(d*depthSteps)) / depthSteps
+	if steps < d {
+		steps += 1.0 / depthSteps
+	}
+	if steps >= 1 {
+		return nand.DepthFull
+	}
+	return nand.EraseDepth(steps)
+}
+
+// NewErasePolicy resolves a policy by its flag name ("fixed-deep" or
+// "fixed", "aero"; empty picks the fixed-deep baseline) against the given
+// retention model.
+func NewErasePolicy(name string, model nand.RetentionModel) (ErasePolicy, error) {
+	switch name {
+	case "", "fixed", "fixed-deep":
+		return FixedDeep{}, nil
+	case "aero":
+		return NewAERO(model), nil
+	}
+	return nil, fmt.Errorf("lifetime: unknown erase policy %q (want fixed-deep or aero)", name)
+}
+
+// DepthFn adapts an erase policy to the block manager's erase-depth hook
+// for the given device. A nil policy yields a nil hook (legacy full-depth
+// erases).
+func DepthFn(dev *nand.Device, p ErasePolicy) func(nand.BlockID) nand.EraseDepth {
+	if p == nil {
+		return nil
+	}
+	return func(b nand.BlockID) nand.EraseDepth {
+		return p.Depth(dev.EraseCount(b), dev.EffectiveWear(b))
+	}
+}

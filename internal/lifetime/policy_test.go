@@ -1,0 +1,154 @@
+package lifetime
+
+import (
+	"testing"
+
+	"espftl/internal/nand"
+	"espftl/internal/sim"
+)
+
+func TestFixedDeepIsFullDepth(t *testing.T) {
+	var p FixedDeep
+	if p.Name() != "fixed-deep" {
+		t.Errorf("name = %q", p.Name())
+	}
+	for _, wear := range []float64{0, 1, 500, 1000, 5000} {
+		if d := p.Depth(int(wear), wear); d != nand.DepthFull {
+			t.Errorf("FixedDeep.Depth(wear=%v) = %v, want full", wear, d)
+		}
+	}
+}
+
+// The adaptive policy's operating arc: fresh blocks get the shallowest
+// erase the device accepts, depth deepens monotonically as effective wear
+// accumulates, and at the rated life the policy converges to full-depth
+// erases on its own.
+func TestAEROMonotoneDeepening(t *testing.T) {
+	p := NewAERO(nand.DefaultRetention)
+	if p.Name() != "aero" {
+		t.Errorf("name = %q", p.Name())
+	}
+	if d := p.Depth(0, 0); d != nand.MinEraseDepth {
+		t.Errorf("fresh-block depth = %v, want the floor %v", d, nand.MinEraseDepth)
+	}
+	rated := float64(nand.DefaultRetention.RatedPE)
+	prev := nand.EraseDepth(0)
+	for wear := 0.0; wear <= 2*rated; wear += rated / 50 {
+		d := p.Depth(int(wear), wear)
+		if !d.Valid() {
+			t.Fatalf("Depth(wear=%v) = %v, outside [%v, %v]", wear, d, nand.MinEraseDepth, nand.DepthFull)
+		}
+		if d < prev {
+			t.Fatalf("depth shallowed with wear: %v at wear %v, was %v", d, wear, prev)
+		}
+		prev = d
+	}
+	if d := p.Depth(int(rated), rated); d != nand.DepthFull {
+		t.Errorf("depth at rated wear = %v, want full", d)
+	}
+}
+
+// Every depth AERO picks must actually preserve its retention
+// requirements: data programmed after an erase at that depth, on a block
+// that then carries the post-erase wear, stays correctable through each
+// requirement's horizon.
+func TestAERODepthPreservesRetention(t *testing.T) {
+	m := nand.DefaultRetention
+	p := NewAERO(m)
+	rated := float64(m.RatedPE)
+	for wear := 0.0; wear < rated; wear += rated / 40 {
+		d := p.Depth(int(wear), wear)
+		post := wear + float64(d)
+		for _, r := range p.Require {
+			if !m.CorrectableAt(r.Npp, r.Horizon, post, d) {
+				t.Fatalf("depth %v at wear %v breaks %v over %v", d, wear, r.Npp, r.Horizon)
+			}
+		}
+	}
+}
+
+// Zero shallow penalty makes shallow erases retention-free; the floor is
+// then the only constraint and the policy pins to it at any wear.
+func TestAEROZeroPenaltyPinsFloor(t *testing.T) {
+	m := nand.DefaultRetention
+	m.ShallowPenalty = 0
+	p := NewAERO(m)
+	for _, wear := range []float64{0, 500, 2000} {
+		if d := p.Depth(int(wear), wear); d != p.Floor {
+			t.Errorf("Depth(wear=%v) = %v, want floor %v", wear, d, p.Floor)
+		}
+	}
+}
+
+// Depths land on the 1/16th pulse-train grid, rounded deeper, never
+// shallower, than the analytic bound.
+func TestAEROQuantizedToGrid(t *testing.T) {
+	p := NewAERO(nand.DefaultRetention)
+	rated := float64(nand.DefaultRetention.RatedPE)
+	for wear := 0.0; wear < rated; wear += rated / 100 {
+		d := p.Depth(int(wear), wear)
+		if d == nand.DepthFull || d == p.Floor {
+			continue
+		}
+		steps := float64(d) * depthSteps
+		if steps != float64(int(steps)) {
+			t.Fatalf("Depth(wear=%v) = %v is off the 1/%d grid", wear, d, depthSteps)
+		}
+	}
+}
+
+func TestNewErasePolicy(t *testing.T) {
+	m := nand.DefaultRetention
+	for _, name := range []string{"", "fixed", "fixed-deep"} {
+		p, err := NewErasePolicy(name, m)
+		if err != nil {
+			t.Fatalf("NewErasePolicy(%q): %v", name, err)
+		}
+		if _, ok := p.(FixedDeep); !ok {
+			t.Errorf("NewErasePolicy(%q) = %T, want FixedDeep", name, p)
+		}
+	}
+	p, err := NewErasePolicy("aero", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*AERO); !ok {
+		t.Errorf("NewErasePolicy(aero) = %T", p)
+	}
+	if _, err := NewErasePolicy("bogus", m); err == nil {
+		t.Error("unknown policy name accepted")
+	}
+}
+
+// DepthFn feeds the policy the device's real wear state: after erases at
+// known depths, the adapter's answers track the block's accumulated
+// effective wear, and a nil policy yields a nil hook.
+func TestDepthFn(t *testing.T) {
+	if fn := DepthFn(nil, nil); fn != nil {
+		t.Fatal("nil policy must yield a nil hook")
+	}
+	cfg := nand.DefaultConfig()
+	cfg.Geometry = nand.Geometry{
+		Channels: 1, ChipsPerChannel: 1, BlocksPerChip: 4,
+		PagesPerBlock: 8, SubpagesPerPage: 4, SubpageBytes: 4096,
+	}
+	dev, err := nand.NewDevice(cfg, sim.NewClock(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := DepthFn(dev, FixedDeep{})
+	if d := fn(0); d != nand.DepthFull {
+		t.Fatalf("fixed-deep hook returned %v", d)
+	}
+	aero := NewAERO(*dev.Retention())
+	fn = DepthFn(dev, aero)
+	if d := fn(0); d != aero.Depth(0, 0) {
+		t.Fatalf("hook on a fresh block returned %v, policy says %v", d, aero.Depth(0, 0))
+	}
+	// Age block 0 and check the hook sees the accumulated wear.
+	dev.SetEraseCount(0, dev.Retention().RatedPE)
+	want := aero.Depth(dev.EraseCount(0), dev.EffectiveWear(0))
+	if d := fn(0); d != want || d != nand.DepthFull {
+		t.Fatalf("hook at rated wear returned %v, want %v (full)", d, want)
+	}
+}

@@ -1,0 +1,175 @@
+package lifetime
+
+import "fmt"
+
+// Class is the predicted longevity of a logical page's current data.
+type Class uint8
+
+const (
+	// ClassUnknown: not enough history to predict (cold-start, or a page
+	// between the hot and cold thresholds). Callers fall back to their
+	// legacy size-based routing.
+	ClassUnknown Class = iota
+	// ClassHot: the page is predicted to be rewritten soon; its data is
+	// short-lived.
+	ClassHot
+	// ClassCold: the page is predicted to stay untouched for a long time;
+	// its data is long-lived.
+	ClassCold
+)
+
+// String names the class for experiment tables.
+func (c Class) String() string {
+	switch c {
+	case ClassHot:
+		return "hot"
+	case ClassCold:
+		return "cold"
+	}
+	return "unknown"
+}
+
+// PredictorConfig tunes the update-interval predictor. The zero value is
+// usable: every field falls back to the documented default.
+type PredictorConfig struct {
+	// Alpha is the EWMA weight of the newest observed interval (0,1];
+	// default 0.5.
+	Alpha float64
+	// HotFrac and ColdFrac set the class thresholds as fractions of the
+	// tracked page count: a page whose predicted rewrite interval is
+	// under HotFrac passes of the logical space (in page-writes) is hot,
+	// over ColdFrac passes is cold, in between unknown. Defaults 1.0 and
+	// 2.0: data not refreshed within two full passes of the logical
+	// space is long-lived for placement purposes.
+	HotFrac, ColdFrac float64
+	// MinSamples is how many observations a page needs before its EWMA is
+	// trusted (a long-silent page classifies cold on staleness alone
+	// earlier). Default 2.
+	MinSamples uint8
+}
+
+func (c PredictorConfig) withDefaults() PredictorConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.5
+	}
+	if c.HotFrac <= 0 {
+		c.HotFrac = 1.0
+	}
+	if c.ColdFrac <= 0 {
+		c.ColdFrac = 2.0
+	}
+	if c.ColdFrac < c.HotFrac {
+		c.ColdFrac = c.HotFrac
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 2
+	}
+	return c
+}
+
+// Predictor estimates per-logical-page update intervals with a bounded-
+// memory EWMA (Choi & Jung, arXiv 1704.05138): three flat arrays over the
+// logical page space, an O(1) zero-allocation update per write, and no
+// persistence — the tables are RAM-only prediction state (like the
+// subFTL's hot/cold GC bits) and restart cold after Recover.
+//
+// Time is the predictor's own logical write clock (one tick per observed
+// page write), not virtual device time: saturated closed-loop workloads
+// barely advance the virtual clock, while write-count intervals measure
+// exactly the quantity placement cares about — how much other data lands
+// between two updates of the same page.
+type Predictor struct {
+	cfg                   PredictorConfig
+	hotThresh, coldThresh float64
+	lastOp                []int64   // write-clock stamp of the last observation; 0 = never
+	ewma                  []float64 // predicted rewrite interval, in page-writes
+	samples               []uint8   // observation count, saturating
+	op                    int64     // logical write clock
+	observes              int64
+}
+
+// NewPredictor builds a predictor over a logical space of pages pages.
+func NewPredictor(pages int64, cfg PredictorConfig) (*Predictor, error) {
+	if pages <= 0 {
+		return nil, fmt.Errorf("lifetime: predictor over %d pages", pages)
+	}
+	cfg = cfg.withDefaults()
+	return &Predictor{
+		cfg:        cfg,
+		hotThresh:  cfg.HotFrac * float64(pages),
+		coldThresh: cfg.ColdFrac * float64(pages),
+		lastOp:     make([]int64, pages),
+		ewma:       make([]float64, pages),
+		samples:    make([]uint8, pages),
+	}, nil
+}
+
+// Pages returns the tracked logical page count.
+func (p *Predictor) Pages() int64 { return int64(len(p.lastOp)) }
+
+// Observes returns how many page writes the predictor has seen.
+func (p *Predictor) Observes() int64 { return p.observes }
+
+// Observe records one write of page lpn and advances the write clock.
+// O(1), allocation-free (guarded by TestPredictorObserveAllocs).
+func (p *Predictor) Observe(lpn int64) {
+	p.op++
+	p.observes++
+	last := p.lastOp[lpn]
+	p.lastOp[lpn] = p.op
+	n := p.samples[lpn]
+	if n == 0 {
+		p.samples[lpn] = 1
+		return
+	}
+	iv := float64(p.op - last)
+	if n == 1 {
+		p.ewma[lpn] = iv
+	} else {
+		p.ewma[lpn] += p.cfg.Alpha * (iv - p.ewma[lpn])
+	}
+	if n < ^uint8(0) {
+		p.samples[lpn] = n + 1
+	}
+}
+
+// Class predicts the longevity of page lpn's current data. Staleness
+// overrides the EWMA in both directions: a page silent for longer than its
+// predicted interval is at least that old, so the effective prediction is
+// max(EWMA, time since last write).
+func (p *Predictor) Class(lpn int64) Class {
+	n := p.samples[lpn]
+	if n == 0 {
+		return ClassUnknown
+	}
+	sinceLast := float64(p.op - p.lastOp[lpn])
+	if n < p.cfg.MinSamples {
+		if sinceLast >= p.coldThresh {
+			return ClassCold
+		}
+		return ClassUnknown
+	}
+	predicted := p.ewma[lpn]
+	if sinceLast > predicted {
+		predicted = sinceLast
+	}
+	if predicted <= p.hotThresh {
+		return ClassHot
+	}
+	if predicted >= p.coldThresh {
+		return ClassCold
+	}
+	return ClassUnknown
+}
+
+// Reset clears all prediction state, as a mount-time Recover does: the
+// tables are RAM-only and restart cold.
+func (p *Predictor) Reset() {
+	for i := range p.lastOp {
+		p.lastOp[i] = 0
+		p.ewma[i] = 0
+		p.samples[i] = 0
+	}
+	p.op = 0
+	p.observes = 0
+}

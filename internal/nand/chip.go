@@ -41,7 +41,16 @@ type page struct {
 // block is the persistent state of one erase block.
 type block struct {
 	eraseCount int
-	pages      []page
+	// effWear is the block's effective wear in deep-erase equivalents: the
+	// sum of the depths of every erase it has received. With only
+	// full-depth erases it equals float64(eraseCount) exactly (integer
+	// additions in float64 are exact far beyond any reachable cycle count).
+	effWear float64
+	// lastDepth is the depth of the block's most recent erase; it scales
+	// the retention margin of everything programmed since. Zero (never
+	// erased) reads as full depth in the retention model.
+	lastDepth EraseDepth
+	pages     []page
 }
 
 // chip models one NAND die: an array of blocks with ESP-aware program
@@ -79,10 +88,13 @@ func newChip(geo Geometry) *chip {
 	return c
 }
 
-// erase resets every page of the block and bumps its wear counter.
-func (c *chip) erase(localBlock int) {
+// erase resets every page of the block and bumps its wear counters: one
+// raw erase cycle, depth deep-erase equivalents of effective wear.
+func (c *chip) erase(localBlock int, depth EraseDepth) {
 	blk := &c.blocks[localBlock]
 	blk.eraseCount++
+	blk.effWear += float64(depth)
+	blk.lastDepth = depth
 	for p := range blk.pages {
 		pg := &blk.pages[p]
 		pg.passes = 0
@@ -217,7 +229,7 @@ func (c *chip) readSubpage(localBlock, pageIdx, sub int, now sim.Time, model *Re
 		return Stamp{}, sp.npp, ErrDestroyed
 	}
 	age := AgeOf(sp.programmedAt, now)
-	if !model.Correctable(sp.npp, age, blk.eraseCount) {
+	if !model.CorrectableAt(sp.npp, age, blk.effWear, blk.lastDepth) {
 		return Stamp{}, sp.npp, ErrUncorrectable
 	}
 	return sp.stamp, sp.npp, nil

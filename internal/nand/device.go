@@ -53,6 +53,8 @@ type Counters struct {
 	PagePrograms  int64
 	SubPrograms   int64
 	Erases        int64
+	ShallowErases int64   // erases with depth < 1 (subset of Erases)
+	WearUnits     float64 // cumulative erase depth: effective wear inflicted, in deep-erase equivalents
 	BytesWritten  int64 // bytes physically programmed (subpage programs count S_sub)
 	BytesRead     int64
 	ReadFailures  int64 // uncorrectable / destroyed / unprogrammed reads
@@ -285,18 +287,29 @@ func (d *Device) checkPage(p PageID) error {
 	return nil
 }
 
-// Erase erases block b. It returns the admission-to-completion interval of
-// the operation on the chip timeline.
+// Erase erases block b at full depth. It returns the admission-to-
+// completion interval of the operation on the chip timeline.
 func (d *Device) Erase(b BlockID) (sim.Time, error) {
+	return d.EraseAt(b, DepthFull)
+}
+
+// EraseAt erases block b at the given depth (see EraseDepth): shallow
+// erases are proportionally faster and accrue proportionally less
+// effective wear, at the cost of retention margin for the data programmed
+// afterwards. EraseAt(b, DepthFull) is bit-identical to Erase(b).
+func (d *Device) EraseAt(b BlockID, depth EraseDepth) (sim.Time, error) {
 	if !d.cfg.Geometry.ValidBlock(b) {
 		return 0, &OpError{Op: "erase", Block: b, Sub: -1, Err: ErrBadAddress}
+	}
+	if !depth.Valid() {
+		return 0, &OpError{Op: "erase", Block: b, Sub: -1, Err: ErrBadDepth, Detail: fmt.Sprintf("depth %v", float64(depth))}
 	}
 	if _, err := d.beginOp(false); err != nil {
 		return 0, &OpError{Op: "erase", Block: b, Sub: -1, Err: err}
 	}
 	ch, chipTL, _ := d.chipFor(b)
 	now := d.clock.Now()
-	_, end := chipTL.Reserve(now, d.cfg.Latency.EraseBlock)
+	_, end := chipTL.Reserve(now, d.cfg.Latency.EraseAtDepth(depth))
 	lb := d.cfg.Geometry.LocalBlock(b)
 	if inj := d.cfg.Fault; inj != nil && inj.EraseFail(d.cfg.Geometry.ChipOf(b), int(b), ch.blocks[lb].eraseCount) {
 		// The erase aborted: the block keeps its (now untrustworthy)
@@ -304,8 +317,12 @@ func (d *Device) Erase(b BlockID) (sim.Time, error) {
 		d.counters.EraseFailures++
 		return end, &OpError{Op: "erase", Block: b, Sub: -1, Err: ErrEraseFail, Detail: "injected"}
 	}
-	ch.erase(lb)
+	ch.erase(lb, depth)
 	d.counters.Erases++
+	d.counters.WearUnits += float64(depth)
+	if depth < DepthFull {
+		d.counters.ShallowErases++
+	}
 	return end, nil
 }
 
@@ -486,7 +503,7 @@ func (d *Device) senseSubpage(ch *chip, b BlockID, p PageID, sub int, start sim.
 	}
 	m := &d.cfg.Retention
 	limit := m.NormalizedECCLimit
-	ber := m.NormalizedBER(sp.npp, AgeOf(sp.programmedAt, start), blk.eraseCount)
+	ber := m.NormalizedBERAt(sp.npp, AgeOf(sp.programmedAt, start), blk.effWear, blk.lastDepth)
 	retention := ber > limit
 	if inj := d.cfg.Fault; inj != nil {
 		ber += inj.ReadDisturb(g.ChipOf(b), int(b), blk.eraseCount)
@@ -614,10 +631,29 @@ func (d *Device) EraseCount(b BlockID) int {
 
 // SetEraseCount force-sets the wear of block b: a hook for end-of-life
 // experiments and tests that would otherwise need thousands of simulated
-// erase cycles to reach the interesting wear region.
+// erase cycles to reach the interesting wear region. Effective wear is
+// pinned to the same value, as n full-depth cycles would have left it.
 func (d *Device) SetEraseCount(b BlockID, n int) {
 	ch, _, _ := d.chipFor(b)
-	ch.blocks[d.cfg.Geometry.LocalBlock(b)].eraseCount = n
+	blk := &ch.blocks[d.cfg.Geometry.LocalBlock(b)]
+	blk.eraseCount = n
+	blk.effWear = float64(n)
+}
+
+// EffectiveWear returns block b's effective wear in deep-erase
+// equivalents: the sum of the depths of every erase it has received. It
+// equals float64(EraseCount(b)) on a device that only ever erased deep.
+func (d *Device) EffectiveWear(b BlockID) float64 {
+	ch, _, _ := d.chipFor(b)
+	return ch.blocks[d.cfg.Geometry.LocalBlock(b)].effWear
+}
+
+// LastEraseDepth returns the depth of block b's most recent erase (zero if
+// the block was never erased; the retention model reads that as full
+// depth).
+func (d *Device) LastEraseDepth(b BlockID) EraseDepth {
+	ch, _, _ := d.chipFor(b)
+	return ch.blocks[d.cfg.Geometry.LocalBlock(b)].lastDepth
 }
 
 // PagePasses returns how many program passes page p has received since its

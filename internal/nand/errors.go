@@ -34,6 +34,9 @@ var (
 	// ErrEraseFail reports an injected erase failure: the block did not
 	// erase and must leave service (grown bad).
 	ErrEraseFail = errors.New("nand: erase operation failed")
+	// ErrBadDepth reports an EraseAt with a depth outside
+	// [MinEraseDepth, DepthFull].
+	ErrBadDepth = errors.New("nand: erase depth out of range")
 	// ErrPowerLoss reports that power was cut: either this operation was
 	// the one the SPO injector killed, or the device is already dead and
 	// rejects all work until PowerOn.

@@ -61,6 +61,16 @@ func (m LatencyModel) Validate() error {
 	return nil
 }
 
+// EraseAtDepth returns tBERS for an erase of the given depth. The erase
+// pulse train is cut proportionally short, so latency scales linearly with
+// depth; a full-depth erase costs exactly EraseBlock.
+func (m LatencyModel) EraseAtDepth(d EraseDepth) time.Duration {
+	if d >= DepthFull {
+		return m.EraseBlock
+	}
+	return time.Duration(float64(m.EraseBlock) * float64(d))
+}
+
 // Transfer returns the channel bus time for moving n bytes.
 func (m LatencyModel) Transfer(n int) time.Duration {
 	if n <= 0 {

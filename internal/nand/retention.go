@@ -56,6 +56,12 @@ type RetentionModel struct {
 	// RatedPE is the endurance rating the normalization is anchored to
 	// (1K P/E cycles for the paper's TLC parts).
 	RatedPE int
+	// ShallowPenalty scales the retention-BER cost of a shallow erase
+	// (AERO, arXiv 2404.10355): data programmed into a block whose last
+	// erase had depth d carries a multiplicative BER factor
+	// 1 + ShallowPenalty*(1-d). Zero disables the penalty, which makes
+	// every shallow erase retention-free — only meaningful for ablations.
+	ShallowPenalty float64
 }
 
 // DefaultRetention is the calibrated model used by the simulator. With
@@ -66,6 +72,7 @@ var DefaultRetention = RetentionModel{
 	SlopePerMonth:      [4]float64{0.11, 0.75, 0.85, 0.95},
 	NormalizedECCLimit: 2.40,
 	RatedPE:            1000,
+	ShallowPenalty:     0.8,
 }
 
 // Validate reports a descriptive error for a miscalibrated model.
@@ -87,6 +94,9 @@ func (m RetentionModel) Validate() error {
 	if m.RatedPE <= 0 {
 		return fmt.Errorf("nand: RatedPE = %d, must be positive", m.RatedPE)
 	}
+	if m.ShallowPenalty < 0 {
+		return fmt.Errorf("nand: ShallowPenalty = %v, must be non-negative", m.ShallowPenalty)
+	}
 	return nil
 }
 
@@ -106,23 +116,49 @@ func clampNpp(k NppType) int {
 // the endurance curves in the DEVTS work the paper cites for its BER
 // metric.
 func (m RetentionModel) WearFactor(pe int) float64 {
-	f := 0.5 + 0.5*float64(pe)/float64(m.RatedPE)
+	return m.WearFactorF(float64(pe))
+}
+
+// WearFactorF is WearFactor on fractional wear: with adaptive erase a
+// block's stress is the sum of its erase depths (deep-erase equivalents),
+// not an integer cycle count. WearFactorF(float64(pe)) is bit-identical to
+// WearFactor(pe).
+func (m RetentionModel) WearFactorF(wear float64) float64 {
+	f := 0.5 + 0.5*wear/float64(m.RatedPE)
 	if f < 0.5 {
 		f = 0.5
 	}
 	return f
 }
 
+// ShallowFactor is the multiplicative retention-BER penalty carried by data
+// programmed into a block whose last erase had the given depth. Full-depth
+// erases (and the depth-0 zero value of a never-erased block) cost factor
+// 1 exactly, keeping the conventional path bit-identical.
+func (m RetentionModel) ShallowFactor(d EraseDepth) float64 {
+	if d <= 0 || d >= DepthFull {
+		return 1
+	}
+	return 1 + m.ShallowPenalty*float64(DepthFull-d)
+}
+
 // NormalizedBER returns the retention BER of an N^k_pp subpage after age of
 // retention on a block with pe erase cycles, in units of the endurance BER
 // of an N⁰pp subpage at RatedPE cycles.
 func (m RetentionModel) NormalizedBER(k NppType, age time.Duration, pe int) float64 {
+	return m.NormalizedBERAt(k, age, float64(pe), DepthFull)
+}
+
+// NormalizedBERAt is NormalizedBER on the adaptive-erase state of a block:
+// fractional effective wear and the depth of the block's last erase. At
+// wear == float64(pe) and full depth it is bit-identical to NormalizedBER.
+func (m RetentionModel) NormalizedBERAt(k NppType, age time.Duration, wear float64, depth EraseDepth) float64 {
 	i := clampNpp(k)
 	months := float64(age) / float64(Month)
 	if months < 0 {
 		months = 0
 	}
-	return (m.Base[i] + m.SlopePerMonth[i]*months) * m.WearFactor(pe)
+	return (m.Base[i] + m.SlopePerMonth[i]*months) * m.WearFactorF(wear) * m.ShallowFactor(depth)
 }
 
 // Correctable reports whether data of the given type, age and wear is still
@@ -131,13 +167,26 @@ func (m RetentionModel) Correctable(k NppType, age time.Duration, pe int) bool {
 	return m.NormalizedBER(k, age, pe) <= m.NormalizedECCLimit
 }
 
+// CorrectableAt is Correctable on fractional effective wear and the
+// block's last erase depth.
+func (m RetentionModel) CorrectableAt(k NppType, age time.Duration, wear float64, depth EraseDepth) bool {
+	return m.NormalizedBERAt(k, age, wear, depth) <= m.NormalizedECCLimit
+}
+
 // RetentionCapability returns how long an N^k_pp subpage on a block with pe
 // erase cycles can hold data before crossing the ECC limit. A zero return
 // means data is unreadable immediately (e.g. a destroyed subpage or an
 // extremely worn block).
 func (m RetentionModel) RetentionCapability(k NppType, pe int) time.Duration {
+	return m.RetentionCapabilityAt(k, float64(pe), DepthFull)
+}
+
+// RetentionCapabilityAt is RetentionCapability on fractional effective wear
+// and the block's last erase depth. At wear == float64(pe) and full depth
+// it is bit-identical to RetentionCapability.
+func (m RetentionModel) RetentionCapabilityAt(k NppType, wear float64, depth EraseDepth) time.Duration {
 	i := clampNpp(k)
-	w := m.WearFactor(pe)
+	w := m.WearFactorF(wear) * m.ShallowFactor(depth)
 	budget := m.NormalizedECCLimit/w - m.Base[i]
 	if budget <= 0 {
 		return 0
@@ -147,6 +196,26 @@ func (m RetentionModel) RetentionCapability(k NppType, pe int) time.Duration {
 	}
 	months := budget / m.SlopePerMonth[i]
 	return time.Duration(months * float64(Month))
+}
+
+// MaxShallowFactor returns the largest shallow-erase BER factor under which
+// an N^k_pp subpage programmed onto a block at the given effective wear
+// still meets the horizon retention requirement. It inverts NormalizedBERAt
+// for the depth policy: a depth d is admissible iff ShallowFactor(d) stays
+// at or below this bound. A return below 1 means even a full-depth erase
+// cannot meet the requirement (the block is past its retention life for
+// this subpage type).
+func (m RetentionModel) MaxShallowFactor(k NppType, horizon time.Duration, wear float64) float64 {
+	i := clampNpp(k)
+	months := float64(horizon) / float64(Month)
+	if months < 0 {
+		months = 0
+	}
+	need := (m.Base[i] + m.SlopePerMonth[i]*months) * m.WearFactorF(wear)
+	if need <= 0 {
+		return 1
+	}
+	return m.NormalizedECCLimit / need
 }
 
 // RawBER converts a normalized BER to a raw bit error rate for the given

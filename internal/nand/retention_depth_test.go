@@ -1,0 +1,155 @@
+package nand
+
+import (
+	"testing"
+	"time"
+)
+
+// The adaptive-erase compatibility contract: at full depth and integer
+// wear, the *At variants are bit-identical to the legacy methods — not
+// merely close, the same float64s — so installing no erase policy changes
+// nothing.
+func TestRetentionAtFullDepthBitIdentical(t *testing.T) {
+	m := DefaultRetention
+	ages := []time.Duration{0, Month / 2, Month, 2 * Month, 12 * Month}
+	wears := []int{0, 1, 250, m.RatedPE, 2 * m.RatedPE}
+	for k := NppType(0); k <= 3; k++ {
+		for _, age := range ages {
+			for _, pe := range wears {
+				if got, want := m.NormalizedBERAt(k, age, float64(pe), DepthFull), m.NormalizedBER(k, age, pe); got != want {
+					t.Fatalf("NormalizedBERAt(%v,%v,%d,full) = %v != %v", k, age, pe, got, want)
+				}
+				if got, want := m.CorrectableAt(k, age, float64(pe), DepthFull), m.Correctable(k, age, pe); got != want {
+					t.Fatalf("CorrectableAt(%v,%v,%d,full) = %v != %v", k, age, pe, got, want)
+				}
+			}
+		}
+		for _, pe := range wears {
+			if got, want := m.RetentionCapabilityAt(k, float64(pe), DepthFull), m.RetentionCapability(k, pe); got != want {
+				t.Fatalf("RetentionCapabilityAt(%v,%d,full) = %v != %v", k, pe, got, want)
+			}
+		}
+	}
+}
+
+func TestShallowFactor(t *testing.T) {
+	m := DefaultRetention
+	// Full depth and the never-erased zero value cost exactly factor 1.
+	for _, d := range []EraseDepth{DepthFull, 0, -1, 2} {
+		if f := m.ShallowFactor(d); f != 1 {
+			t.Errorf("ShallowFactor(%v) = %v, want exactly 1", d, f)
+		}
+	}
+	// The shallowest erase carries the largest penalty; the factor is
+	// monotone decreasing toward full depth.
+	prev := m.ShallowFactor(MinEraseDepth)
+	if want := 1 + m.ShallowPenalty*float64(DepthFull-MinEraseDepth); prev != want {
+		t.Fatalf("ShallowFactor(min) = %v, want %v", prev, want)
+	}
+	for d := MinEraseDepth + 1.0/16; d < DepthFull; d += 1.0 / 16 {
+		f := m.ShallowFactor(d)
+		if f >= prev {
+			t.Fatalf("ShallowFactor not decreasing in depth: %v at %v, was %v", f, d, prev)
+		}
+		if f <= 1 {
+			t.Fatalf("ShallowFactor(%v) = %v, must stay above 1 below full depth", d, f)
+		}
+		prev = f
+	}
+}
+
+// Correctability boundary edges across the wear x depth grid: shallower
+// erases and higher wear only ever shrink the margin, and for every wear
+// level where some depth is on the wrong side of the ECC limit, the flip
+// happens exactly once along the depth axis.
+func TestCorrectableAtBoundaryEdges(t *testing.T) {
+	m := DefaultRetention
+	rated := float64(m.RatedPE)
+	wears := []float64{0, rated / 4, rated / 2, rated, 1.5 * rated, 2 * rated}
+	depths := []EraseDepth{MinEraseDepth, 0.5, 0.75, 1.0}
+	for k := NppType(0); k <= 3; k++ {
+		for _, age := range []time.Duration{Month / 2, Month, 2 * Month} {
+			for _, wear := range wears {
+				flips := 0
+				prevOK := false
+				for i, d := range depths {
+					ok := m.CorrectableAt(k, age, wear, d)
+					// BER monotone: shallower depth is never better.
+					if i > 0 && prevOK && !ok {
+						t.Fatalf("%v at wear %v age %v: depth %v correctable but deeper %v not",
+							k, wear, age, depths[i-1], d)
+					}
+					if i > 0 && ok != prevOK {
+						flips++
+					}
+					prevOK = ok
+				}
+				if flips > 1 {
+					t.Fatalf("%v at wear %v age %v: correctability flipped %d times along depth", k, wear, age, flips)
+				}
+			}
+		}
+	}
+	// A concrete boundary from the calibrated model: N3pp month-old data
+	// on a fresh block survives the shallowest erase, but the same data on
+	// a block at rated wear needs full depth.
+	if !m.CorrectableAt(3, Month, 0, MinEraseDepth) {
+		t.Error("fresh block cannot host N3pp 1-month data after the shallowest erase")
+	}
+	if m.CorrectableAt(3, Month, rated, MinEraseDepth) {
+		t.Error("rated-wear block accepts N3pp 1-month data after a min-depth erase; the margin should be gone")
+	}
+	if !m.CorrectableAt(3, Month, rated, DepthFull) {
+		t.Error("rated-wear block at full depth must still meet the paper's 1-month N3pp requirement")
+	}
+}
+
+// Capability shrinks monotonically as the erase shallows, mirroring the
+// BER penalty, and a shallow-erased block can cross from "passes the
+// subpage horizon" to "fails it" on depth alone.
+func TestRetentionCapabilityAtDepth(t *testing.T) {
+	m := DefaultRetention
+	rated := float64(m.RatedPE)
+	for k := NppType(0); k <= 3; k++ {
+		for _, wear := range []float64{0, rated / 2, rated} {
+			prev := time.Duration(1<<62 - 1)
+			for _, d := range []EraseDepth{DepthFull, 0.75, 0.5, MinEraseDepth} {
+				c := m.RetentionCapabilityAt(k, wear, d)
+				if c > prev {
+					t.Fatalf("%v wear %v: capability grew as depth shallowed (%v at depth %v, was %v)", k, wear, c, d, prev)
+				}
+				prev = c
+			}
+		}
+	}
+	deep := m.RetentionCapabilityAt(3, rated, DepthFull)
+	shallow := m.RetentionCapabilityAt(3, rated, MinEraseDepth)
+	if deep < Month || shallow >= Month {
+		t.Fatalf("N3pp at rated wear: capability deep=%v shallow=%v, want the 1-month line crossed between them", deep, shallow)
+	}
+}
+
+// MaxShallowFactor inverts NormalizedBERAt: any depth whose ShallowFactor
+// stays at or below the bound keeps the data correctable through the
+// horizon, and any factor above it does not.
+func TestMaxShallowFactorInversion(t *testing.T) {
+	m := DefaultRetention
+	rated := float64(m.RatedPE)
+	for k := NppType(0); k <= 3; k++ {
+		for _, horizon := range []time.Duration{Month, 12 * Month} {
+			for _, wear := range []float64{0, rated / 2, rated, 2 * rated} {
+				bound := m.MaxShallowFactor(k, horizon, wear)
+				base := (m.Base[clampNpp(k)] + m.SlopePerMonth[clampNpp(k)]*float64(horizon)/float64(Month)) * m.WearFactorF(wear)
+				if base*bound > m.NormalizedECCLimit*(1+1e-12) {
+					t.Fatalf("%v horizon %v wear %v: bound %v overshoots the ECC limit", k, horizon, wear, bound)
+				}
+				if bound < 1 {
+					// Even full depth fails: the model must agree.
+					if m.CorrectableAt(k, horizon, wear, DepthFull) {
+						t.Fatalf("%v horizon %v wear %v: bound %v < 1 but full depth correctable", k, horizon, wear, bound)
+					}
+				}
+			}
+		}
+	}
+}

@@ -114,6 +114,14 @@ type Config struct {
 	GCStepPages       int
 	GCBackgroundSlack int
 
+	// ErasePolicy selects each shard's adaptive erase-depth policy
+	// ("fixed-deep", "aero"; empty = legacy full-depth erases) and
+	// Lifetime enables the longevity predictor and hot/cold placement
+	// steering. Ignored when Stacks or the Device hook supplies
+	// pre-built FTLs.
+	ErasePolicy string
+	Lifetime    bool
+
 	// WriteTimeout bounds one reply flush to a client socket; a
 	// connection that cannot absorb its replies within it is declared
 	// dead and drained without blocking the engines (default 5s).

@@ -90,6 +90,8 @@ func buildShard(idx int, cfg Config, stack *ShardStack) (*shard, error) {
 			GCPolicy:          cfg.GCPolicy,
 			GCStepPages:       cfg.GCStepPages,
 			GCBackgroundSlack: cfg.GCBackgroundSlack,
+			ErasePolicy:       cfg.ErasePolicy,
+			Lifetime:          cfg.Lifetime,
 		})
 		if err != nil {
 			return nil, err
